@@ -1,0 +1,1 @@
+bench/bench_util.ml: Float Printf String Tenet Unix

@@ -1,0 +1,1 @@
+bench/exp_buffer.ml: Bench_util List Printf Tenet

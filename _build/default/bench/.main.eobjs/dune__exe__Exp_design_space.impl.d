@@ -1,0 +1,1 @@
+bench/exp_design_space.ml: Bench_util List Printf Tenet

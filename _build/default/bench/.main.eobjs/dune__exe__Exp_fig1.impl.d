@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Bench_util Printf Tenet

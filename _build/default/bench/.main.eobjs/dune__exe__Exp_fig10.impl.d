@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Array Bench_util List Printf Tenet

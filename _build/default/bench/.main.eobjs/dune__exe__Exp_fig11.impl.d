@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Bench_util Float List Printf Tenet

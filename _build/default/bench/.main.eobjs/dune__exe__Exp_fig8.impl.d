@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Analyze Bechamel Bench_util Benchmark Hashtbl Instance List Measure Printf Staged Tenet Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Bench_util List Printf Tenet

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Bench_util List Printf String Tenet

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_buffer Exp_design_space Exp_fig1 Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_table3 List Printexc Printf String Sys Unix

@@ -1,0 +1,28 @@
+(* Shared helpers for the per-figure benchmark sections. *)
+
+module M = Tenet.Model
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+(* Latency under a different scratchpad bandwidth, recomputed from the
+   bandwidth-independent volume metrics (Section V-B formulas). *)
+let latency_at_bandwidth (m : M.Metrics.t) ~bandwidth =
+  let bw = float_of_int bandwidth in
+  let read = float_of_int (M.Metrics.unique_inputs m) /. bw in
+  let write = float_of_int (M.Metrics.unique_outputs m) /. bw in
+  Float.max (float_of_int m.M.Metrics.delay_compute) (read +. write)
+
+let ideal_latency (m : M.Metrics.t) =
+  float_of_int m.M.Metrics.n_instances /. float_of_int m.M.Metrics.pe_size
+
+let pct a b = 100. *. (1. -. (a /. b))
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,47 @@
+(* Ablation: scratchpad capacity vs off-chip traffic (the buffer-size
+   configuration knob the paper shares with MAESTRO), plus the
+   compute-centric baseline from Table I compiled through the
+   relation-centric pipeline. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Sim = Tenet.Sim
+module Cc = Tenet.Compute.Schedule
+
+let capacities = [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
+
+let run () =
+  Bench_util.section
+    "Ablation: scratchpad capacity vs DRAM traffic (LRU reuse distance)";
+  let op = Ir.Kernels.gemm ~ni:32 ~nj:32 ~nk:32 in
+  Bench_util.row "  %-26s" "GEMM 32^3 dataflow";
+  List.iter (fun c -> Bench_util.row "%8d" c) capacities;
+  print_newline ();
+  List.iter
+    (fun (df, arch) ->
+      let rows = Sim.Offchip.sweep arch op df ~capacities in
+      Bench_util.row "  %-26s" df.Df.Dataflow.name;
+      List.iter (fun (_, miss) -> Bench_util.row "%8d" miss) rows;
+      print_newline ())
+    [
+      (Df.Zoo.gemm_ij_p_ijk_t (), Arch.Repository.tpu_like ());
+      (Df.Zoo.gemm_ik_p_ijk_t (), Arch.Repository.tpu_like ());
+      (Df.Zoo.gemm_k_p_ij_t (), Arch.Repository.systolic_1d ());
+    ];
+  Bench_util.section
+    "Ablation: compute-centric schedules through the relation pipeline";
+  let spec = Arch.Repository.tpu_like ~bandwidth:16 () in
+  List.iter
+    (fun sched ->
+      let df = Cc.to_dataflow op sched in
+      let m = M.Concrete.analyze spec op df in
+      Printf.printf "  %-30s lat=%8.0f util=%4.2f sbw=%6.2f\n"
+        df.Df.Dataflow.name m.M.Metrics.latency m.M.Metrics.avg_utilization
+        m.M.Metrics.sbw)
+    [ Cc.gemm_output_stationary (); Cc.gemm_weight_stationary () ];
+  let skewed = M.Concrete.analyze spec op (Df.Zoo.gemm_ij_p_ijk_t ()) in
+  Printf.printf "  %-30s lat=%8.0f util=%4.2f sbw=%6.2f  <- skewed, TENET-only\n"
+    skewed.M.Metrics.dataflow skewed.M.Metrics.latency
+    skewed.M.Metrics.avg_utilization skewed.M.Metrics.sbw

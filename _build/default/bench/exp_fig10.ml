@@ -1,0 +1,79 @@
+(* Figure 10: interconnect (IBW) and scratchpad (SBW) bandwidth
+   requirements per tensor under three interconnect topologies:
+   1D-systolic (row links only), 2D-systolic, and mesh. *)
+
+module Isl = Tenet.Isl
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+
+(* rows-only systolic links on a 2D array, as a custom relation *)
+let systolic_rows pe =
+  let dims = Arch.Pe_array.dims pe in
+  let rel =
+    Isl.Parser.map
+      (Printf.sprintf
+         "{ PE[i,j] -> PE[x,y] : x = i and y = j + 1 and 0 <= i < %d and 0 \
+          <= j < %d and 0 <= x < %d and 0 <= y < %d }"
+         dims.(0) dims.(1) dims.(0) dims.(1))
+  in
+  Arch.Interconnect.Custom { rel; interval = 1 }
+
+let topologies pe =
+  if Arch.Pe_array.rank pe = 2 then
+    [
+      ("1D-systolic", systolic_rows pe);
+      ("2D-systolic", Arch.Interconnect.Systolic_2d);
+      ("mesh", Arch.Interconnect.Mesh);
+    ]
+  else
+    [
+      ("1D-systolic", Arch.Interconnect.Systolic_1d);
+      ("1D-bidir", Arch.Interconnect.Bidirectional_1d);
+      ("multicast-3", Arch.Interconnect.Multicast 3);
+    ]
+
+let show op pe (df : Df.Dataflow.t) =
+  Bench_util.row "  %-26s %-12s %10s %10s %10s %10s\n" df.Df.Dataflow.name
+    "topology" "IBW" "SBW" "SBW(in)" "SBW(out)";
+  List.iter
+    (fun (tname, topo) ->
+      let spec = Arch.Spec.make ~pe ~topology:topo ~bandwidth:64 () in
+      match M.Concrete.analyze spec op df with
+      | exception M.Concrete.Invalid_dataflow msg ->
+          Bench_util.row "  %-26s %-12s invalid: %s\n" "" tname msg
+      | m ->
+          let cyc = float_of_int m.M.Metrics.delay_compute in
+          Bench_util.row "  %-26s %-12s %10.2f %10.2f %10.2f %10.2f\n" ""
+            tname m.M.Metrics.ibw m.M.Metrics.sbw
+            (float_of_int (M.Metrics.unique_inputs m) /. cyc)
+            (float_of_int (M.Metrics.unique_outputs m) /. cyc))
+    (topologies pe)
+
+let run () =
+  Bench_util.section "Figure 10: bandwidth vs interconnect topology";
+  let d2 = Arch.Pe_array.d2 8 8 and d1 = Arch.Pe_array.d1 64 in
+  Bench_util.subsection "2D-CONV 16x16x14x14 r3 dataflows";
+  let conv = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:14 ~noy:14 ~nrx:3 ~nry:3 in
+  List.iter (show conv d2)
+    [
+      Df.Zoo.conv_kc_p_oy_kcox_t ();
+      Df.Zoo.conv_kc_p_c_kox_t ();
+      Df.Zoo.conv_shidiannao ();
+      Df.Zoo.conv_nvdla ();
+    ];
+  let conv13 = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:13 ~noy:13 ~nrx:3 ~nry:3 in
+  show conv13 (Arch.Pe_array.d2 12 14) (Df.Zoo.conv_eyeriss_rs ());
+  Bench_util.subsection "GEMM 64^3";
+  let gemm = Ir.Kernels.gemm ~ni:64 ~nj:64 ~nk:64 in
+  List.iter (show gemm d2) [ Df.Zoo.gemm_ij_p_ijk_t (); Df.Zoo.gemm_ik_p_ijk_t () ];
+  Bench_util.subsection "MTTKRP 16^4";
+  show (Ir.Kernels.mttkrp ~ni:16 ~nj:16 ~nk:16 ~nl:16) d2
+    (Df.Zoo.mttkrp_ij_p_ijl_t ());
+  Bench_util.subsection "Jacobi-2D 66x66 (1D array)";
+  show (Ir.Kernels.jacobi2d ~n:66) d1 (Df.Zoo.jacobi_i_p_ij_t ());
+  Printf.printf
+    "(expect: topologies mostly similar; mesh helps dataflows with \
+     diagonal input reuse (row-stationary, Jacobi); Jacobi is \
+     memory-hungry)\n"

@@ -1,0 +1,108 @@
+(* Figure 11: model accuracy against executable ground truth.  The
+   simulator (which actually moves data cycle by cycle under a bandwidth
+   limit) plays the role of the reported Eyeriss / MAERI numbers; TENET's
+   relation-based model and the MAESTRO-style polynomial model are
+   compared against it on latency and PE utilization.
+
+   Layers are channel-reduced so the simulator finishes quickly; the
+   dataflow structure (and hence the accuracy comparison) is preserved.
+   The reduced channel counts are printed with each row. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Ma = Tenet.Maestro
+module Sim = Tenet.Sim
+
+let acc est golden =
+  100. *. (1. -. (Float.abs (est -. golden) /. golden))
+
+let compare_layer ~lname ~spec ~window ~op ~df ~mapping =
+  let golden = Sim.Simulator.run ~window spec op df in
+  let tenet = M.Concrete.analyze ~adjacency:`Lex_step ~window spec op df in
+  let maestro = Ma.Analytical.analyze spec op mapping in
+  let g_lat = float_of_int golden.Sim.Simulator.cycles in
+  (* the stamped latency estimate accounts for per-stamp traffic
+     granularity; both it and the Section V-B overlap bound come from the
+     same counted volumes *)
+  let t_lat = tenet.M.Metrics.latency_stamped in
+  let m_lat = maestro.Ma.Analytical.latency in
+  let g_util = golden.Sim.Simulator.utilization in
+  let t_util = tenet.M.Metrics.avg_utilization in
+  let m_util = maestro.Ma.Analytical.utilization in
+  Bench_util.row
+    "  %-10s | lat: golden %8.0f tenet %8.0f (%5.1f%%) maestro %8.0f \
+     (%5.1f%%) | util: golden %4.2f tenet %4.2f maestro %4.2f\n"
+    lname g_lat t_lat (acc t_lat g_lat) m_lat (acc m_lat g_lat) g_util t_util
+    m_util;
+  (acc t_lat g_lat, acc m_lat g_lat)
+
+let average xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let run () =
+  Bench_util.section
+    "Figure 11: latency & utilization accuracy vs simulated ground truth";
+  Bench_util.subsection
+    "(a/b) Eyeriss row-stationary on AlexNet (channels reduced to 16)";
+  let spec =
+    Arch.Spec.make
+      ~pe:(Arch.Pe_array.d2 12 14)
+      ~topology:Arch.Interconnect.Row_col_broadcast ~bandwidth:64 ()
+  in
+  let alex =
+    (* (name, k, c, o, r): channels cut to 16 and the first two output
+       resolutions to 14 so the simulator stays fast *)
+    [
+      ("CONV1", 16, 3, 14, 11);
+      ("CONV2", 16, 16, 14, 5);
+      ("CONV3", 16, 16, 13, 3);
+      ("CONV4", 16, 16, 13, 3);
+      ("CONV5", 16, 16, 13, 3);
+    ]
+  in
+  let accs =
+    List.map
+      (fun (lname, k, c, o, r) ->
+        let op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r in
+        (* the row-stationary space stamp needs ry + 3*(c mod cpack) within
+           12 rows; for r = 11 (CONV1) a single channel slice fills the
+           column, cpack = 1 *)
+        (* pack channel slices into the 12 rows: r*cpack <= 12 *)
+        let cpack = max 1 (min (12 / r) (min 4 c)) in
+        let kt = min 16 k and ct = min 16 c in
+        let df = Df.Zoo.conv_eyeriss_rs ~kt ~ct ~cpack ~r () in
+        compare_layer ~lname ~spec ~window:o ~op ~df
+          ~mapping:(Ma.Maestro_zoo.conv_eyeriss_rs op))
+      alex
+  in
+  Printf.printf "average latency accuracy: TENET %.1f%%  MAESTRO %.1f%%\n"
+    (average (List.map fst accs))
+    (average (List.map snd accs));
+  Bench_util.subsection
+    "(c/d) MAERI reduction tree on VGG (channels reduced to 14)";
+  let spec_m = Arch.Repository.maeri_like ~n:63 ~bandwidth:64 () in
+  let vgg =
+    [
+      ("C1-1", 8, 3, 56, 3);
+      ("C2-1", 8, 14, 28, 3);
+      ("C3-1", 14, 14, 28, 3);
+      ("C4-1", 14, 14, 14, 3);
+      ("C5-1", 14, 14, 14, 3);
+    ]
+  in
+  let accs_m =
+    List.map
+      (fun (lname, k, c, o, r) ->
+        let op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r in
+        let df = Df.Zoo.conv_maeri ~cslices:(min 7 c) () in
+        compare_layer ~lname ~spec:spec_m ~window:1 ~op ~df
+          ~mapping:(Ma.Maestro_zoo.conv_k_p_ox_oy_t op))
+      vgg
+  in
+  Printf.printf "average latency accuracy: TENET %.1f%%  MAESTRO %.1f%%\n"
+    (average (List.map fst accs_m))
+    (average (List.map snd accs_m));
+  Printf.printf
+    "(paper: TENET 89.6%% vs MAESTRO 71.9%% on Eyeriss; 96.3%% vs 92.3%% \
+     on MAERI)\n"

@@ -1,0 +1,127 @@
+(* Figure 12: per-tensor reuse factors, TENET vs MAESTRO, across DNN
+   layers.  Highlights: AlexNet CONV3 filter 169 (TENET) vs MAESTRO's
+   polynomial estimate, output 144 vs MAESTRO's always-zero output reuse,
+   and MobileNet's depthwise/pointwise layers with inherently lower input
+   reuse. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Ma = Tenet.Maestro
+module W = Tenet.Workloads.Layers
+
+let header () =
+  Bench_util.row "  %-22s | %9s %9s | %9s %9s | %9s %9s\n" "layer"
+    "in TENET" "in MAES" "flt TENET" "flt MAES" "out TENET" "out MAES"
+
+let factor_of m tensor = M.Metrics.reuse_factor (M.Metrics.find_tensor m tensor).M.Metrics.volumes
+
+let show ~spec ~window ~df ~mapping ~lname (op : Ir.Tensor_op.t) =
+  match M.Concrete.analyze ~adjacency:`Lex_step ~window spec op df with
+  | exception M.Concrete.Invalid_dataflow msg ->
+      Bench_util.row "  %-22s invalid: %s\n" lname msg
+  | m ->
+      let rep = Ma.Analytical.analyze spec op mapping in
+      let mf t = (Ma.Analytical.find_tensor rep t).Ma.Analytical.reuse_factor in
+      Bench_util.row "  %-22s | %9.1f %9.1f | %9.1f %9.1f | %9.1f %9.1f\n"
+        lname (factor_of m "A") (mf "A") (factor_of m "B") (mf "B")
+        (factor_of m "Y") (mf "Y")
+
+let run () =
+  Bench_util.section "Figure 12: data-reuse comparison with MAESTRO";
+  Bench_util.subsection
+    "AlexNet, Eyeriss row-stationary on 12x14 (channels reduced to 16)";
+  header ();
+  let spec_e =
+    Arch.Spec.make
+      ~pe:(Arch.Pe_array.d2 12 14)
+      ~topology:Arch.Interconnect.Row_col_broadcast ~bandwidth:64 ()
+  in
+  List.iter
+    (fun (lname, k, c, o, r) ->
+      let op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r in
+      let cpack = max 1 (min (12 / r) (min 4 c)) in
+      let df =
+        Df.Zoo.conv_eyeriss_rs ~kt:(min 16 k) ~ct:(min 16 c) ~cpack ~r ()
+      in
+      show ~spec:spec_e ~window:o ~df ~mapping:(Ma.Maestro_zoo.conv_eyeriss_rs op)
+        ~lname op)
+    [
+      ("CONV1", 16, 3, 14, 11);
+      ("CONV2", 16, 16, 14, 5);
+      ("CONV3 (paper:169/144)", 16, 16, 13, 3);
+      ("CONV4", 16, 16, 13, 3);
+      ("CONV5", 16, 16, 13, 3);
+    ];
+  Bench_util.subsection
+    "VGG16, ShiDianNao output-stationary on 8x8 mesh (channels reduced)";
+  header ();
+  let spec_s =
+    Arch.Spec.make ~pe:(Arch.Pe_array.d2 8 8) ~topology:Arch.Interconnect.Mesh
+      ~bandwidth:64 ()
+  in
+  List.iter
+    (fun (lname, k, c, o) ->
+      let op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:3 ~nry:3 in
+      show ~spec:spec_s ~window:(o * o / 4) ~df:(Df.Zoo.conv_shidiannao ())
+        ~mapping:(Ma.Maestro_zoo.conv_shidiannao op) ~lname op)
+    [
+      ("C1-1", 8, 3, 32); ("C2-1", 8, 8, 32); ("C3-1", 16, 16, 16);
+      ("C4-1", 16, 16, 16); ("C5-1", 16, 16, 8);
+    ];
+  Bench_util.subsection "GoogLeNet, NVDLA-style on 8x8 (channels reduced)";
+  header ();
+  let spec_n =
+    Arch.Spec.make ~pe:(Arch.Pe_array.d2 8 8)
+      ~topology:Arch.Interconnect.Row_col_broadcast ~bandwidth:64 ()
+  in
+  List.iter
+    (fun (lname, k, c, o, r) ->
+      let op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r in
+      show ~spec:spec_n ~window:o ~df:(Df.Zoo.conv_nvdla ())
+        ~mapping:(Ma.Maestro_zoo.conv_nvdla op) ~lname op)
+    [
+      ("conv2/3x3", 16, 16, 28, 3);
+      ("inception-3a/3x3", 16, 16, 28, 3);
+      ("inception-4a/3x3", 16, 16, 14, 3);
+      ("inception-4a/1x1", 16, 16, 14, 1);
+    ];
+  Bench_util.subsection "MobileNet: depthwise & pointwise layers";
+  header ();
+  List.iter
+    (fun (lname, layer_op, window) ->
+      (* depthwise conv has no k dim: use a generic C-parallel dataflow *)
+      let df =
+        match List.mem "k" (Ir.Tensor_op.iter_names layer_op) with
+        | true -> Df.Zoo.conv_nvdla ()
+        | false ->
+            Df.Dataflow.make ~name:"(C-P | OY,OX-T)"
+              ~space:
+                Tenet.Isl.Aff.[ Mod (Var "c", 8); Mod (Fdiv (Var "c", 8), 8) ]
+              ~time:
+                Tenet.Isl.Aff.
+                  [ Fdiv (Var "c", 64); Var "oy"; Var "ox"; Var "ry"; Var "rx" ]
+      in
+      let mapping =
+        if List.mem "k" (Ir.Tensor_op.iter_names layer_op) then
+          Ma.Maestro_zoo.conv_nvdla layer_op
+        else
+          Ma.Notation.make ~name:"(C-P | OY,OX-T)"
+            [
+              Ma.Notation.spatial "c";
+              Ma.Notation.temporal "oy";
+              Ma.Notation.temporal "ox";
+            ]
+      in
+      show ~spec:spec_n ~window ~df ~mapping ~lname layer_op)
+    [
+      ("dw-CONV (c=64,o=28)", Ir.Kernels.dw_conv2d ~nc:64 ~nox:28 ~noy:28 ~nrx:3 ~nry:3, 28);
+      ("pw-CONV (16x64,o=28)", Ir.Kernels.pw_conv2d ~nk:16 ~nc:64 ~nox:28 ~noy:28, 28);
+      ("dw-CONV (c=128,o=14)", Ir.Kernels.dw_conv2d ~nc:128 ~nox:14 ~noy:14 ~nrx:3 ~nry:3, 14);
+      ("pw-CONV (16x128,o=14)", Ir.Kernels.pw_conv2d ~nk:16 ~nc:128 ~nox:14 ~noy:14, 14);
+    ];
+  ignore W.mobilenet;
+  Printf.printf
+    "(expect: MAESTRO reports zero output reuse everywhere and misses \
+     compound-subscript input reuse; pw-CONV shows no input-halo reuse)\n"

@@ -1,0 +1,89 @@
+(* Figure 9: critical metrics per dataflow — temporal/spatial reuse of
+   input and output tensors (normalized to the instance count), max and
+   average PE utilization, latency.  Systolic interconnects throughout,
+   as in the paper. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+
+let spec_for pe =
+  let topology =
+    if Arch.Pe_array.rank pe = 2 then Arch.Interconnect.Systolic_2d
+    else Arch.Interconnect.Systolic_1d
+  in
+  Arch.Spec.make ~pe ~topology ~bandwidth:64 ()
+
+let header () =
+  Bench_util.row "  %-26s %8s %8s %8s %8s %6s %6s %10s\n" "dataflow" "in-Trs"
+    "in-Srs" "out-Trs" "out-Srs" "maxU" "avgU" "latency"
+
+let show op (df, pe) =
+  match M.Concrete.analyze (spec_for pe) op df with
+  | exception M.Concrete.Invalid_dataflow msg ->
+      Bench_util.row "  %-26s invalid: %s\n" df.Df.Dataflow.name msg
+  | m ->
+      let inst = float_of_int m.M.Metrics.n_instances in
+      let sum_dir dir f =
+        List.fold_left
+          (fun acc tm ->
+            if tm.M.Metrics.direction = dir then
+              acc + f tm.M.Metrics.volumes
+            else acc)
+          0 m.M.Metrics.per_tensor
+      in
+      let norm n = float_of_int n /. inst in
+      Bench_util.row
+        "  %-26s %8.3f %8.3f %8.3f %8.3f %6.2f %6.2f %10.0f\n"
+        df.Df.Dataflow.name
+        (norm (sum_dir Ir.Tensor_op.Read (fun v -> v.M.Metrics.temporal_reuse)))
+        (norm (sum_dir Ir.Tensor_op.Read (fun v -> v.M.Metrics.spatial_reuse)))
+        (norm (sum_dir Ir.Tensor_op.Write (fun v -> v.M.Metrics.temporal_reuse)))
+        (norm (sum_dir Ir.Tensor_op.Write (fun v -> v.M.Metrics.spatial_reuse)))
+        m.M.Metrics.max_utilization m.M.Metrics.avg_utilization
+        m.M.Metrics.latency
+
+let run () =
+  Bench_util.section "Figure 9: critical metrics per dataflow (systolic NoC)";
+  let d2 = Arch.Pe_array.d2 8 8 and d1 = Arch.Pe_array.d1 64 in
+  Bench_util.subsection "2D-CONV 16x16x14x14 r3";
+  header ();
+  let conv = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:14 ~noy:14 ~nrx:3 ~nry:3 in
+  List.iter (show conv)
+    [
+      (Df.Zoo.conv_kc_p_oy_kcox_t (), d2);
+      (Df.Zoo.conv_kox_p_oy_koxc_t (), d2);
+      (Df.Zoo.conv_kc_p_c_kox_t (), d2);
+      (Df.Zoo.conv_k_p_ox_oy_t (), d1);
+      (Df.Zoo.conv_c_p_oy_ox_t (), d1);
+      (Df.Zoo.conv_shidiannao (), d2);
+      (Df.Zoo.conv_nvdla (), d2);
+    ];
+  (* the row-stationary dataflow needs the 12x14 array; its RY dimension
+     cannot match the array (the paper's low-utilization observation) *)
+  let conv13 = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:13 ~noy:13 ~nrx:3 ~nry:3 in
+  show conv13 (Df.Zoo.conv_eyeriss_rs (), Arch.Pe_array.d2 12 14);
+  Bench_util.subsection "GEMM 64^3";
+  header ();
+  let gemm = Ir.Kernels.gemm ~ni:64 ~nj:64 ~nk:64 in
+  List.iter (show gemm)
+    [
+      (Df.Zoo.gemm_ij_p_ijk_t (), d2);
+      (Df.Zoo.gemm_kj_p_ijk_t (), d2);
+      (Df.Zoo.gemm_ik_p_ijk_t (), d2);
+      (Df.Zoo.gemm_k_p_ij_t (), d1);
+      (Df.Zoo.gemm_j_p_ik_t (), d1);
+    ];
+  Bench_util.subsection "MTTKRP 16^4";
+  header ();
+  let mt = Ir.Kernels.mttkrp ~ni:16 ~nj:16 ~nk:16 ~nl:16 in
+  List.iter (show mt)
+    [
+      (Df.Zoo.mttkrp_ij_p_ijl_t (), d2);
+      (Df.Zoo.mttkrp_kj_p_kjl_t (), d2);
+      (Df.Zoo.mttkrp_kl_p_klj_t (), d2);
+    ];
+  Printf.printf
+    "(expect: 2D space-stamps beat 1D for GEMM; (RYOY-P) suffers low \
+     utilization; high reuse does not imply low latency)\n"

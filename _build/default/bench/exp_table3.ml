@@ -1,0 +1,52 @@
+(* Table III: the twenty dataflows in relation-centric notation, their
+   data-centric expressibility, and validity on their natural PE arrays. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module Dse = Tenet.Dse.Dse
+
+let entry pe op (df : Df.Dataflow.t) =
+  let ok =
+    match Df.Dataflow.validate op df pe with
+    | Ok () -> "valid"
+    | Error v -> "INVALID: " ^ Df.Dataflow.violation_to_string v
+  in
+  Printf.printf "  %-26s %-60s %-14s %s\n" df.Df.Dataflow.name
+    (Df.Dataflow.to_string df |> fun s ->
+     if String.length s > 60 then String.sub s 0 57 ^ "..." else s)
+    (if Dse.data_centric_expressible df then "data-centric" else "TENET-only")
+    ok
+
+let run () =
+  Bench_util.section "Table III: dataflow notations for the five kernels";
+  Bench_util.subsection "GEMM (64x64x64)";
+  let gemm = Ir.Kernels.gemm ~ni:64 ~nj:64 ~nk:64 in
+  List.iter (entry (Arch.Pe_array.d2 8 8) gemm) (Df.Zoo.gemm_2d ());
+  List.iter (entry (Arch.Pe_array.d1 64) gemm) (Df.Zoo.gemm_1d ());
+  Bench_util.subsection "2D-CONV (16x16x14x14, r=3)";
+  let conv = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:14 ~noy:14 ~nrx:3 ~nry:3 in
+  List.iter
+    (entry (Arch.Pe_array.d2 8 8) conv)
+    [
+      Df.Zoo.conv_kc_p_oy_kcox_t ();
+      Df.Zoo.conv_kox_p_oy_koxc_t ();
+      Df.Zoo.conv_kc_p_c_kox_t ();
+      Df.Zoo.conv_shidiannao ();
+      Df.Zoo.conv_nvdla ();
+    ];
+  List.iter
+    (entry (Arch.Pe_array.d1 64) conv)
+    [ Df.Zoo.conv_k_p_ox_oy_t (); Df.Zoo.conv_c_p_oy_ox_t () ];
+  let conv13 = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:13 ~noy:13 ~nrx:3 ~nry:3 in
+  List.iter (entry (Arch.Pe_array.d2 12 14) conv13) [ Df.Zoo.conv_eyeriss_rs () ];
+  Bench_util.subsection "MTTKRP (16^4)";
+  let mt = Ir.Kernels.mttkrp ~ni:16 ~nj:16 ~nk:16 ~nl:16 in
+  List.iter (entry (Arch.Pe_array.d2 8 8) mt) (Df.Zoo.mttkrp_all ());
+  Bench_util.subsection "Jacobi-2D (66x66)";
+  let jac = Ir.Kernels.jacobi2d ~n:66 in
+  List.iter (entry (Arch.Pe_array.d1 64) jac) [ Df.Zoo.jacobi_i_p_ij_t () ];
+  List.iter (entry (Arch.Pe_array.d2 8 8) jac) [ Df.Zoo.jacobi_ij_p_ij_t () ];
+  Bench_util.subsection "MMc (16^4)";
+  let mmc = Ir.Kernels.mmc ~ni:16 ~nj:16 ~nk:16 ~nl:16 in
+  List.iter (entry (Arch.Pe_array.d2 8 8) mmc) (Df.Zoo.mmc_all ())

@@ -1,0 +1,42 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index).  Run all
+   sections with `dune exec bench/main.exe`, or a subset by name:
+   `dune exec bench/main.exe -- fig6 fig9`. *)
+
+let sections : (string * string * (unit -> unit)) list =
+  [
+    ("fig1", "Figure 1 motivation (1D-CONV reuse)", Exp_fig1.run);
+    ("table_design_space", "Section IV-A design-space sizes", Exp_design_space.run);
+    ("table3", "Table III dataflow zoo", Exp_table3.run);
+    ("fig6", "Figure 6 latency vs bandwidth", Exp_fig6.run);
+    ("fig7", "Figure 7 large-scale applications", Exp_fig7.run);
+    ("fig8", "Figure 8 modeling runtime", Exp_fig8.run);
+    ("dse", "Section VI-B conv design-space exploration", Exp_design_space.run_dse);
+    ("fig9", "Figure 9 critical metrics", Exp_fig9.run);
+    ("fig10", "Figure 10 bandwidth vs topology", Exp_fig10.run);
+    ("fig11", "Figure 11 model accuracy vs simulator", Exp_fig11.run);
+    ("fig12", "Figure 12 reuse comparison", Exp_fig12.run);
+    ("buffer", "Buffer-capacity & compute-centric ablations", Exp_buffer.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) sections
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> String.equal n name) sections with
+      | Some (_, _, run) -> begin
+          try run ()
+          with e ->
+            Printf.printf "!! section %s failed: %s\n" name
+              (Printexc.to_string e)
+        end
+      | None ->
+          Printf.printf "unknown section %s (known: %s)\n" name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) sections)))
+    requested;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

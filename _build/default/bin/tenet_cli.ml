@@ -1,0 +1,227 @@
+(* The TENET command-line tool (the automatic flow of Figure 2):
+
+     tenet analyze --kernel gemm --sizes 64,64,64 --arch tpu-8x8-systolic \
+                   --space "i%8,j%8" --time "i/8,j/8,i%8+j%8+k"
+     tenet analyze --c-file kernel.c --arch mesh-8x8 --space ... --time ...
+     tenet dse --kernel conv --sizes 16,16,14,14,3,3 --arch tpu-8x8-systolic
+     tenet archs
+     tenet simulate --kernel gemm --sizes 32,32,32 --arch tpu-8x8-systolic \
+                   --space "i%8,j%8" --time "i/8,j/8,i%8+j%8+k" *)
+
+module T = Tenet
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Dse = Tenet.Dse.Dse
+open Cmdliner
+
+let parse_sizes s =
+  try List.map int_of_string (String.split_on_char ',' s)
+  with _ -> failwith "sizes must be a comma-separated integer list"
+
+let kernel_of ~kernel ~sizes =
+  match (kernel, parse_sizes sizes) with
+  | "gemm", [ ni; nj; nk ] -> Ir.Kernels.gemm ~ni ~nj ~nk
+  | "conv", [ nk; nc; nox; noy; nrx; nry ] ->
+      Ir.Kernels.conv2d ~nk ~nc ~nox ~noy ~nrx ~nry
+  | "conv1d", [ no; nr ] -> Ir.Kernels.conv1d ~no ~nr
+  | "mttkrp", [ ni; nj; nk; nl ] -> Ir.Kernels.mttkrp ~ni ~nj ~nk ~nl
+  | "mmc", [ ni; nj; nk; nl ] -> Ir.Kernels.mmc ~ni ~nj ~nk ~nl
+  | "jacobi2d", [ n ] -> Ir.Kernels.jacobi2d ~n
+  | k, sz ->
+      failwith
+        (Printf.sprintf
+           "unknown kernel %s with %d sizes (known: gemm i,j,k | conv \
+            k,c,ox,oy,rx,ry | conv1d o,r | mttkrp i,j,k,l | mmc i,j,k,l | \
+            jacobi2d n)"
+           k (List.length sz))
+
+let op_of ~kernel ~sizes ~c_file =
+  match c_file with
+  | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      Ir.Cfront.parse src
+  | None -> kernel_of ~kernel ~sizes
+
+let arch_of name ~bandwidth =
+  let spec = Arch.Repository.find name in
+  match bandwidth with
+  | Some bw -> Arch.Spec.with_bandwidth bw spec
+  | None -> spec
+
+let dataflow_of op ~space ~time =
+  let dims = Ir.Tensor_op.iter_names op in
+  Df.Dataflow.make ~name:"(cli)"
+    ~space:(T.Isl.Parser.exprs ~dims space)
+    ~time:(T.Isl.Parser.exprs ~dims time)
+
+(* --- flags --- *)
+
+let kernel_t =
+  Arg.(value & opt string "gemm" & info [ "kernel" ] ~docv:"NAME"
+         ~doc:"Kernel: gemm, conv, conv1d, mttkrp, mmc, jacobi2d.")
+
+let sizes_t =
+  Arg.(value & opt string "64,64,64" & info [ "sizes" ] ~docv:"N,N,..."
+         ~doc:"Comma-separated loop extents for the kernel.")
+
+let c_file_t =
+  Arg.(value & opt (some string) None & info [ "c-file" ] ~docv:"FILE"
+         ~doc:"Parse the tensor operation from a C loop nest instead.")
+
+let arch_t =
+  Arg.(value & opt string "tpu-8x8-systolic" & info [ "arch" ] ~docv:"NAME"
+         ~doc:"Architecture from the repository (see the archs command).")
+
+let bandwidth_t =
+  Arg.(value & opt (some int) None & info [ "bandwidth" ] ~docv:"W"
+         ~doc:"Override scratchpad bandwidth (words/cycle).")
+
+let space_t =
+  Arg.(value & opt string "i%8,j%8" & info [ "space" ] ~docv:"EXPRS"
+         ~doc:"Space-stamp coordinates, e.g. 'i%8,j%8'.")
+
+let time_t =
+  Arg.(value & opt string "i/8,j/8,i%8+j%8+k" & info [ "time" ] ~docv:"EXPRS"
+         ~doc:"Time-stamp coordinates, e.g. 'i/8,j/8,i%8+j%8+k'.")
+
+let window_t =
+  Arg.(value & opt int 1 & info [ "window" ] ~docv:"W"
+         ~doc:"Per-PE register window (stamps of temporal reuse history).")
+
+let lex_t =
+  Arg.(value & flag & info [ "lex" ]
+         ~doc:"Use lexicographic (wrap-aware) time adjacency.")
+
+let scaled_t =
+  Arg.(value & opt (some string) None & info [ "scale-dims" ] ~docv:"D,D"
+         ~doc:"Extrapolate these sequential dims (for huge layers).")
+
+(* --- commands --- *)
+
+let wrap f = try `Ok (f ()) with
+  | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  | M.Concrete.Invalid_dataflow msg -> `Error (false, "invalid dataflow: " ^ msg)
+  | T.Isl.Parser.Parse_error msg -> `Error (false, "parse error: " ^ msg)
+  | Ir.Cfront.Syntax_error msg -> `Error (false, "C syntax error: " ^ msg)
+
+let analyze_cmd =
+  let run kernel sizes c_file arch bandwidth space time window lex scale_dims
+      =
+    wrap (fun () ->
+        let op = op_of ~kernel ~sizes ~c_file in
+        let spec = arch_of arch ~bandwidth in
+        let df = dataflow_of op ~space ~time in
+        let adjacency = if lex then `Lex_step else `Inner_step in
+        let m =
+          match scale_dims with
+          | Some dims ->
+              M.Scaled.analyze ~adjacency spec op df
+                ~scale_dims:(String.split_on_char ',' dims)
+          | None -> M.Concrete.analyze ~adjacency ~window spec op df
+        in
+        print_string (T.report m))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Analyze one dataflow (Figure 2 flow).")
+    Term.(
+      ret
+        (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
+       $ space_t $ time_t $ window_t $ lex_t $ scaled_t))
+
+let simulate_cmd =
+  let run kernel sizes c_file arch bandwidth space time =
+    wrap (fun () ->
+        let op = op_of ~kernel ~sizes ~c_file in
+        let spec = arch_of arch ~bandwidth in
+        let df = dataflow_of op ~space ~time in
+        let r = T.Sim.Simulator.run spec op df in
+        print_endline (T.Sim.Simulator.to_string r))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the cycle-level simulator on a dataflow.")
+    Term.(
+      ret
+        (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
+       $ space_t $ time_t))
+
+let dse_cmd =
+  let run kernel sizes c_file arch bandwidth top =
+    wrap (fun () ->
+        let op = op_of ~kernel ~sizes ~c_file in
+        let spec = arch_of arch ~bandwidth in
+        let p =
+          let dims = Arch.Pe_array.dims spec.Arch.Spec.pe in
+          dims.(0)
+        in
+        let cands =
+          if Arch.Pe_array.rank spec.Arch.Spec.pe = 2 then
+            Dse.candidates_2d op ~p
+          else Dse.candidates_1d op ~p
+        in
+        let outcomes = Dse.evaluate_all ~objective:Dse.Latency spec op cands in
+        Printf.printf "%d candidates, %d valid; top %d by latency:\n"
+          (List.length cands) (List.length outcomes) top;
+        List.iteri
+          (fun i o ->
+            if i < top then
+              Printf.printf "%2d. %-34s lat=%10.0f util=%4.2f sbw=%7.2f [%s]\n"
+                (i + 1) o.Dse.dataflow.Df.Dataflow.name
+                o.Dse.metrics.M.Metrics.latency
+                o.Dse.metrics.M.Metrics.avg_utilization
+                o.Dse.metrics.M.Metrics.sbw
+                (if o.Dse.expressible then "data-centric" else "TENET-only"))
+          outcomes)
+  in
+  let top_t =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"How many best dataflows to print.")
+  in
+  Cmd.v (Cmd.info "dse" ~doc:"Explore the dataflow design space.")
+    Term.(
+      ret
+        (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
+       $ top_t))
+
+let archs_cmd =
+  let run () =
+    `Ok
+      (List.iter
+         (fun (name, spec) ->
+           Printf.printf "%-20s %s\n" name (Arch.Spec.to_string spec))
+         Arch.Repository.all)
+  in
+  Cmd.v (Cmd.info "archs" ~doc:"List the architecture repository.")
+    Term.(ret (const run $ const ()))
+
+let zoo_cmd =
+  let run kernel =
+    wrap (fun () ->
+        let dfs =
+          match kernel with
+          | "gemm" -> Df.Zoo.gemm_all ()
+          | "conv" -> Df.Zoo.conv_all ()
+          | "mttkrp" -> Df.Zoo.mttkrp_all ()
+          | "jacobi2d" -> Df.Zoo.jacobi_all ()
+          | "mmc" -> Df.Zoo.mmc_all ()
+          | k -> failwith ("unknown kernel " ^ k)
+        in
+        List.iter (fun df -> print_endline (Df.Dataflow.to_string df)) dfs)
+  in
+  Cmd.v
+    (Cmd.info "zoo" ~doc:"Print the Table III dataflows for a kernel.")
+    Term.(ret (const run $ kernel_t))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "tenet" ~version:"1.0.0"
+             ~doc:
+               "Relation-centric modeling of tensor dataflows on spatial \
+                architectures (TENET, ISCA 2021).")
+          [ analyze_cmd; simulate_cmd; dse_cmd; archs_cmd; zoo_cmd ]))

@@ -1,0 +1,1 @@
+examples/buffer_sweep.ml: List Printf Tenet

@@ -1,0 +1,1 @@
+examples/conv_explorer.ml: Float List Printf Tenet

@@ -1,0 +1,1 @@
+examples/eyeriss_accuracy.mli:

@@ -1,0 +1,1 @@
+examples/gemm_systolic.ml: List Printf Tenet

@@ -1,0 +1,1 @@
+examples/transformer_analysis.ml: List Printf Tenet

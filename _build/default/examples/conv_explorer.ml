@@ -1,0 +1,55 @@
+(* Design-space exploration for a convolution layer: generate candidates,
+   evaluate them once (volume metrics are bandwidth-independent), and
+   show how the skewed (TENET-only) dataflows take over as scratchpad
+   bandwidth shrinks.
+
+     dune exec examples/conv_explorer.exe *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Dse = Tenet.Dse.Dse
+
+let latency_at (m : M.Metrics.t) bw =
+  let read = float_of_int (M.Metrics.unique_inputs m) /. float_of_int bw in
+  let write = float_of_int (M.Metrics.unique_outputs m) /. float_of_int bw in
+  Float.max (float_of_int m.M.Metrics.delay_compute) (read +. write)
+
+let () =
+  let op = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:8 ~noy:8 ~nrx:3 ~nry:3 in
+  Printf.printf "layer: %s\n" (Ir.Tensor_op.to_string op);
+  let spec = Arch.Repository.tpu_like () in
+  let cands = Dse.candidates_2d op ~p:8 in
+  Printf.printf "generated %d candidate dataflows\n" (List.length cands);
+  let analyzed =
+    List.filter_map
+      (fun df ->
+        match M.Concrete.analyze spec op df with
+        | m -> Some (df, m, Dse.data_centric_expressible df)
+        | exception M.Concrete.Invalid_dataflow _ -> None)
+      cands
+  in
+  Printf.printf "%d valid; top 3 per bandwidth:\n\n" (List.length analyzed);
+  List.iter
+    (fun bw ->
+      let ranked =
+        List.sort
+          (fun (_, a, _) (_, b, _) -> compare (latency_at a bw) (latency_at b bw))
+          analyzed
+      in
+      Printf.printf "bandwidth %3d words/cycle:\n" bw;
+      List.iteri
+        (fun i (df, m, expressible) ->
+          if i < 3 then
+            Printf.printf "  %d. %-30s lat=%8.0f util=%4.2f [%s]\n" (i + 1)
+              df.Df.Dataflow.name (latency_at m bw)
+              m.M.Metrics.avg_utilization
+              (if expressible then "data-centric" else "TENET-only"))
+        ranked;
+      print_newline ())
+    [ 128; 32; 8 ];
+  print_endline
+    "The best dataflow at high bandwidth is usually expressible in the\n\
+     data-centric notation; at low bandwidth only the affine-transformed\n\
+     (skewed) dataflows keep the array busy - the Figure 6 story."

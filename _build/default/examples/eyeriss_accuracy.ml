@@ -1,0 +1,49 @@
+(* Model-accuracy study in the style of Figure 11: run the Eyeriss
+   row-stationary dataflow on an AlexNet-like layer three ways -
+   cycle-level simulation (ground truth), TENET's relation-based model,
+   and a MAESTRO-style polynomial model - and compare latency,
+   utilization, and the CONV3 reuse factors of Section VI-E.
+
+     dune exec examples/eyeriss_accuracy.exe *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Ma = Tenet.Maestro
+module Sim = Tenet.Sim
+
+let () =
+  (* AlexNet CONV3 geometry with channels sliced to 16 for a fast sim *)
+  let op = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:13 ~noy:13 ~nrx:3 ~nry:3 in
+  let spec =
+    Arch.Spec.make
+      ~pe:(Arch.Pe_array.d2 12 14)
+      ~topology:Arch.Interconnect.Row_col_broadcast ~bandwidth:32 ()
+  in
+  let df = Df.Zoo.conv_eyeriss_rs () in
+  Printf.printf "layer: %s\narch : %s\ndf   : %s\n\n"
+    (Ir.Tensor_op.to_string op)
+    (Arch.Spec.to_string spec)
+    (Df.Dataflow.to_string df);
+  (* window = 13: the Eyeriss PE register file holds one output row *)
+  let golden = Sim.Simulator.run ~window:13 spec op df in
+  Printf.printf "simulator (golden): %s\n" (Sim.Simulator.to_string golden);
+  (* window = 13: each PE buffers one 13-wide output row, as in Eyeriss *)
+  let tenet = M.Concrete.analyze ~adjacency:`Lex_step ~window:13 spec op df in
+  Printf.printf "TENET model       : lat=%.0f util=%.3f\n"
+    tenet.M.Metrics.latency tenet.M.Metrics.avg_utilization;
+  let maestro = Ma.Analytical.analyze spec op (Ma.Maestro_zoo.conv_eyeriss_rs op) in
+  Printf.printf "MAESTRO model     : lat=%.0f util=%.3f\n\n"
+    maestro.Ma.Analytical.latency maestro.Ma.Analytical.utilization;
+  (* the Section VI-E reuse factors *)
+  let b = (M.Metrics.find_tensor tenet "B").M.Metrics.volumes in
+  let y = (M.Metrics.find_tensor tenet "Y").M.Metrics.volumes in
+  Printf.printf "filter reuse factor: TENET %.0f (paper: 169 = 13 x 13)\n"
+    (M.Metrics.reuse_factor b);
+  Printf.printf "output reuse factor: TENET %.0f (paper: 144 = 12 x 12)\n"
+    (M.Metrics.reuse_factor y);
+  let mb = (Ma.Analytical.find_tensor maestro "B").Ma.Analytical.reuse_factor in
+  let my = (Ma.Analytical.find_tensor maestro "Y").Ma.Analytical.reuse_factor in
+  Printf.printf "MAESTRO           : filter %.0f, output %.0f (no output \
+                 reuse ever reported)\n" mb my

@@ -1,0 +1,1 @@
+lib/arch/interconnect.ml: Array List Pe_array Printf Tenet_isl

@@ -1,0 +1,1 @@
+lib/arch/interconnect.mli: Pe_array Tenet_isl

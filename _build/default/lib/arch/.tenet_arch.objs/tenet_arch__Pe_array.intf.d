@@ -1,0 +1,1 @@
+lib/arch/pe_array.mli: Tenet_isl

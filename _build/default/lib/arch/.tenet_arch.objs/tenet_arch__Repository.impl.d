@@ -1,0 +1,1 @@
+lib/arch/repository.ml: Interconnect List Pe_array Printf Spec String

@@ -1,0 +1,1 @@
+lib/arch/repository.mli: Spec

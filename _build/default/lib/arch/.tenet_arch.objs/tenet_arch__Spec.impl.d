@@ -1,0 +1,1 @@
+lib/arch/spec.ml: Energy Interconnect Pe_array Printf

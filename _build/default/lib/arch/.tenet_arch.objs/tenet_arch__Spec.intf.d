@@ -1,0 +1,1 @@
+lib/arch/spec.mli: Energy Interconnect Pe_array

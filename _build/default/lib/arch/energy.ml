@@ -1,0 +1,24 @@
+(* Per-event energy coefficients, in arbitrary energy units normalized to
+   one MAC = 1.0.  The ratios follow the Eyeriss energy hierarchy
+   (Chen et al., ISCA 2016): register file ~ MAC, inter-PE link ~ 2x,
+   scratchpad (global buffer) ~ 6x; DRAM (unused by the on-chip model but
+   exposed for extensions) ~ 200x. *)
+
+type t = {
+  mac : float; (* one multiply-accumulate *)
+  reg : float; (* one local register access *)
+  link : float; (* one inter-PE transfer *)
+  spm : float; (* one scratchpad access *)
+  dram : float; (* one off-chip access *)
+}
+
+let default = { mac = 1.0; reg = 1.0; link = 2.0; spm = 6.0; dram = 200.0 }
+
+let scale k t =
+  {
+    mac = k *. t.mac;
+    reg = k *. t.reg;
+    link = k *. t.link;
+    spm = k *. t.spm;
+    dram = k *. t.dram;
+  }

@@ -1,0 +1,8 @@
+(** Per-event energy coefficients, normalized to one MAC = 1.0, following
+    the Eyeriss energy hierarchy (register ~ MAC, inter-PE link ~ 2x,
+    scratchpad ~ 6x, DRAM ~ 200x). *)
+
+type t = { mac : float; reg : float; link : float; spm : float; dram : float }
+
+val default : t
+val scale : float -> t -> t

@@ -1,0 +1,237 @@
+(* PE interconnection topologies, each realized as a relation
+   { PE[p] -> PE[p'] : conditions } between *distinct* connected PEs
+   (Definition 3 / Figure 4 of the paper).
+
+   The topology also fixes the reuse time interval: a hop over a systolic
+   or mesh link takes one cycle, while multicast wires deliver the same
+   datum to several PEs in the same cycle (interval 0, Section V-A). *)
+
+module Isl = Tenet_isl
+
+type t =
+  | Systolic_1d  (** PE[i] -> PE[i+1] *)
+  | Bidirectional_1d  (** PE[i] <-> PE[i+1] (1D mesh) *)
+  | Systolic_2d  (** right and down neighbors *)
+  | Mesh  (** 8-neighborhood: abs deltas <= 1, excluding self *)
+  | Multicast of int
+      (** PEs within Chebyshev distance [d] share a wire (1D multicast of
+          the paper uses [d = 3], i.e. 4 PEs per wire) *)
+  | Broadcast_row  (** all PEs in the same row share a wire (2D arrays) *)
+  | Broadcast_col  (** all PEs in the same column share a wire *)
+  | Row_col_broadcast
+      (** Eyeriss-style NoC: wires along both rows and columns *)
+  | Reduction_tree
+      (** MAERI-style: multipliers are leaves of a fat tree; distribution
+          behaves like full multicast across the (1D) array *)
+  | Custom of { rel : Isl.Map.t; interval : int }
+
+let name = function
+  | Systolic_1d -> "1D-systolic"
+  | Bidirectional_1d -> "1D-bidirectional"
+  | Systolic_2d -> "2D-systolic"
+  | Mesh -> "mesh"
+  | Multicast d -> Printf.sprintf "multicast-%d" d
+  | Broadcast_row -> "broadcast-row"
+  | Broadcast_col -> "broadcast-col"
+  | Row_col_broadcast -> "row+col-broadcast"
+  | Reduction_tree -> "reduction-tree"
+  | Custom _ -> "custom"
+
+(* Data transferred over this interconnect arrives after [interval]
+   cycles: 1 for point-to-point hops, 0 for shared wires. *)
+let interval = function
+  | Systolic_1d | Bidirectional_1d | Systolic_2d | Mesh -> 1
+  | Multicast _ | Broadcast_row | Broadcast_col | Row_col_broadcast
+  | Reduction_tree ->
+      0
+  | Custom { interval; _ } -> interval
+
+(* Build the relation over a concrete PE array.  Self-loops are excluded:
+   same-PE reuse is the temporal channel, modeled separately. *)
+let rec relation (t : t) (pe : Pe_array.t) : Isl.Map.t =
+  let r = Pe_array.rank pe in
+  let dims = Pe_array.dims pe in
+  let in_names = Pe_array.dim_names pe in
+  let out_names = List.map (fun n -> n ^ "'") in_names in
+  let dom = Isl.Space.make "PE" in_names in
+  let ran = Isl.Space.make "PE" out_names in
+  let v n = Isl.Aff.Var n in
+  let bounds =
+    (* 0 <= p_i < dim_i on both sides *)
+    List.concat
+      (List.mapi
+         (fun i n ->
+           let n' = List.nth out_names i in
+           Isl.Aff.
+             [
+               v n;
+               Sub (Int dims.(i), Add (v n, Int 1));
+               Var n';
+               Sub (Int dims.(i), Add (Var n', Int 1));
+             ]
+           |> fun l -> l)
+         in_names)
+  in
+  let with_bounds m = Isl.Map.constrain m ~ges:bounds in
+  match t with
+  | Custom { rel; _ } -> rel
+  | Systolic_1d ->
+      if r <> 1 then invalid_arg "Interconnect: 1D-systolic needs a 1D array";
+      with_bounds
+        (Isl.Map.constrain
+           (Isl.Map.universe dom ran)
+           ~eqs:[ Isl.Aff.(Sub (Var "p0'", Add (v "p0", Int 1))) ])
+  | Bidirectional_1d ->
+      if r <> 1 then
+        invalid_arg "Interconnect: 1D-bidirectional needs a 1D array";
+      let fwd =
+        Isl.Map.constrain
+          (Isl.Map.universe dom ran)
+          ~eqs:[ Isl.Aff.(Sub (Var "p0'", Add (v "p0", Int 1))) ]
+      in
+      let bwd =
+        Isl.Map.constrain
+          (Isl.Map.universe dom ran)
+          ~eqs:[ Isl.Aff.(Sub (Add (Var "p0'", Int 1), v "p0")) ]
+      in
+      with_bounds (Isl.Map.union fwd bwd)
+  | Systolic_2d ->
+      if r <> 2 then invalid_arg "Interconnect: 2D-systolic needs a 2D array";
+      let right =
+        Isl.Map.constrain
+          (Isl.Map.universe dom ran)
+          ~eqs:
+            Isl.Aff.
+              [
+                Sub (Var "p0'", v "p0"); Sub (Var "p1'", Add (v "p1", Int 1));
+              ]
+      in
+      let down =
+        Isl.Map.constrain
+          (Isl.Map.universe dom ran)
+          ~eqs:
+            Isl.Aff.
+              [
+                Sub (Var "p0'", Add (v "p0", Int 1)); Sub (Var "p1'", v "p1");
+              ]
+      in
+      with_bounds (Isl.Map.union right down)
+  | Mesh ->
+      if r <> 2 then invalid_arg "Interconnect: mesh needs a 2D array";
+      (* abs(dx) <= 1 and abs(dy) <= 1, minus the self pair; expressed
+         without abs to keep each disjunct convex: the 8 neighbors are
+         (dx,dy) in {-1,0,1}^2 \ {(0,0)}. *)
+      let shift (dx, dy) =
+        Isl.Map.constrain
+          (Isl.Map.universe dom ran)
+          ~eqs:
+            Isl.Aff.
+              [
+                Sub (Var "p0'", Add (v "p0", Int dx));
+                Sub (Var "p1'", Add (v "p1", Int dy));
+              ]
+      in
+      let deltas =
+        [ (-1, -1); (-1, 0); (-1, 1); (0, -1); (0, 1); (1, -1); (1, 0); (1, 1) ]
+      in
+      with_bounds (Isl.Map.union_all (List.map shift deltas))
+  | Multicast d ->
+      (* Chebyshev distance in [1, d]; in 1D this is abs(p0' - p0) <= d. *)
+      let per_dim_close =
+        List.concat
+          (List.mapi
+             (fun idx n ->
+               let n' = List.nth out_names idx in
+               Isl.Aff.
+                 [
+                   Sub (Int d, Sub (v n, Var n'));
+                   Sub (Int d, Sub (Var n', v n));
+                 ])
+             in_names)
+      in
+      let close =
+        Isl.Map.constrain (Isl.Map.universe dom ran) ~ges:per_dim_close
+      in
+      (* exclude the self pair: at least one coordinate differs *)
+      let differs =
+        Isl.Map.union_all
+          (List.concat
+             (List.mapi
+                (fun idx n ->
+                  let n' = List.nth out_names idx in
+                  ignore idx;
+                  [
+                    Isl.Map.constrain (Isl.Map.universe dom ran)
+                      ~ges:[ Isl.Aff.(Sub (Sub (v n, Var n'), Int 1)) ];
+                    Isl.Map.constrain (Isl.Map.universe dom ran)
+                      ~ges:[ Isl.Aff.(Sub (Sub (Var n', v n), Int 1)) ];
+                  ])
+                in_names))
+      in
+      with_bounds (Isl.Map.intersect close differs)
+  | Broadcast_row ->
+      if r <> 2 then invalid_arg "Interconnect: broadcast-row needs 2D";
+      let same_row =
+        Isl.Map.constrain
+          (Isl.Map.universe dom ran)
+          ~eqs:[ Isl.Aff.(Sub (Var "p0'", v "p0")) ]
+      in
+      let differs =
+        Isl.Map.union
+          (Isl.Map.constrain (Isl.Map.universe dom ran)
+             ~ges:[ Isl.Aff.(Sub (Sub (v "p1", Var "p1'"), Int 1)) ])
+          (Isl.Map.constrain (Isl.Map.universe dom ran)
+             ~ges:[ Isl.Aff.(Sub (Sub (Var "p1'", v "p1"), Int 1)) ])
+      in
+      with_bounds (Isl.Map.intersect same_row differs)
+  | Broadcast_col ->
+      if r <> 2 then invalid_arg "Interconnect: broadcast-col needs 2D";
+      let same_col =
+        Isl.Map.constrain
+          (Isl.Map.universe dom ran)
+          ~eqs:[ Isl.Aff.(Sub (Var "p1'", v "p1")) ]
+      in
+      let differs =
+        Isl.Map.union
+          (Isl.Map.constrain (Isl.Map.universe dom ran)
+             ~ges:[ Isl.Aff.(Sub (Sub (v "p0", Var "p0'"), Int 1)) ])
+          (Isl.Map.constrain (Isl.Map.universe dom ran)
+             ~ges:[ Isl.Aff.(Sub (Sub (Var "p0'", v "p0"), Int 1)) ])
+      in
+      with_bounds (Isl.Map.intersect same_col differs)
+  | Row_col_broadcast ->
+      if r <> 2 then invalid_arg "Interconnect: row+col broadcast needs 2D";
+      Isl.Map.union (relation Broadcast_row pe) (relation Broadcast_col pe)
+  | Reduction_tree ->
+      if r <> 1 then invalid_arg "Interconnect: reduction tree needs 1D";
+      (* The distribution network can deliver one datum to any subset of
+         leaves in a cycle: full multicast minus self. *)
+      let differs =
+        Isl.Map.union
+          (Isl.Map.constrain (Isl.Map.universe dom ran)
+             ~ges:[ Isl.Aff.(Sub (Sub (v "p0", Var "p0'"), Int 1)) ])
+          (Isl.Map.constrain (Isl.Map.universe dom ran)
+             ~ges:[ Isl.Aff.(Sub (Sub (Var "p0'", v "p0"), Int 1)) ])
+      in
+      with_bounds differs
+
+(* The same-PE relation, used for the temporal-reuse channel. *)
+let identity (pe : Pe_array.t) : Isl.Map.t =
+  let in_names = Pe_array.dim_names pe in
+  let out_names = List.map (fun n -> n ^ "'") in_names in
+  let dom = Isl.Space.make "PE" in_names in
+  let ran = Isl.Space.make "PE" out_names in
+  let eqs =
+    List.map2
+      (fun n n' -> Isl.Aff.(Sub (Var n', Var n)))
+      in_names out_names
+  in
+  let dims = Pe_array.dims pe in
+  let bounds =
+    List.concat
+      (List.mapi
+         (fun i n ->
+           Isl.Aff.[ Var n; Sub (Int dims.(i), Add (Var n, Int 1)) ])
+         in_names)
+  in
+  Isl.Map.constrain (Isl.Map.universe dom ran) ~eqs ~ges:bounds

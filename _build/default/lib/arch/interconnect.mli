@@ -1,0 +1,33 @@
+(** PE interconnection topologies (Definition 3 / Figure 4 of the paper),
+    realized as relations [{ PE[p] -> PE[p'] }] between distinct
+    connected PEs. *)
+
+type t =
+  | Systolic_1d  (** PE[i] -> PE[i+1] *)
+  | Bidirectional_1d  (** PE[i] <-> PE[i+1] (1D mesh) *)
+  | Systolic_2d  (** right and down neighbors *)
+  | Mesh  (** 8-neighborhood: abs deltas <= 1, excluding self *)
+  | Multicast of int
+      (** PEs within Chebyshev distance [d] share a wire; the paper's 1D
+          multicast uses [d = 3] (4 PEs per wire) *)
+  | Broadcast_row  (** all PEs in a row share a wire (2D arrays) *)
+  | Broadcast_col  (** all PEs in a column share a wire *)
+  | Row_col_broadcast  (** Eyeriss-style: wires along rows and columns *)
+  | Reduction_tree
+      (** MAERI-style: multipliers are leaves of a fat tree; distribution
+          behaves like full multicast across the (1D) array *)
+  | Custom of { rel : Tenet_isl.Map.t; interval : int }
+
+val name : t -> string
+
+val interval : t -> int
+(** Transfer latency in cycles: 1 for point-to-point hops, 0 for shared
+    wires (same-cycle multicast reuse, Section V-A). *)
+
+val relation : t -> Pe_array.t -> Tenet_isl.Map.t
+(** The concrete relation over a PE array.  Self-loops are excluded;
+    same-PE reuse is the separate temporal channel.  Raises
+    [Invalid_argument] on a rank mismatch. *)
+
+val identity : Pe_array.t -> Tenet_isl.Map.t
+(** The same-PE relation, used for the temporal-reuse channel. *)

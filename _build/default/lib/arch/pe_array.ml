@@ -1,0 +1,32 @@
+(* A PE array: a box of processing elements, 1D or 2D (or higher).  Each PE
+   performs one multiply-and-accumulate per cycle (paper Section II-A). *)
+
+module Isl = Tenet_isl
+
+type t = { dims : int array }
+
+let make dims =
+  if Array.length dims = 0 || Array.exists (fun d -> d <= 0) dims then
+    invalid_arg "Pe_array.make: dimensions must be positive";
+  { dims }
+
+let d1 n = make [| n |]
+let d2 rows cols = make [| rows; cols |]
+let rank t = Array.length t.dims
+let size t = Array.fold_left ( * ) 1 t.dims
+let dims t = t.dims
+
+let dim_names t = List.init (rank t) (fun i -> Printf.sprintf "p%d" i)
+let space t : Isl.Space.t = Isl.Space.make "PE" (dim_names t)
+
+(* All PE coordinates as a set. *)
+let domain t : Isl.Set.t =
+  Isl.Set.box (space t)
+    (Array.to_list (Array.map (fun d -> (0, d - 1)) t.dims))
+
+let in_bounds t (p : int array) =
+  Array.length p = rank t
+  && Array.for_all2 (fun v d -> v >= 0 && v < d) p t.dims
+
+let to_string t =
+  String.concat "x" (Array.to_list (Array.map string_of_int t.dims))

@@ -1,0 +1,56 @@
+(* A repository of common spatial architectures (paper Section III):
+   systolic arrays (TPU), mesh NoCs (DySER, Plasticine), multicast arrays
+   (Eyeriss, Diannao), and reduction trees (MAERI). *)
+
+let tpu_like ?(n = 8) ?(bandwidth = 64) () =
+  Spec.make ~pe:(Pe_array.d2 n n) ~topology:Interconnect.Systolic_2d
+    ~bandwidth ()
+
+let mesh_array ?(rows = 8) ?(cols = 8) ?(bandwidth = 64) () =
+  Spec.make ~pe:(Pe_array.d2 rows cols) ~topology:Interconnect.Mesh ~bandwidth
+    ()
+
+(* Eyeriss: 12 x 14 PE array with multicast buses along rows.  The paper's
+   row-stationary experiments use this shape. *)
+let eyeriss_like ?(rows = 12) ?(cols = 14) ?(bandwidth = 64) () =
+  Spec.make
+    ~pe:(Pe_array.d2 rows cols)
+    ~topology:Interconnect.Broadcast_row ~bandwidth ()
+
+(* ShiDianNao-style 8x8 output-stationary array with neighbor links. *)
+let shidiannao_like ?(n = 8) ?(bandwidth = 64) () =
+  Spec.make ~pe:(Pe_array.d2 n n) ~topology:Interconnect.Mesh ~bandwidth ()
+
+(* MAERI: multipliers at the leaves of a reconfigurable reduction tree;
+   only multipliers count as PEs and distribution is multicast. *)
+let maeri_like ?(n = 64) ?(bandwidth = 64) () =
+  Spec.make ~pe:(Pe_array.d1 n) ~topology:Interconnect.Reduction_tree
+    ~bandwidth ()
+
+let vector_multicast ?(n = 64) ?(group = 3) ?(bandwidth = 64) () =
+  Spec.make ~pe:(Pe_array.d1 n) ~topology:(Interconnect.Multicast group)
+    ~bandwidth ()
+
+let systolic_1d ?(n = 64) ?(bandwidth = 64) () =
+  Spec.make ~pe:(Pe_array.d1 n) ~topology:Interconnect.Systolic_1d ~bandwidth
+    ()
+
+let all : (string * Spec.t) list =
+  [
+    ("tpu-8x8-systolic", tpu_like ());
+    ("mesh-8x8", mesh_array ());
+    ("eyeriss-12x14", eyeriss_like ());
+    ("shidiannao-8x8", shidiannao_like ());
+    ("maeri-64", maeri_like ());
+    ("multicast-64", vector_multicast ());
+    ("systolic-64x1", systolic_1d ());
+  ]
+
+let find name =
+  match List.assoc_opt name all with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Repository.find: unknown architecture %s (known: %s)"
+           name
+           (String.concat ", " (List.map fst all)))

@@ -1,0 +1,24 @@
+(* A complete spatial-architecture specification: PE array, interconnect
+   topology, scratchpad bandwidth, and energy coefficients. *)
+
+type t = {
+  pe : Pe_array.t;
+  topology : Interconnect.t;
+  bandwidth : int; (* scratchpad words per cycle *)
+  buffer_words : int option; (* on-chip scratchpad capacity, if bounded *)
+  energy : Energy.t;
+}
+
+let make ?(bandwidth = 64) ?buffer_words ?(energy = Energy.default) ~pe
+    ~topology () =
+  if bandwidth <= 0 then invalid_arg "Spec.make: bandwidth must be positive";
+  { pe; topology; bandwidth; buffer_words; energy }
+
+let with_bandwidth bandwidth t = { t with bandwidth }
+let with_topology topology t = { t with topology }
+
+let to_string t =
+  Printf.sprintf "%s PEs, %s, %d words/cycle"
+    (Pe_array.to_string t.pe)
+    (Interconnect.name t.topology)
+    t.bandwidth

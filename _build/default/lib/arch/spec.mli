@@ -1,0 +1,23 @@
+(** A complete spatial-architecture specification. *)
+
+type t = {
+  pe : Pe_array.t;
+  topology : Interconnect.t;
+  bandwidth : int;  (** scratchpad words per cycle *)
+  buffer_words : int option;  (** scratchpad capacity, if bounded *)
+  energy : Energy.t;
+}
+
+val make :
+  ?bandwidth:int ->
+  ?buffer_words:int ->
+  ?energy:Energy.t ->
+  pe:Pe_array.t ->
+  topology:Interconnect.t ->
+  unit ->
+  t
+(** Defaults: 64 words/cycle, unbounded buffer, {!Energy.default}. *)
+
+val with_bandwidth : int -> t -> t
+val with_topology : Interconnect.t -> t -> t
+val to_string : t -> string

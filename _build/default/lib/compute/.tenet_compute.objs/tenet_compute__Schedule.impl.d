@@ -1,0 +1,1 @@
+lib/compute/schedule.ml: List Printf String Tenet_dataflow Tenet_ir Tenet_isl

@@ -1,0 +1,1 @@
+lib/compute/schedule.mli: Tenet_dataflow Tenet_ir

@@ -1,0 +1,120 @@
+(* The compute-centric notation (Timeloop / Interstellar, paper
+   Section II-C and Table I): loop transformation directives — tiling,
+   reordering, and parallelization — applied to the original loop nest.
+
+   A schedule compiles into a relation-centric {!Tenet_dataflow.Dataflow}
+   whose stamps are single-dimension tile expressions, which demonstrates
+   the containment the paper argues: every compute-centric schedule is a
+   relation-centric dataflow (and is also data-centric expressible), but
+   the converse fails for skewed dataflows. *)
+
+module Aff = Tenet_isl.Aff
+module Ir = Tenet_ir
+module Df = Tenet_dataflow
+
+type level = Full | Outer | Inner
+
+type loop = { dim : string; level : level }
+
+type t = {
+  sname : string;
+  tiles : (string * int) list; (* tiling factor per tiled dim *)
+  order : loop list; (* the sequential loop order, outermost first *)
+  parallel : loop list; (* <= 2 loops unrolled onto the PE array *)
+}
+
+exception Ill_formed of string
+
+let full d = { dim = d; level = Full }
+let outer d = { dim = d; level = Outer }
+let inner d = { dim = d; level = Inner }
+
+let make ?(name = "schedule") ?(tiles = []) ~order ~parallel () =
+  { sname = name; tiles; order; parallel }
+
+let tile_of t d =
+  match List.assoc_opt d t.tiles with
+  | Some f when f > 0 -> f
+  | Some _ -> raise (Ill_formed ("non-positive tile for " ^ d))
+  | None -> raise (Ill_formed ("loop level refers to untiled dim " ^ d))
+
+let loop_expr t { dim; level } =
+  match level with
+  | Full -> Aff.Var dim
+  | Outer -> Aff.Fdiv (Aff.Var dim, tile_of t dim)
+  | Inner -> Aff.Mod (Aff.Var dim, tile_of t dim)
+
+(* Every instance must be covered exactly once: each dim appears either
+   as one Full loop, or as the Outer and Inner pair of one tiling. *)
+let validate_coverage (op : Ir.Tensor_op.t) (t : t) =
+  let loops = t.order @ t.parallel in
+  List.iter
+    (fun it ->
+      let d = it.Ir.Tensor_op.iname in
+      let of_level l =
+        List.length
+          (List.filter (fun lp -> lp.dim = d && lp.level = l) loops)
+      in
+      match (of_level Full, of_level Outer, of_level Inner) with
+      | 1, 0, 0 | 0, 1, 1 -> ()
+      | f, o, i ->
+          raise
+            (Ill_formed
+               (Printf.sprintf
+                  "dim %s covered as %d full / %d outer / %d inner loops" d f
+                  o i)))
+    op.Ir.Tensor_op.iters;
+  List.iter
+    (fun lp ->
+      if not (List.exists (fun it -> it.Ir.Tensor_op.iname = lp.dim) op.Ir.Tensor_op.iters)
+      then raise (Ill_formed ("unknown dim " ^ lp.dim)))
+    loops;
+  if List.length t.parallel > 2 then
+    raise (Ill_formed "at most two parallel loops (2D PE arrays)")
+
+(* Compile to a relation-centric dataflow: parallel loops become space
+   stamps, the sequential order becomes the time stamps. *)
+let to_dataflow (op : Ir.Tensor_op.t) (t : t) : Df.Dataflow.t =
+  validate_coverage op t;
+  Df.Dataflow.make ~name:t.sname
+    ~space:(List.map (loop_expr t) t.parallel)
+    ~time:(List.map (loop_expr t) t.order)
+
+(* ------------------------------------------------------------------ *)
+(* Classic schedules, for tests and examples.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Output-stationary GEMM: parallel i%p, j%p; k innermost. *)
+let gemm_output_stationary ?(p = 8) () =
+  make ~name:"gemm-os (compute-centric)"
+    ~tiles:[ ("i", p); ("j", p) ]
+    ~order:[ outer "i"; outer "j"; full "k" ]
+    ~parallel:[ inner "i"; inner "j" ]
+    ()
+
+(* Weight-stationary GEMM: parallel k%p, j%p; i innermost. *)
+let gemm_weight_stationary ?(p = 8) () =
+  make ~name:"gemm-ws (compute-centric)"
+    ~tiles:[ ("k", p); ("j", p) ]
+    ~order:[ outer "k"; outer "j"; full "i" ]
+    ~parallel:[ inner "k"; inner "j" ]
+    ()
+
+(* NVDLA-style conv: channels parallel, pixels sequential. *)
+let conv_channel_parallel ?(p = 8) () =
+  make ~name:"conv-kc (compute-centric)"
+    ~tiles:[ ("k", p); ("c", p) ]
+    ~order:[ full "ry"; full "rx"; outer "k"; outer "c"; full "oy"; full "ox" ]
+    ~parallel:[ inner "k"; inner "c" ]
+    ()
+
+let to_string t =
+  let loop_str lp =
+    match lp.level with
+    | Full -> lp.dim
+    | Outer -> Printf.sprintf "%s/%d" lp.dim (tile_of t lp.dim)
+    | Inner -> Printf.sprintf "%s%%%d" lp.dim (tile_of t lp.dim)
+  in
+  Printf.sprintf "%s: for %s parallel [%s]" t.sname
+    (String.concat " for " (List.map loop_str t.order))
+    (String.concat ", " (List.map loop_str t.parallel))

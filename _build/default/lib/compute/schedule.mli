@@ -1,0 +1,44 @@
+(** The compute-centric notation (Timeloop / Interstellar, paper
+    Section II-C): loop tiling, reordering and parallelization
+    directives, compiled into relation-centric dataflows.
+
+    Demonstrates the Table I containment: every compute-centric schedule
+    is a relation-centric dataflow (and is data-centric expressible); the
+    converse fails for skewed dataflows. *)
+
+type level = Full | Outer | Inner
+
+type loop = { dim : string; level : level }
+
+type t = {
+  sname : string;
+  tiles : (string * int) list;
+  order : loop list;  (** sequential loops, outermost first *)
+  parallel : loop list;  (** at most two loops unrolled onto the array *)
+}
+
+exception Ill_formed of string
+
+val full : string -> loop
+val outer : string -> loop
+val inner : string -> loop
+
+val make :
+  ?name:string ->
+  ?tiles:(string * int) list ->
+  order:loop list ->
+  parallel:loop list ->
+  unit ->
+  t
+
+val to_dataflow : Tenet_ir.Tensor_op.t -> t -> Tenet_dataflow.Dataflow.t
+(** Compile: parallel loops become space stamps, the sequential order
+    becomes time stamps.  Raises {!Ill_formed} if some dim is not covered
+    exactly once (as one Full loop or an Outer/Inner pair), a level
+    refers to an untiled dim, or more than two loops are parallel. *)
+
+val gemm_output_stationary : ?p:int -> unit -> t
+val gemm_weight_stationary : ?p:int -> unit -> t
+val conv_channel_parallel : ?p:int -> unit -> t
+
+val to_string : t -> string

@@ -1,0 +1,65 @@
+(** TENET: relation-centric modeling of tensor dataflows on spatial
+    architectures (Lu et al., ISCA 2021), reimplemented in OCaml.
+
+    This umbrella module re-exports the whole stack and provides the
+    one-call entry points a downstream user needs.  The layering is:
+
+    - {!Isl}: integer sets and relations with exact point counting;
+    - {!Ir}: tensor-operation IR, kernel builders and the C frontend;
+    - {!Arch}: PE arrays, interconnects, scratchpad and energy spec;
+    - {!Dataflow}: the relation-centric notation (dataflow Θ, data
+      assignment, interconnection, spacetime maps) and Table III's zoo;
+    - {!Model}: the performance model (volumes, latency, bandwidth,
+      utilization, energy) with relational, concrete and scaled engines;
+    - {!Maestro}: the data-centric notation baseline and its
+      polynomial analytical model;
+    - {!Sim}: a cycle-level simulator used as executable ground truth;
+    - {!Dse}: design-space generation and search;
+    - {!Workloads}: real-network layer tables (AlexNet, VGG16,
+      GoogLeNet, MobileNet, ALS, Transformer). *)
+
+module Util = Tenet_util
+module Isl = Tenet_isl
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Dataflow = Tenet_dataflow
+module Model = Tenet_model
+module Maestro = Tenet_maestro
+module Sim = Tenet_sim
+module Compute = Tenet_compute
+module Dse = Tenet_dse
+module Workloads = Tenet_workloads
+
+(** Analyze one dataflow on one architecture: the TENET flow of Figure 2.
+    Raises [Model.Concrete.Invalid_dataflow] if the dataflow escapes the
+    PE array or maps two instances to one spacetime-stamp. *)
+let analyze ?(adjacency = `Inner_step) ~(arch : Arch.Spec.t)
+    ~(op : Ir.Tensor_op.t) ~(dataflow : Dataflow.Dataflow.t) () :
+    Model.Metrics.t =
+  Model.Concrete.analyze ~adjacency arch op dataflow
+
+(** Like {!analyze} but extrapolating the given sequential dims
+    multilinearly, for layers too large to enumerate (see
+    {!Model.Scaled}). *)
+let analyze_scaled ?(adjacency = `Inner_step) ~(arch : Arch.Spec.t)
+    ~(op : Ir.Tensor_op.t) ~(dataflow : Dataflow.Dataflow.t)
+    ~(scale_dims : string list) () : Model.Metrics.t =
+  Model.Scaled.analyze ~adjacency arch op dataflow ~scale_dims
+
+(** Parse a C loop nest (see {!Ir.Cfront}) and analyze it. *)
+let analyze_c_source ?(adjacency = `Inner_step) ~(arch : Arch.Spec.t)
+    ~(source : string) ~(dataflow : Dataflow.Dataflow.t) () : Model.Metrics.t
+    =
+  analyze ~adjacency ~arch ~op:(Ir.Cfront.parse source) ~dataflow ()
+
+(** Render a full human-readable report. *)
+let report (m : Model.Metrics.t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Model.Metrics.to_string m);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun tm ->
+      Buffer.add_string buf
+        (Format.asprintf "  %a@." Model.Metrics.pp_tensor_row tm))
+    m.Model.Metrics.per_tensor;
+  Buffer.contents buf

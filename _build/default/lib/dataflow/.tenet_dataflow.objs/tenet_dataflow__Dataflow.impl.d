@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.ml: Array List Printf String Tenet_arch Tenet_ir Tenet_isl

@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.mli: Tenet_arch Tenet_ir Tenet_isl

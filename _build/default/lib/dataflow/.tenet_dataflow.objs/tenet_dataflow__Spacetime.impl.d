@@ -1,0 +1,1 @@
+lib/dataflow/spacetime.ml: Array Dataflow List Tenet_arch Tenet_ir Tenet_isl

@@ -1,0 +1,1 @@
+lib/dataflow/spacetime.mli: Dataflow Tenet_arch Tenet_ir Tenet_isl

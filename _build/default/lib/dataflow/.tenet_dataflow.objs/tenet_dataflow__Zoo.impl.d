@@ -1,0 +1,1 @@
+lib/dataflow/zoo.ml: Dataflow Tenet_isl

@@ -1,0 +1,1 @@
+lib/dataflow/zoo.mli: Dataflow

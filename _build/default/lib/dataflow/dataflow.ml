@@ -1,0 +1,118 @@
+(* The dataflow relation Θ (Definition 1): a quasi-affine assignment of
+   each loop instance to a spacetime-stamp (PE[p] | T[t]).
+
+   Space-stamp and time-stamp coordinates are quasi-affine expressions of
+   the loop iterators; the spacetime tuple is flattened into one range
+   space [ST[p..., t...]] for relation algebra. *)
+
+module Isl = Tenet_isl
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+
+type t = {
+  name : string;
+  space : Isl.Aff.t list; (* PE coordinates *)
+  time : Isl.Aff.t list; (* execution sequence, lexicographic *)
+}
+
+let make ~name ~space ~time = { name; space; time }
+
+let n_space t = List.length t.space
+let n_time t = List.length t.time
+
+let space_dim_names t = List.init (n_space t) (fun i -> Printf.sprintf "p%d" i)
+let time_dim_names t = List.init (n_time t) (fun i -> Printf.sprintf "t%d" i)
+
+let st_space t : Isl.Space.t =
+  Isl.Space.make "ST" (space_dim_names t @ time_dim_names t)
+
+(* Θ = { S[n] -> ST[p..., t...] } restricted to the iteration domain. *)
+let theta (op : Ir.Tensor_op.t) (df : t) : Isl.Map.t =
+  let used =
+    List.concat_map Isl.Aff.free_vars (df.space @ df.time)
+  in
+  let known = Ir.Tensor_op.iter_names op in
+  List.iter
+    (fun v ->
+      if not (List.mem v known) then
+        invalid_arg
+          (Printf.sprintf "Dataflow.theta: %s references unknown iterator %s"
+             df.name v))
+    used;
+  Isl.Map.intersect_domain
+    (Isl.Map.of_exprs (Ir.Tensor_op.space op) (st_space df)
+       (df.space @ df.time))
+    (Ir.Tensor_op.domain op)
+
+(* Data assignment A_{D,F} = Θ⁻¹ . A_{S,F} (Definition 2). *)
+let data_assignment (op : Ir.Tensor_op.t) (df : t) (tensor : string) :
+    Isl.Map.t =
+  Isl.Map.apply_range (Isl.Map.reverse (theta op df))
+    (Ir.Tensor_op.access_map op tensor)
+
+(* Per-dimension inclusive intervals of the time stamps over the iteration
+   box (used to build lexicographic successor relations). *)
+let time_bounds (op : Ir.Tensor_op.t) (df : t) : (int * int) list =
+  let env v = Ir.Tensor_op.iter_bounds op v in
+  List.map (Isl.Aff.interval env) df.time
+
+let space_bounds (op : Ir.Tensor_op.t) (df : t) : (int * int) list =
+  let env v = Ir.Tensor_op.iter_bounds op v in
+  List.map (Isl.Aff.interval env) df.space
+
+(* ------------------------------------------------------------------ *)
+(* Validation.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type violation =
+  | Out_of_array of string (* a space stamp escapes the PE array *)
+  | Pe_conflict of string (* two instances share a spacetime-stamp *)
+  | Rank_mismatch of string
+
+let violation_to_string = function
+  | Out_of_array s | Pe_conflict s | Rank_mismatch s -> s
+
+(* A dataflow is valid on an architecture iff (1) the space-stamp rank
+   matches the PE array rank, (2) every instance lands inside the array,
+   and (3) no two instances share a spacetime-stamp (each PE has one MAC).
+
+   The bounds check uses interval analysis (exact for box domains); the
+   conflict check compares card(range Θ) against card(D_S). *)
+let validate (op : Ir.Tensor_op.t) (df : t) (pe : Arch.Pe_array.t) :
+    (unit, violation) result =
+  if n_space df <> Arch.Pe_array.rank pe then
+    Error
+      (Rank_mismatch
+         (Printf.sprintf "%s: space-stamp rank %d vs PE array rank %d" df.name
+            (n_space df) (Arch.Pe_array.rank pe)))
+  else begin
+    let dims = Arch.Pe_array.dims pe in
+    let bad = ref None in
+    List.iteri
+      (fun i (lo, hi) ->
+        if !bad = None && (lo < 0 || hi >= dims.(i)) then
+          bad :=
+            Some
+              (Printf.sprintf
+                 "%s: space dim %d spans [%d, %d] outside [0, %d)" df.name i
+                 lo hi dims.(i)))
+      (space_bounds op df);
+    match !bad with
+    | Some msg -> Error (Out_of_array msg)
+    | None ->
+        let th = theta op df in
+        let pairs = Isl.Map.card th in
+        let stamps = Isl.Set.card (Isl.Map.range th) in
+        if stamps <> pairs then
+          Error
+            (Pe_conflict
+               (Printf.sprintf
+                  "%s: %d instances map to %d spacetime-stamps" df.name pairs
+                  stamps))
+        else Ok ()
+  end
+
+let to_string df =
+  let s = String.concat ", " (List.map Isl.Aff.to_string df.space) in
+  let t = String.concat ", " (List.map Isl.Aff.to_string df.time) in
+  Printf.sprintf "%s: PE[%s] | T[%s]" df.name s t

@@ -1,0 +1,50 @@
+(** The dataflow relation Θ (Definition 1 of the paper): a quasi-affine
+    assignment of each loop instance to a spacetime-stamp
+    [(PE[p] | T[t])]. *)
+
+module Isl = Tenet_isl
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+
+type t = {
+  name : string;
+  space : Isl.Aff.t list;  (** PE coordinates *)
+  time : Isl.Aff.t list;  (** execution order, compared lexicographically *)
+}
+
+val make : name:string -> space:Isl.Aff.t list -> time:Isl.Aff.t list -> t
+
+val n_space : t -> int
+val n_time : t -> int
+
+val st_space : t -> Isl.Space.t
+(** The flattened spacetime space [ST[p0.., t0..]]. *)
+
+val theta : Ir.Tensor_op.t -> t -> Isl.Map.t
+(** [Θ = { S[n] -> ST[p, t] }] restricted to the iteration domain.
+    Raises [Invalid_argument] if a stamp references an unknown
+    iterator. *)
+
+val data_assignment : Ir.Tensor_op.t -> t -> string -> Isl.Map.t
+(** [A_{D,F} = Θ⁻¹ . A_{S,F}] (Definition 2). *)
+
+val time_bounds : Ir.Tensor_op.t -> t -> (int * int) list
+(** Inclusive per-dimension intervals of the time stamps over the
+    iteration box (interval analysis; exact for box domains). *)
+
+val space_bounds : Ir.Tensor_op.t -> t -> (int * int) list
+
+type violation =
+  | Out_of_array of string
+  | Pe_conflict of string
+  | Rank_mismatch of string
+
+val violation_to_string : violation -> string
+
+val validate :
+  Ir.Tensor_op.t -> t -> Arch.Pe_array.t -> (unit, violation) result
+(** A dataflow is valid iff the space-stamp rank matches the array, every
+    instance lands inside it, and no two instances share a
+    spacetime-stamp (one MAC per PE per cycle). *)
+
+val to_string : t -> string

@@ -1,0 +1,182 @@
+(* Spacetime-stamp map relations M_{D,D'} (Definition 4): adjacency between
+   spacetime-stamps, combining a PE-to-PE relation (space part) with a
+   time-step relation (time part).
+
+   Two time-adjacency semantics are provided:
+   - [`Inner_step]: all time dims equal except the innermost, which
+     advances by the interconnect interval.  This is the conservative
+     reading of "time distance within 1" and never crosses a tile
+     boundary.
+   - [`Lex_step]: the lexicographic successor at distance [interval],
+     using per-dimension bounds to model inner-dimension wrap-around, so
+     reuse chains survive tile/loop boundaries (needed e.g. for the
+     row-stationary output-reuse analysis of Section VI-E). *)
+
+module Isl = Tenet_isl
+module Arch = Tenet_arch
+
+type adjacency = [ `Inner_step | `Lex_step ]
+
+type channel = {
+  cname : string;
+  kind : [ `Temporal | `Spatial ];
+  m : Isl.Map.t; (* ST -> ST' *)
+}
+
+(* --- time-step relations over (t..., t'...) with nvis = 2m --- *)
+
+let time_identity m : Isl.Bset.t =
+  let b = ref (Isl.Bset.universe (2 * m)) in
+  for i = 0 to m - 1 do
+    let a = Array.make (2 * m) 0 in
+    a.(i) <- 1;
+    a.(m + i) <- -1;
+    b := Isl.Bset.add_cons !b [ Isl.Bset.con_eq a 0 ]
+  done;
+  !b
+
+let time_inner_step ~m ~dt : Isl.Bset.t list =
+  if dt = 0 then [ time_identity m ]
+  else if m = 0 then [] (* no time dims: no temporal adjacency *)
+  else begin
+    let b = ref (Isl.Bset.universe (2 * m)) in
+    for i = 0 to m - 2 do
+      let a = Array.make (2 * m) 0 in
+      a.(i) <- 1;
+      a.(m + i) <- -1;
+      b := Isl.Bset.add_cons !b [ Isl.Bset.con_eq a 0 ]
+    done;
+    let a = Array.make (2 * m) 0 in
+    a.(m - 1) <- 1;
+    a.(2 * m - 1) <- -1;
+    b := Isl.Bset.add_cons !b [ Isl.Bset.con_eq a dt ];
+    [ !b ]
+  end
+
+(* Lexicographic successor: one disjunct per incrementing position [j];
+   dims after [j] wrap from their max to their min. *)
+let time_lex_step ~bounds ~dt : Isl.Bset.t list =
+  let m = List.length bounds in
+  if dt = 0 then [ time_identity m ]
+  else if m = 0 then []
+  else begin
+    let bounds = Array.of_list bounds in
+    let piece j =
+      let b = ref (Isl.Bset.universe (2 * m)) in
+      for i = 0 to j - 1 do
+        let a = Array.make (2 * m) 0 in
+        a.(i) <- 1;
+        a.(m + i) <- -1;
+        b := Isl.Bset.add_cons !b [ Isl.Bset.con_eq a 0 ]
+      done;
+      let a = Array.make (2 * m) 0 in
+      a.(j) <- 1;
+      a.(m + j) <- -1;
+      b := Isl.Bset.add_cons !b [ Isl.Bset.con_eq a dt ];
+      for i = j + 1 to m - 1 do
+        let lo, hi = bounds.(i) in
+        b := Isl.Bset.fix !b ~dim:i hi;
+        b := Isl.Bset.fix !b ~dim:(m + i) lo
+      done;
+      !b
+    in
+    List.init m piece
+  end
+
+(* --- lifting (PE rel) x (time rel) into ST -> ST' --- *)
+
+let lift ~(df : Dataflow.t) (pe_rel : Isl.Bset.t list)
+    (time_rel : Isl.Bset.t list) : Isl.Map.t =
+  let r = Dataflow.n_space df and m = Dataflow.n_time df in
+  let dom = Dataflow.st_space df in
+  let ran =
+    Isl.Space.rename_dims dom
+      (List.map (fun n -> n ^ "'") dom.Isl.Space.dims)
+  in
+  let perm_vis =
+    (* new order [p, t, p', t'] built from product order [p, p', t, t'] *)
+    Array.init
+      (2 * (r + m))
+      (fun i ->
+        if i < r then i (* p *)
+        else if i < r + m then (2 * r) + (i - r) (* t *)
+        else if i < (2 * r) + m then r + (i - (r + m)) (* p' *)
+        else (2 * r) + m + (i - ((2 * r) + m)) (* t' *))
+  in
+  let ds =
+    List.concat_map
+      (fun pb ->
+        List.map
+          (fun tb -> Isl.Bset.permute_vis ~perm_vis (Isl.Bset.product pb tb))
+          time_rel)
+      pe_rel
+  in
+  Isl.Map.of_bsets dom ran ds
+
+let time_step ~(adjacency : adjacency) ~bounds ~dt =
+  match adjacency with
+  | `Inner_step -> time_inner_step ~m:(List.length bounds) ~dt
+  | `Lex_step -> time_lex_step ~bounds ~dt
+
+(* For interval-0 (same-cycle multicast) channels the raw interconnect
+   relation is symmetric, which would let every PE in a wire group claim
+   its datum as "reused" and nobody fetch it.  Designate the
+   lexicographically smallest PE holding the datum as the fetcher by
+   keeping only lex-increasing pairs. *)
+let lex_lt_pairs (rel : Isl.Map.t) : Isl.Map.t =
+  let r = Isl.Map.n_in rel in
+  let dom = Isl.Map.dom rel and ran = Isl.Map.ran rel in
+  let piece j =
+    let b = ref (Isl.Bset.universe (2 * r)) in
+    for i = 0 to j - 1 do
+      let a = Array.make (2 * r) 0 in
+      a.(i) <- 1;
+      a.(r + i) <- -1;
+      b := Isl.Bset.add_cons !b [ Isl.Bset.con_eq a 0 ]
+    done;
+    let a = Array.make (2 * r) 0 in
+    a.(j) <- -1;
+    a.(r + j) <- 1;
+    b := Isl.Bset.add_cons !b [ Isl.Bset.con_ge a (-1) ];
+    !b
+  in
+  Isl.Map.intersect rel (Isl.Map.of_bsets dom ran (List.init r piece))
+
+(* The PE-to-PE relation actually used for spatial reuse: asymmetric for
+   interval-0 topologies, raw otherwise. *)
+let reuse_pe_relation (pe : Arch.Pe_array.t) (topology : Arch.Interconnect.t)
+    : Isl.Map.t =
+  let rel = Arch.Interconnect.relation topology pe in
+  if Arch.Interconnect.interval topology = 0 then lex_lt_pairs rel else rel
+
+(* The temporal channel: same PE, next time-stamp (register reuse). *)
+let temporal ?(adjacency = `Inner_step) (op : Tenet_ir.Tensor_op.t)
+    (df : Dataflow.t) (pe : Arch.Pe_array.t) : channel =
+  let bounds = Dataflow.time_bounds op df in
+  let pe_rel = Isl.Map.disjuncts (Arch.Interconnect.identity pe) in
+  {
+    cname = "temporal";
+    kind = `Temporal;
+    m = lift ~df pe_rel (time_step ~adjacency ~bounds ~dt:1);
+  }
+
+(* The spatial channel of a topology: interconnected (distinct) PEs at the
+   topology's transfer interval. *)
+let spatial ?(adjacency = `Inner_step) (op : Tenet_ir.Tensor_op.t)
+    (df : Dataflow.t) (pe : Arch.Pe_array.t)
+    (topology : Arch.Interconnect.t) : channel =
+  let bounds = Dataflow.time_bounds op df in
+  let pe_rel = Isl.Map.disjuncts (reuse_pe_relation pe topology) in
+  let dt = Arch.Interconnect.interval topology in
+  {
+    cname = Arch.Interconnect.name topology;
+    kind = `Spatial;
+    m = lift ~df pe_rel (time_step ~adjacency ~bounds ~dt);
+  }
+
+let channels ?(adjacency = `Inner_step) (spec : Arch.Spec.t)
+    (op : Tenet_ir.Tensor_op.t) (df : Dataflow.t) : channel list =
+  [
+    temporal ~adjacency op df spec.Arch.Spec.pe;
+    spatial ~adjacency op df spec.Arch.Spec.pe spec.Arch.Spec.topology;
+  ]

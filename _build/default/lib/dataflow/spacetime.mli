@@ -1,0 +1,62 @@
+(** Spacetime-stamp map relations [M_{D,D'}] (Definition 4): adjacency of
+    spacetime-stamps, combining a PE-to-PE relation with a time-step
+    relation.  Data reuse is counted along these channels
+    (Section V-A). *)
+
+module Isl = Tenet_isl
+module Arch = Tenet_arch
+
+type adjacency = [ `Inner_step | `Lex_step ]
+(** How multi-dimensional time advances:
+    [`Inner_step] — outer time dims equal, innermost advances by the
+    interval (never crosses a tile boundary);
+    [`Lex_step] — the lexicographic successor with wrap-aware
+    inner-dimension resets, so reuse chains survive loop boundaries. *)
+
+type channel = {
+  cname : string;
+  kind : [ `Temporal | `Spatial ];
+  m : Isl.Map.t;  (** ST -> ST' *)
+}
+
+val temporal :
+  ?adjacency:adjacency ->
+  Tenet_ir.Tensor_op.t ->
+  Dataflow.t ->
+  Arch.Pe_array.t ->
+  channel
+(** Same PE, next time-stamp: register reuse. *)
+
+val spatial :
+  ?adjacency:adjacency ->
+  Tenet_ir.Tensor_op.t ->
+  Dataflow.t ->
+  Arch.Pe_array.t ->
+  Arch.Interconnect.t ->
+  channel
+(** Interconnected distinct PEs at the topology's transfer interval. *)
+
+val channels :
+  ?adjacency:adjacency ->
+  Arch.Spec.t ->
+  Tenet_ir.Tensor_op.t ->
+  Dataflow.t ->
+  channel list
+(** The temporal channel plus the spec's spatial channel. *)
+
+val lex_lt_pairs : Isl.Map.t -> Isl.Map.t
+(** Keep only lex-increasing PE pairs: for interval-0 (same-cycle) wires
+    the lexicographically least PE holding a datum is the fetcher, so
+    reuse attribution is acyclic. *)
+
+val reuse_pe_relation :
+  Arch.Pe_array.t -> Arch.Interconnect.t -> Isl.Map.t
+(** The PE relation actually used for spatial reuse: lex-filtered for
+    interval-0 topologies, raw otherwise. *)
+
+(**/**)
+
+(* exposed for tests *)
+val time_identity : int -> Isl.Bset.t
+val time_inner_step : m:int -> dt:int -> Isl.Bset.t list
+val time_lex_step : bounds:(int * int) list -> dt:int -> Isl.Bset.t list

@@ -1,0 +1,1 @@
+lib/dse/dse.ml: List Printf String Tenet_arch Tenet_dataflow Tenet_ir Tenet_isl Tenet_maestro Tenet_model Tenet_util

@@ -1,0 +1,1 @@
+lib/dse/dse.mli: Tenet_arch Tenet_dataflow Tenet_ir Tenet_model

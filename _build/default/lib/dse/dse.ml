@@ -1,0 +1,178 @@
+(* Design-space exploration (paper Sections IV-A and VI-B).
+
+   The candidate generator follows the paper's pruning: pick the loop dims
+   distributed over the PE array (the data-movement choice), tile them by
+   the array width, order the remaining dims in time, and optionally skew
+   the innermost time dimension by the space dims (the boundary data
+   assignment choice).  Candidates are evaluated with the concrete engine
+   and ranked. *)
+
+module Aff = Tenet_isl.Aff
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Df = Tenet_dataflow
+module M = Tenet_model
+
+(* ------------------------------------------------------------------ *)
+(* Design-space sizes (Section IV-A).                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Relation-centric: any n x n 0/1 transformation matrix. *)
+let tenet_design_space_size ~n_loops =
+  Tenet_util.Int_math.pow 2 (n_loops * n_loops)
+
+(* Data-centric: n! orders, exactly two SpatialMaps. *)
+let maestro_design_space_size ~n_loops =
+  Tenet_maestro.Notation.design_space_size ~n_loops ~n_spatial:2
+
+(* ------------------------------------------------------------------ *)
+(* Candidate generation.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A dataflow is expressible in the data-centric notation iff no stamp
+   coordinate needs an affine combination: every time coordinate maps a
+   single loop dim and every space coordinate at most two (the Cluster
+   idiom).  This classifies Table III exactly. *)
+let data_centric_expressible (df : Df.Dataflow.t) : bool =
+  let nvars e =
+    List.length (List.sort_uniq String.compare (Aff.free_vars e))
+  in
+  List.for_all (fun e -> nvars e <= 2) df.Df.Dataflow.space
+  && List.for_all (fun e -> nvars e <= 1) df.Df.Dataflow.time
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> not (String.equal x y)) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let v = Aff.var
+
+(* 2D candidates: space = (da mod p, db mod p); time = outer dims, the two
+   tile counters, then the innermost dim [dc], optionally skewed by the
+   space stamps.  [permute_outer] additionally enumerates the orderings of
+   the outer sequential dims (larger space, as in the Section VI-B count). *)
+let candidates_2d ?(permute_outer = false) (op : Ir.Tensor_op.t) ~p :
+    Df.Dataflow.t list =
+  let dims = Ir.Tensor_op.iter_names op in
+  let pairs =
+    List.concat_map
+      (fun da ->
+        List.filter_map
+          (fun db -> if String.equal da db then None else Some (da, db))
+          dims)
+      dims
+  in
+  List.concat_map
+    (fun (da, db) ->
+      let others =
+        List.filter (fun d -> not (String.equal d da || String.equal d db)) dims
+      in
+      List.concat_map
+        (fun dc ->
+          let outer = List.filter (fun d -> not (String.equal d dc)) others in
+          let outer_orders =
+            if permute_outer then permutations outer else [ outer ]
+          in
+          List.concat_map
+            (fun outer ->
+              let base_time =
+                List.map v outer
+                @ [ Aff.Fdiv (v da, p); Aff.Fdiv (v db, p) ]
+              in
+              let name skew =
+                Printf.sprintf "(%s%s-P | %s%s-T%s)" da db
+                  (if permute_outer then "," ^ String.concat "" outer else "")
+                  dc
+                  (if skew then "+skew" else "")
+              in
+              [
+                Df.Dataflow.make ~name:(name false)
+                  ~space:[ Aff.Mod (v da, p); Aff.Mod (v db, p) ]
+                  ~time:(base_time @ [ v dc ]);
+                Df.Dataflow.make ~name:(name true)
+                  ~space:[ Aff.Mod (v da, p); Aff.Mod (v db, p) ]
+                  ~time:
+                    (base_time
+                    @ [
+                        Aff.Add
+                          ( Aff.Add (Aff.Mod (v da, p), Aff.Mod (v db, p)),
+                            v dc );
+                      ]);
+              ])
+            outer_orders)
+        others)
+    pairs
+
+(* 1D candidates: space = da mod p; time = outer dims + tile + innermost. *)
+let candidates_1d (op : Ir.Tensor_op.t) ~p : Df.Dataflow.t list =
+  let dims = Ir.Tensor_op.iter_names op in
+  List.concat_map
+    (fun da ->
+      let others = List.filter (fun d -> not (String.equal d da)) dims in
+      List.map
+        (fun dc ->
+          let outer = List.filter (fun d -> not (String.equal d dc)) others in
+          Df.Dataflow.make
+            ~name:(Printf.sprintf "(%s-P | %s-T)" da dc)
+            ~space:[ Aff.Mod (v da, p) ]
+            ~time:(List.map v outer @ [ Aff.Fdiv (v da, p); v dc ]))
+        others)
+    dims
+
+(* ------------------------------------------------------------------ *)
+(* Search.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type objective = Latency | Energy | Sbw
+
+let score objective (m : M.Metrics.t) =
+  match objective with
+  | Latency -> m.M.Metrics.latency
+  | Energy -> m.M.Metrics.energy
+  | Sbw -> m.M.Metrics.sbw
+
+type outcome = {
+  dataflow : Df.Dataflow.t;
+  metrics : M.Metrics.t;
+  expressible : bool; (* in the data-centric notation *)
+}
+
+(* Evaluate all candidates, silently dropping invalid ones (out-of-array
+   or conflicting dataflows), sorted best-first by [objective]. *)
+let evaluate_all ?(adjacency = `Inner_step) ~objective (spec : Arch.Spec.t)
+    (op : Ir.Tensor_op.t) (cands : Df.Dataflow.t list) : outcome list =
+  let outcomes =
+    List.filter_map
+      (fun df ->
+        match M.Concrete.analyze ~adjacency spec op df with
+        | m ->
+            Some
+              { dataflow = df; metrics = m;
+                expressible = data_centric_expressible df }
+        | exception M.Concrete.Invalid_dataflow _ -> None)
+      cands
+  in
+  List.sort
+    (fun a b -> compare (score objective a.metrics) (score objective b.metrics))
+    outcomes
+
+let best ?(adjacency = `Inner_step) ?(objective = Latency) spec op cands =
+  match evaluate_all ~adjacency ~objective spec op cands with
+  | [] -> None
+  | o :: _ -> Some o
+
+(* Best restricted to the data-centric-expressible subspace: the paper's
+   Figure 6 baseline. *)
+let best_expressible ?(adjacency = `Inner_step) ?(objective = Latency) spec op
+    cands =
+  match
+    List.filter
+      (fun o -> o.expressible)
+      (evaluate_all ~adjacency ~objective spec op cands)
+  with
+  | [] -> None
+  | o :: _ -> Some o

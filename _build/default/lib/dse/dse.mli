@@ -1,0 +1,61 @@
+(** Design-space exploration (paper Sections IV-A and VI-B). *)
+
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Df = Tenet_dataflow
+module M = Tenet_model
+
+val tenet_design_space_size : n_loops:int -> int
+(** [2^(n^2)]: one 0/1 transformation matrix per dataflow. *)
+
+val maestro_design_space_size : n_loops:int -> int
+(** [n! * C(n, 2)]: primitive orders with exactly two SpatialMaps. *)
+
+val data_centric_expressible : Df.Dataflow.t -> bool
+(** No affine combinations: every time coordinate maps a single loop dim
+    and every space coordinate at most two (the Cluster idiom).  This
+    classifies Table III exactly. *)
+
+val candidates_2d :
+  ?permute_outer:bool -> Ir.Tensor_op.t -> p:int -> Df.Dataflow.t list
+(** 2D dataflows: every ordered dim pair tiled by [p] on the array, each
+    remaining dim as the innermost time dim, with and without skewing;
+    [permute_outer] additionally enumerates outer loop orders. *)
+
+val candidates_1d : Ir.Tensor_op.t -> p:int -> Df.Dataflow.t list
+
+type objective = Latency | Energy | Sbw
+
+type outcome = {
+  dataflow : Df.Dataflow.t;
+  metrics : M.Metrics.t;
+  expressible : bool;
+}
+
+val evaluate_all :
+  ?adjacency:[ `Inner_step | `Lex_step ] ->
+  objective:objective ->
+  Arch.Spec.t ->
+  Ir.Tensor_op.t ->
+  Df.Dataflow.t list ->
+  outcome list
+(** Evaluate every candidate with the concrete engine, dropping invalid
+    dataflows, sorted best-first. *)
+
+val best :
+  ?adjacency:[ `Inner_step | `Lex_step ] ->
+  ?objective:objective ->
+  Arch.Spec.t ->
+  Ir.Tensor_op.t ->
+  Df.Dataflow.t list ->
+  outcome option
+
+val best_expressible :
+  ?adjacency:[ `Inner_step | `Lex_step ] ->
+  ?objective:objective ->
+  Arch.Spec.t ->
+  Ir.Tensor_op.t ->
+  Df.Dataflow.t list ->
+  outcome option
+(** Best within the data-centric-expressible subspace (the Figure 6
+    baseline). *)

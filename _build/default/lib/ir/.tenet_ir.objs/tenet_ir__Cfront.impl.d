@@ -1,0 +1,1 @@
+lib/ir/cfront.ml: List Printf String Tenet_isl Tensor_op

@@ -1,0 +1,1 @@
+lib/ir/cfront.mli: Tensor_op

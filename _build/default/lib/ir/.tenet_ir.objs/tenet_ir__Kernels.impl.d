@@ -1,0 +1,1 @@
+lib/ir/kernels.ml: Tenet_isl Tensor_op

@@ -1,0 +1,1 @@
+lib/ir/tensor_op.ml: List Printf String Tenet_isl

@@ -1,0 +1,1 @@
+lib/ir/tensor_op.mli: Tenet_isl

@@ -1,0 +1,17 @@
+(** C frontend: parse the perfectly-nested loop form TENET takes as input
+    (Figure 2 of the paper).
+
+    {v
+    for (i = 0; i < 64; i++)
+      for (j = 0; j < 64; j++)
+        for (k = 0; k < 64; k++)
+          Y[i][j] += A[i][k] * B[k][j];
+    v}
+
+    Supported: literal bounds, [<]/[<=] tests, unit-stride increments
+    ([i++], [i += 1], [i = i + 1]), one statement with [=] or [+=], affine
+    subscripts.  Comments ([// ...]) are skipped. *)
+
+exception Syntax_error of string
+
+val parse : string -> Tensor_op.t

@@ -1,0 +1,133 @@
+(* The five tensor kernels evaluated in the paper (Section VI-A):
+
+     GEMM       Y(i,j)    = A(i,k) B(k,j)
+     2D-CONV    Y(k,ox,oy)= A(c, ox+rx, oy+ry) B(k,c,rx,ry)
+     MTTKRP     Y(i,j)    = A(i,k,l) B(k,j) C(l,j)
+     MMc        Y(i,j)    = A(i,k) B(k,l) C(l,j)
+     Jacobi-2D  Y(i,j)    = (A(i,j)+A(i-1,j)+A(i,j-1)+A(i+1,j)+A(i,j+1))/5
+
+   plus the 1D-CONV of Figure 1 used to motivate the notation. *)
+
+module Aff = Tenet_isl.Aff
+
+let read tensor subscripts =
+  { Tensor_op.tensor; subscripts; direction = Tensor_op.Read }
+
+let write tensor subscripts =
+  { Tensor_op.tensor; subscripts; direction = Tensor_op.Write }
+
+let i = Aff.var "i"
+and j = Aff.var "j"
+and k = Aff.var "k"
+and l = Aff.var "l"
+
+let gemm ~ni ~nj ~nk =
+  Tensor_op.make
+    ~iters:[ ("i", 0, ni - 1); ("j", 0, nj - 1); ("k", 0, nk - 1) ]
+    ~accesses:
+      [ write "Y" [ i; j ]; read "A" [ i; k ]; read "B" [ k; j ] ]
+    ()
+
+let conv1d ~no ~nr =
+  Tensor_op.make
+    ~iters:[ ("i", 0, no - 1); ("j", 0, nr - 1) ]
+    ~accesses:[ write "Y" [ i ]; read "A" [ Aff.Add (i, j) ]; read "B" [ j ] ]
+    ()
+
+(* Six-deep conv loop nest in the paper's iteration order
+   [k, c, ox, oy, rx, ry]: K output channels, C input channels, OX x OY
+   output pixels, RX x RY filter taps. *)
+let conv2d ~nk ~nc ~nox ~noy ~nrx ~nry =
+  let kk = Aff.var "k"
+  and c = Aff.var "c"
+  and ox = Aff.var "ox"
+  and oy = Aff.var "oy"
+  and rx = Aff.var "rx"
+  and ry = Aff.var "ry" in
+  Tensor_op.make
+    ~iters:
+      [
+        ("k", 0, nk - 1);
+        ("c", 0, nc - 1);
+        ("ox", 0, nox - 1);
+        ("oy", 0, noy - 1);
+        ("rx", 0, nrx - 1);
+        ("ry", 0, nry - 1);
+      ]
+    ~accesses:
+      [
+        write "Y" [ kk; ox; oy ];
+        read "A" [ c; Aff.Add (ox, rx); Aff.Add (oy, ry) ];
+        read "B" [ kk; c; rx; ry ];
+      ]
+    ()
+
+(* Depthwise convolution (MobileNet): one filter per channel, no
+   accumulation over input channels. *)
+let dw_conv2d ~nc ~nox ~noy ~nrx ~nry =
+  let c = Aff.var "c"
+  and ox = Aff.var "ox"
+  and oy = Aff.var "oy"
+  and rx = Aff.var "rx"
+  and ry = Aff.var "ry" in
+  Tensor_op.make
+    ~iters:
+      [
+        ("c", 0, nc - 1);
+        ("ox", 0, nox - 1);
+        ("oy", 0, noy - 1);
+        ("rx", 0, nrx - 1);
+        ("ry", 0, nry - 1);
+      ]
+    ~accesses:
+      [
+        write "Y" [ c; ox; oy ];
+        read "A" [ c; Aff.Add (ox, rx); Aff.Add (oy, ry) ];
+        read "B" [ c; rx; ry ];
+      ]
+    ()
+
+(* Pointwise (1x1) convolution. *)
+let pw_conv2d ~nk ~nc ~nox ~noy = conv2d ~nk ~nc ~nox ~noy ~nrx:1 ~nry:1
+
+let mttkrp ~ni ~nj ~nk ~nl =
+  Tensor_op.make
+    ~iters:
+      [ ("i", 0, ni - 1); ("j", 0, nj - 1); ("k", 0, nk - 1); ("l", 0, nl - 1) ]
+    ~accesses:
+      [
+        write "Y" [ i; j ];
+        read "A" [ i; k; l ];
+        read "B" [ k; j ];
+        read "C" [ l; j ];
+      ]
+    ()
+
+let mmc ~ni ~nj ~nk ~nl =
+  Tensor_op.make
+    ~iters:
+      [ ("i", 0, ni - 1); ("j", 0, nj - 1); ("k", 0, nk - 1); ("l", 0, nl - 1) ]
+    ~accesses:
+      [
+        write "Y" [ i; j ];
+        read "A" [ i; k ];
+        read "B" [ k; l ];
+        read "C" [ l; j ];
+      ]
+    ()
+
+(* Jacobi-2D over an n x n grid; the iteration domain excludes the halo so
+   every access stays in bounds. *)
+let jacobi2d ~n =
+  Tensor_op.make
+    ~iters:[ ("i", 1, n - 2); ("j", 1, n - 2) ]
+    ~accesses:
+      [
+        write "Y" [ i; j ];
+        read "A" [ i; j ];
+        read "A" [ Aff.Sub (i, Aff.Int 1); j ];
+        read "A" [ i; Aff.Sub (j, Aff.Int 1) ];
+        read "A" [ Aff.Add (i, Aff.Int 1); j ];
+        read "A" [ i; Aff.Add (j, Aff.Int 1) ];
+      ]
+    ()

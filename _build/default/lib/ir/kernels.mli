@@ -1,0 +1,32 @@
+(** The tensor kernels evaluated in the paper (Section VI-A):
+
+    {v
+    GEMM       Y(i,j)     = A(i,k) B(k,j)
+    2D-CONV    Y(k,ox,oy) = A(c, ox+rx, oy+ry) B(k,c,rx,ry)
+    MTTKRP     Y(i,j)     = A(i,k,l) B(k,j) C(l,j)
+    MMc        Y(i,j)     = A(i,k) B(k,l) C(l,j)
+    Jacobi-2D  Y(i,j)     = (A(i,j)+A(i-1,j)+A(i,j-1)+A(i+1,j)+A(i,j+1))/5
+    v}
+
+    plus the Figure 1 1D-CONV and MobileNet's depthwise / pointwise
+    convolution variants. *)
+
+val gemm : ni:int -> nj:int -> nk:int -> Tensor_op.t
+val conv1d : no:int -> nr:int -> Tensor_op.t
+
+val conv2d :
+  nk:int -> nc:int -> nox:int -> noy:int -> nrx:int -> nry:int -> Tensor_op.t
+(** Loop order [k, c, ox, oy, rx, ry] as in the paper. *)
+
+val dw_conv2d :
+  nc:int -> nox:int -> noy:int -> nrx:int -> nry:int -> Tensor_op.t
+(** Depthwise: one filter per channel, no cross-channel accumulation. *)
+
+val pw_conv2d : nk:int -> nc:int -> nox:int -> noy:int -> Tensor_op.t
+(** Pointwise (1x1 filter). *)
+
+val mttkrp : ni:int -> nj:int -> nk:int -> nl:int -> Tensor_op.t
+val mmc : ni:int -> nj:int -> nk:int -> nl:int -> Tensor_op.t
+
+val jacobi2d : n:int -> Tensor_op.t
+(** Interior of an [n x n] grid (the halo keeps accesses in bounds). *)

@@ -1,0 +1,1 @@
+lib/isl/aff.ml: Array Bset Hashtbl List Stdlib Tenet_util

@@ -1,0 +1,1 @@
+lib/isl/aff.mli: Bset

@@ -1,0 +1,1 @@
+lib/isl/bset.ml: Array List Option Tenet_util

@@ -1,0 +1,1 @@
+lib/isl/count.ml: Array Bset Hashtbl List Option Printf Tenet_util

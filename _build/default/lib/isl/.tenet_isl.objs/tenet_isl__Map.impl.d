@@ -1,0 +1,1 @@
+lib/isl/map.ml: Aff Array Bset Count List Printer Set Space String

@@ -1,0 +1,1 @@
+lib/isl/map.mli: Aff Bset Set Space

@@ -1,0 +1,1 @@
+lib/isl/parser.ml: Aff Bset Buffer Fun List Map Printf Set Space String

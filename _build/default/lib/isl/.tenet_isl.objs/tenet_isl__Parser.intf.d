@@ -1,0 +1,1 @@
+lib/isl/parser.mli: Aff Map Set

@@ -1,0 +1,1 @@
+lib/isl/printer.ml: Array Bset Buffer List Printf Space String

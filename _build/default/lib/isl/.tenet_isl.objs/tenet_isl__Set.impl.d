@@ -1,0 +1,1 @@
+lib/isl/set.ml: Aff Array Bset Count List Printer Space

@@ -1,0 +1,1 @@
+lib/isl/set.mli: Aff Bset Space

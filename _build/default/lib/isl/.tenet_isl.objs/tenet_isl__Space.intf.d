@@ -1,0 +1,1 @@
+lib/isl/space.mli:

@@ -1,0 +1,221 @@
+(* Basic integer sets: conjunctions of (quasi-)affine constraints over a
+   block of visible dimensions followed by a block of existential dimensions.
+
+   Variable layout inside one basic set: indices [0, nvis) are the visible
+   dimensions; indices [nvis, nvis + nex) are existentials.  An existential
+   either carries a floor-division definition ([Some def], introduced when
+   lowering `mod`/`floor` from quasi-affine expressions — such variables are
+   functionally determined by earlier variables) or is free ([None],
+   introduced by projection and relation composition).
+
+   A point of the set is an assignment to the *visible* dimensions such that
+   the existentials can be completed; all counting is over visible
+   assignments (see {!Count}). *)
+
+type con = {
+  a : int array; (* coefficients, length nvars *)
+  k : int; (* constant *)
+  eq : bool; (* true: a.x + k = 0; false: a.x + k >= 0 *)
+}
+
+type def = {
+  num : int array; (* length nvars; must reference only earlier variables *)
+  dk : int;
+  den : int; (* > 0: var = floor((num.x + dk) / den) *)
+}
+
+type t = { nvis : int; defs : def option array; cons : con list }
+
+let nex t = Array.length t.defs
+let nvars t = t.nvis + nex t
+
+let universe nvis = { nvis; defs = [||]; cons = [] }
+
+let con_ge a k = { a; k; eq = false }
+let con_eq a k = { a; k; eq = true }
+
+let add_cons t cons =
+  List.iter (fun c -> assert (Array.length c.a = nvars t)) cons;
+  { t with cons = cons @ t.cons }
+
+(* Remap a constraint/def into a wider variable space via an index map. *)
+let remap_array ~nvars' ~perm a =
+  let a' = Array.make nvars' 0 in
+  Array.iteri (fun i c -> if c <> 0 then a'.(perm i) <- c) a;
+  a'
+
+let remap_con ~nvars' ~perm c = { c with a = remap_array ~nvars' ~perm c.a }
+
+let remap_def ~nvars' ~perm d =
+  { d with num = remap_array ~nvars' ~perm d.num }
+
+(* Intersection of two basic sets over the same visible dimensions. *)
+let meet a b =
+  assert (a.nvis = b.nvis);
+  let nvis = a.nvis in
+  let nexa = nex a and nexb = nex b in
+  let nvars' = nvis + nexa + nexb in
+  let perm_a i = i (* visible and a's exes keep their indices *) in
+  let perm_b i = if i < nvis then i else i + nexa in
+  let defs =
+    Array.append
+      (Array.map (Option.map (remap_def ~nvars' ~perm:perm_a)) a.defs)
+      (Array.map (Option.map (remap_def ~nvars' ~perm:perm_b)) b.defs)
+  in
+  let cons =
+    List.map (remap_con ~nvars' ~perm:perm_a) a.cons
+    @ List.map (remap_con ~nvars' ~perm:perm_b) b.cons
+  in
+  { nvis; defs; cons }
+
+(* Cartesian product: visible dims of [a] followed by visible dims of [b]. *)
+let product a b =
+  let nvis = a.nvis + b.nvis in
+  let nexa = nex a and nexb = nex b in
+  let nvars' = nvis + nexa + nexb in
+  let perm_a i = if i < a.nvis then i else a.nvis + b.nvis + (i - a.nvis) in
+  let perm_b i =
+    if i < b.nvis then a.nvis + i else nvis + nexa + (i - b.nvis)
+  in
+  let defs =
+    Array.append
+      (Array.map (Option.map (remap_def ~nvars' ~perm:perm_a)) a.defs)
+      (Array.map (Option.map (remap_def ~nvars' ~perm:perm_b)) b.defs)
+  in
+  let cons =
+    List.map (remap_con ~nvars' ~perm:perm_a) a.cons
+    @ List.map (remap_con ~nvars' ~perm:perm_b) b.cons
+  in
+  { nvis; defs; cons }
+
+(* Relation composition on flattened relations: [a] is over (x, y) with
+   [nx + ny] visible dims, [b] over (y, z) with [ny + nz]; the result is over
+   (x, z) with the shared y block turned into free existentials. *)
+let compose ~nx ~ny ~nz a b =
+  assert (a.nvis = nx + ny);
+  assert (b.nvis = ny + nz);
+  let nvis = nx + nz in
+  let nexa = nex a and nexb = nex b in
+  let nvars' = nvis + ny + nexa + nexb in
+  let perm_a i =
+    if i < nx then i
+    else if i < nx + ny then nvis + (i - nx) (* y *)
+    else nvis + ny + (i - (nx + ny))
+  in
+  let perm_b i =
+    if i < ny then nvis + i (* y *)
+    else if i < ny + nz then nx + (i - ny) (* z *)
+    else nvis + ny + nexa + (i - (ny + nz))
+  in
+  let defs =
+    Array.concat
+      [
+        Array.make ny None;
+        Array.map (Option.map (remap_def ~nvars' ~perm:perm_a)) a.defs;
+        Array.map (Option.map (remap_def ~nvars' ~perm:perm_b)) b.defs;
+      ]
+  in
+  let cons =
+    List.map (remap_con ~nvars' ~perm:perm_a) a.cons
+    @ List.map (remap_con ~nvars' ~perm:perm_b) b.cons
+  in
+  { nvis; defs; cons }
+
+(* Project away the visible dims where [keep] is false; they become free
+   existentials. *)
+let project ~keep t =
+  assert (Array.length keep = t.nvis);
+  let kept = ref [] and dropped = ref [] in
+  for i = t.nvis - 1 downto 0 do
+    if keep.(i) then kept := i :: !kept else dropped := i :: !dropped
+  done;
+  let kept = Array.of_list !kept and dropped = Array.of_list !dropped in
+  let nvis' = Array.length kept in
+  let nvars' = nvars t in
+  let perm_tbl = Array.make nvars' 0 in
+  Array.iteri (fun rank old -> perm_tbl.(old) <- rank) kept;
+  Array.iteri (fun rank old -> perm_tbl.(old) <- nvis' + rank) dropped;
+  for i = t.nvis to nvars' - 1 do
+    perm_tbl.(i) <- i
+  done;
+  let perm i = perm_tbl.(i) in
+  let defs =
+    Array.append
+      (Array.make (Array.length dropped) None)
+      (Array.map (Option.map (remap_def ~nvars' ~perm)) t.defs)
+  in
+  let cons = List.map (remap_con ~nvars' ~perm) t.cons in
+  { nvis = nvis'; defs; cons }
+
+(* Reorder the visible dims according to [perm_vis]: new dim [i] is old dim
+   [perm_vis.(i)]. *)
+let permute_vis ~perm_vis t =
+  assert (Array.length perm_vis = t.nvis);
+  let inv = Array.make t.nvis 0 in
+  Array.iteri (fun newi oldi -> inv.(oldi) <- newi) perm_vis;
+  let nvars' = nvars t in
+  let perm i = if i < t.nvis then inv.(i) else i in
+  {
+    t with
+    defs = Array.map (Option.map (remap_def ~nvars' ~perm)) t.defs;
+    cons = List.map (remap_con ~nvars' ~perm) t.cons;
+  }
+
+(* Swap the two visible blocks (used by Map.reverse). *)
+let swap_blocks ~n1 ~n2 t =
+  assert (t.nvis = n1 + n2);
+  let perm_vis =
+    Array.init t.nvis (fun i -> if i < n2 then n1 + i else i - n2)
+  in
+  permute_vis ~perm_vis t
+
+let fix t ~dim v =
+  assert (dim >= 0 && dim < t.nvis);
+  let a = Array.make (nvars t) 0 in
+  a.(dim) <- 1;
+  add_cons t [ con_eq a (-v) ]
+
+let lower_bound t ~dim v =
+  let a = Array.make (nvars t) 0 in
+  a.(dim) <- 1;
+  add_cons t [ con_ge a (-v) ]
+
+let upper_bound t ~dim v =
+  let a = Array.make (nvars t) 0 in
+  a.(dim) <- -1;
+  add_cons t [ con_ge a v ]
+
+let has_free_ex t = Array.exists Option.is_none t.defs
+
+(* Complement-based subtraction: [a \ b], where [b] must have no free
+   existentials (its divs are functional, so negating its constraints while
+   keeping the div definitions is sound).  Returns a list of pairwise
+   disjoint basic sets. *)
+let subtract a b =
+  assert (a.nvis = b.nvis);
+  if has_free_ex b then
+    invalid_arg "Bset.subtract: subtrahend has free existentials";
+  let negate_con c =
+    (* not (a.x + k >= 0)  <=>  -a.x - k - 1 >= 0 *)
+    [ con_ge (Tenet_util.Ivec.neg c.a) (-c.k - 1) ]
+  in
+  let negations c =
+    if c.eq then
+      negate_con { c with eq = false }
+      @ negate_con { a = Tenet_util.Ivec.neg c.a; k = -c.k; eq = false }
+    else negate_con c
+  in
+  let bcons = Array.of_list b.cons in
+  let n = Array.length bcons in
+  let pieces = ref [] in
+  for i = n - 1 downto 0 do
+    (* a /\ c_0 /\ ... /\ c_{i-1} /\ not c_i *)
+    let prefix = Array.to_list (Array.sub bcons 0 i) in
+    let keep_pos = { b with cons = prefix } in
+    List.iter
+      (fun neg ->
+        let piece = meet a (add_cons keep_pos [ neg ]) in
+        pieces := piece :: !pieces)
+      (negations bcons.(i))
+  done;
+  !pieces

@@ -1,0 +1,640 @@
+(* Exact integer-point counting over {!Bset} basic sets.
+
+   Semantics: [count b] is the number of distinct assignments to the
+   *visible* dimensions of [b] for which the existential dimensions can be
+   completed so that all constraints (including the implicit bounds of
+   floor-division definitions) hold.
+
+   Algorithm (replaces Barvinok counting in the original TENET):
+   1. materialize div definitions as inequality pairs and normalize;
+   2. Gaussian-substitute unit-coefficient equalities (existentials freely;
+      visible dims only when their defining expression uses visible dims
+      alone, which keeps the count invariant);
+   3. order variables greedily so every variable is bounded by its
+      predecessors, preferring visible variables first;
+   4. recursively enumerate with per-level bound propagation.  A variable
+      not referenced by any later constraint contributes a closed-form
+      width factor instead of being enumerated, so boxes and box-like sets
+      are counted in O(dims).  When all visible variables are assigned,
+      the existential suffix is checked by a first-witness search.
+   5. If the greedy order is forced to place an existential before a
+      visible variable (e.g. a range projection where a visible dim is
+      only defined through existentials), enumeration falls back to
+      collecting distinct visible tuples in a hash table. *)
+
+module IM = Tenet_util.Int_math
+
+exception Unbounded of string
+
+type con = Bset.con = { a : int array; k : int; eq : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: materialize divs, normalize, Gaussian substitution.    *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  nvis : int;
+  nvars : int;
+  is_vis : bool array;
+  alive : bool array; (* vars not eliminated by substitution *)
+  cons : con array;
+}
+
+exception Empty_set
+
+let materialize_defs (b : Bset.t) : con list =
+  let nvars = Bset.nvars b in
+  let out = ref [] in
+  Array.iteri
+    (fun e def ->
+      match def with
+      | None -> ()
+      | Some (d : Bset.def) ->
+          let v = b.Bset.nvis + e in
+          (* num.x + dk - den*v >= 0 *)
+          let a1 = Array.make nvars 0 in
+          Array.iteri (fun i c -> a1.(i) <- c) d.Bset.num;
+          a1.(v) <- a1.(v) - d.Bset.den;
+          out := { a = a1; k = d.Bset.dk; eq = false } :: !out;
+          (* den*v - num.x - dk + den - 1 >= 0 *)
+          let a2 = Array.make nvars 0 in
+          Array.iteri (fun i c -> a2.(i) <- -c) d.Bset.num;
+          a2.(v) <- a2.(v) + d.Bset.den;
+          out := { a = a2; k = -d.Bset.dk + d.Bset.den - 1; eq = false } :: !out)
+    b.Bset.defs;
+  !out
+
+(* Normalize one constraint; raise [Empty_set] on constant contradiction,
+   return [None] for a trivially true constraint. *)
+let normalize (c : con) : con option =
+  let g = Tenet_util.Ivec.content c.a in
+  if g = 0 then
+    if (c.eq && c.k <> 0) || ((not c.eq) && c.k < 0) then raise Empty_set
+    else None
+  else if c.eq then
+    if c.k mod g <> 0 then raise Empty_set
+    else Some { c with a = Array.map (fun x -> x / g) c.a; k = c.k / g }
+  else Some { c with a = Array.map (fun x -> x / g) c.a; k = IM.fdiv c.k g }
+
+(* Substitute variable [v] using equality [eqc] (with coefficient +-1 on
+   [v]) into constraint [c]. *)
+let substitute ~v ~(eqc : con) (c : con) : con option =
+  if c.a.(v) = 0 then Some c
+  else begin
+    let s = eqc.a.(v) in
+    (* eqc: s*v + rest = 0 with s = +-1, so v = -s*rest.  Adding
+       m * eqc with m = -c.a.(v) * s zeroes v's coefficient in c. *)
+    let m = -c.a.(v) * s in
+    let a = Array.init (Array.length c.a) (fun i -> c.a.(i) + (m * eqc.a.(i))) in
+    normalize { a; k = c.k + (m * eqc.k); eq = c.eq }
+  end
+
+(* [~elim_vis:false] keeps all visible variables alive so that iteration
+   can report full visible tuples. *)
+let compile ?(elim_vis = true) (b : Bset.t) : compiled option =
+  let nvars = Bset.nvars b in
+  let nvis = b.Bset.nvis in
+  try
+    let cons0 = List.filter_map normalize (materialize_defs b @ b.Bset.cons) in
+    let cons = ref cons0 in
+    let alive = Array.make nvars true in
+    let is_vis = Array.init nvars (fun i -> i < nvis) in
+    let visible_only_expr (c : con) ~except =
+      let ok = ref true in
+      Array.iteri
+        (fun i coeff ->
+          if i <> except && coeff <> 0 && i >= nvis then ok := false)
+        c.a;
+      !ok
+    in
+    let rec pass () =
+      let pick =
+        List.find_map
+          (fun c ->
+            if not c.eq then None
+            else begin
+              let found = ref None in
+              Array.iteri
+                (fun v coeff ->
+                  if !found = None && alive.(v) && abs coeff = 1 then
+                    if v >= nvis then found := Some (v, c)
+                    else if elim_vis && visible_only_expr c ~except:v then
+                      found := Some (v, c))
+                c.a;
+              !found
+            end)
+          !cons
+      in
+      match pick with
+      | None -> ()
+      | Some (v, eqc) ->
+          alive.(v) <- false;
+          cons :=
+            List.filter_map
+              (fun c -> if c == eqc then None else substitute ~v ~eqc c)
+              !cons;
+          pass ()
+    in
+    pass ();
+    Some { nvis; nvars; is_vis; alive; cons = Array.of_list !cons }
+  with Empty_set -> None
+
+(* ------------------------------------------------------------------ *)
+(* Variable ordering.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type level_con = {
+  lc_terms : (int * int) array; (* (earlier position, coeff) *)
+  lc_self : int; (* coefficient of the variable at this position *)
+  lc_k : int;
+  lc_eq : bool;
+}
+
+type plan = {
+  order : int array; (* order.(pos) = var index *)
+  pos_of : int array; (* inverse; -1 for unordered/dead vars *)
+  nvis_positions : int;
+  dedup : bool; (* some existential precedes a visible var *)
+  level_cons : level_con list array; (* constraints whose last var is here *)
+  independent : bool array; (* var at pos unreferenced after pos *)
+}
+
+let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
+  (* Alive variables that appear in at least one constraint participate in
+     enumeration.  An unconstrained existential is trivially satisfiable
+     and dropped; an unconstrained visible variable makes the set
+     infinite (unless the caller only needs membership tests). *)
+  let appears = Array.make cp.nvars false in
+  Array.iter
+    (fun c -> Array.iteri (fun v coeff -> if coeff <> 0 then appears.(v) <- true) c.a)
+    cp.cons;
+  let vars = ref [] in
+  for v = cp.nvars - 1 downto 0 do
+    if cp.alive.(v) then
+      if appears.(v) then vars := v :: !vars
+      else if cp.is_vis.(v) && not allow_unbounded_vis then
+        raise (Unbounded (Printf.sprintf "visible dim %d unconstrained" v))
+  done;
+  let vars = Array.of_list !vars in
+  let n = Array.length vars in
+  let in_order = Array.make cp.nvars false in
+  let order = Array.make n (-1) in
+  (* [cons] may grow with Fourier-Motzkin-derived (implied, redundant)
+     constraints when the greedy ordering deadlocks on mutually-coupled
+     variables, e.g. a simplex { i, j >= 0, i + j <= 3 } where neither
+     variable has a one-sided bound until the other is fixed. *)
+  let cons = ref cp.cons in
+  let bounds_status v =
+    let has_lb = ref false and has_ub = ref false in
+    Array.iter
+      (fun c ->
+        if c.a.(v) <> 0 then begin
+          let others_ready = ref true in
+          Array.iteri
+            (fun w coeff ->
+              if w <> v && coeff <> 0 && not in_order.(w) then
+                others_ready := false)
+            c.a;
+          if !others_ready then
+            if c.eq then begin
+              has_lb := true;
+              has_ub := true
+            end
+            else if c.a.(v) > 0 then has_lb := true
+            else has_ub := true
+        end)
+      !cons;
+    (!has_lb, !has_ub)
+  in
+  (* Combine opposite-sign pairs on [w] into constraints without [w]. *)
+  let fm_derive w =
+    let as_ges c =
+      if c.eq then
+        [
+          { c with eq = false };
+          { a = Array.map (fun x -> -x) c.a; k = -c.k; eq = false };
+        ]
+      else [ c ]
+    in
+    let ges = List.concat_map as_ges (Array.to_list !cons) in
+    let pos = List.filter (fun c -> c.a.(w) > 0) ges in
+    let neg = List.filter (fun c -> c.a.(w) < 0) ges in
+    let derived = ref [] in
+    List.iter
+      (fun c1 ->
+        List.iter
+          (fun c2 ->
+            let p = c1.a.(w) and q = -c2.a.(w) in
+            let a =
+              Array.init (Array.length c1.a) (fun i ->
+                  (q * c1.a.(i)) + (p * c2.a.(i)))
+            in
+            match normalize { a; k = (q * c1.k) + (p * c2.k); eq = false } with
+            | Some d when not (Tenet_util.Ivec.is_zero d.a) ->
+                derived := d :: !derived
+            | Some _ | None -> ()
+            | exception Empty_set -> raise Empty_set)
+          neg)
+      pos;
+    !derived
+  in
+  let fm_done = Array.make cp.nvars false in
+  let dedup = ref false in
+  let pos = ref 0 in
+  while !pos < n do
+    let candidate = ref (-1) and candidate_vis = ref false in
+    Array.iter
+      (fun v ->
+        if not in_order.(v) then begin
+          let want = !candidate = -1 || ((not !candidate_vis) && cp.is_vis.(v)) in
+          if want then begin
+            let lb, ub = bounds_status v in
+            if lb && ub then begin
+              candidate := v;
+              candidate_vis := cp.is_vis.(v)
+            end
+          end
+        end)
+      vars;
+    if !candidate = -1 then begin
+      (* deadlock: derive implied bounds by eliminating one blocker *)
+      let blocker = ref (-1) and best_uses = ref 0 in
+      Array.iter
+        (fun v ->
+          if (not in_order.(v)) && not fm_done.(v) then begin
+            let uses =
+              Array.fold_left
+                (fun acc c -> if c.a.(v) <> 0 then acc + 1 else acc)
+                0 !cons
+            in
+            if uses > !best_uses then begin
+              best_uses := uses;
+              blocker := v
+            end
+          end)
+        vars;
+      if !blocker = -1 then
+        raise
+          (Unbounded
+             (Printf.sprintf "no bounded variable at position %d of %d" !pos n));
+      fm_done.(!blocker) <- true;
+      cons := Array.append !cons (Array.of_list (fm_derive !blocker))
+      (* the same position is retried with the enriched constraint set *)
+    end
+    else begin
+      order.(!pos) <- !candidate;
+      in_order.(!candidate) <- true;
+      if not !candidate_vis then
+        Array.iter
+          (fun v -> if (not in_order.(v)) && cp.is_vis.(v) then dedup := true)
+          vars;
+      incr pos
+    end
+  done;
+  let cons = !cons in
+  let pos_of = Array.make cp.nvars (-1) in
+  Array.iteri (fun pos v -> pos_of.(v) <- pos) order;
+  let nvis_positions =
+    Array.fold_left (fun acc v -> if cp.is_vis.(v) then acc + 1 else acc) 0 vars
+  in
+  let level_cons = Array.make (max n 1) [] in
+  let independent = Array.make (max n 1) true in
+  Array.iter
+    (fun c ->
+      let lastpos = ref (-1) in
+      Array.iteri
+        (fun v coeff ->
+          if coeff <> 0 && pos_of.(v) > !lastpos then lastpos := pos_of.(v))
+        c.a;
+      if !lastpos >= 0 then begin
+        let self_var = order.(!lastpos) in
+        let terms = ref [] in
+        Array.iteri
+          (fun v coeff ->
+            if coeff <> 0 && v <> self_var then begin
+              terms := (pos_of.(v), coeff) :: !terms;
+              independent.(pos_of.(v)) <- false
+            end)
+          c.a;
+        level_cons.(!lastpos) <-
+          {
+            lc_terms = Array.of_list !terms;
+            lc_self = c.a.(self_var);
+            lc_k = c.k;
+            lc_eq = c.eq;
+          }
+          :: level_cons.(!lastpos)
+      end)
+    cons;
+  { order; pos_of; nvis_positions; dedup = !dedup; level_cons; independent }
+
+(* Compute [lb, ub] for the variable at [pos] given the assignment of all
+   earlier positions; lb > ub means the level is infeasible. *)
+let level_bounds (plan : plan) (value : int array) pos =
+  let lb = ref min_int and ub = ref max_int in
+  List.iter
+    (fun lc ->
+      let rest = ref lc.lc_k in
+      Array.iter (fun (p, c) -> rest := !rest + (c * value.(p))) lc.lc_terms;
+      let c = lc.lc_self in
+      if lc.lc_eq then
+        if !rest mod c <> 0 then begin
+          lb := 1;
+          ub := 0
+        end
+        else begin
+          let v = - !rest / c in
+          if v > !lb then lb := v;
+          if v < !ub then ub := v
+        end
+      else if c > 0 then begin
+        let b = IM.cdiv (- !rest) c in
+        if b > !lb then lb := b
+      end
+      else begin
+        let b = IM.fdiv !rest (-c) in
+        if b < !ub then ub := b
+      end)
+    plan.level_cons.(pos);
+  (!lb, !ub)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let n_positions plan = Array.length plan.order
+
+(* First-witness search over positions [pos .. n); [value] is scratch. *)
+let rec exists_from plan value pos =
+  if pos = n_positions plan then true
+  else begin
+    let lb, ub = level_bounds plan value pos in
+    if lb > ub then false
+    else if plan.independent.(pos) then begin
+      value.(pos) <- lb;
+      exists_from plan value (pos + 1)
+    end
+    else begin
+      let rec try_v v =
+        if v > ub then false
+        else begin
+          value.(pos) <- v;
+          if exists_from plan value (pos + 1) then true else try_v (v + 1)
+        end
+      in
+      try_v lb
+    end
+  end
+
+(* Exact-mode counting: positions [0, nvis_positions) hold visible vars. *)
+let rec count_from plan value pos =
+  if pos = plan.nvis_positions then if exists_from plan value pos then 1 else 0
+  else begin
+    let lb, ub = level_bounds plan value pos in
+    if lb > ub then 0
+    else if plan.independent.(pos) then begin
+      value.(pos) <- lb;
+      (ub - lb + 1) * count_from plan value (pos + 1)
+    end
+    else begin
+      let acc = ref 0 in
+      for v = lb to ub do
+        value.(pos) <- v;
+        acc := !acc + count_from plan value (pos + 1)
+      done;
+      !acc
+    end
+  end
+
+(* Current visible tuple restricted to alive visible vars, in original
+   dimension order.  Distinctness of this reduced tuple coincides with
+   distinctness of the full visible tuple: eliminated visible variables are
+   affine functions of the alive ones. *)
+let visible_key (cp : compiled) (plan : plan) value =
+  let key = ref [] in
+  for v = cp.nvis - 1 downto 0 do
+    if cp.alive.(v) && plan.pos_of.(v) >= 0 then
+      key := value.(plan.pos_of.(v)) :: !key
+  done;
+  Array.of_list !key
+
+let count_with_plan cp plan =
+  let n = n_positions plan in
+  if n = 0 then 1
+  else if plan.dedup then begin
+    let value = Array.make n 0 in
+    let tbl = Hashtbl.create 1024 in
+    let rec go pos =
+      if pos = n then begin
+        let key = visible_key cp plan value in
+        if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key ()
+      end
+      else begin
+        let lb, ub = level_bounds plan value pos in
+        if lb <= ub then
+          if plan.independent.(pos) && not cp.is_vis.(plan.order.(pos)) then begin
+            value.(pos) <- lb;
+            go (pos + 1)
+          end
+          else
+            for v = lb to ub do
+              value.(pos) <- v;
+              go (pos + 1)
+            done
+      end
+    in
+    go 0;
+    Hashtbl.length tbl
+  end
+  else begin
+    let value = Array.make n 0 in
+    count_from plan value 0
+  end
+
+let count_bset (b : Bset.t) : int =
+  match compile b with
+  | None -> 0
+  | Some cp -> (
+      match make_plan cp with
+      | plan -> count_with_plan cp plan
+      | exception Empty_set -> 0)
+
+let is_empty_bset (b : Bset.t) : bool =
+  match compile b with
+  | None -> true
+  | Some cp -> (
+      (* Pure satisfiability: treat every position as existential. *)
+      match make_plan cp with
+      | plan ->
+          let n = n_positions plan in
+          if n = 0 then false
+          else begin
+            let value = Array.make n 0 in
+            let sat_plan = { plan with nvis_positions = 0 } in
+            not (exists_from sat_plan value 0)
+          end
+      | exception Empty_set -> true
+      | exception Unbounded _ ->
+          (* Some visible dim is unconstrained: the set is nonempty iff the
+             rest is satisfiable.  Project everything out and retry. *)
+          let all_ex =
+            Bset.project ~keep:(Array.make b.Bset.nvis false) b
+          in
+          let cp' = Option.get (compile all_ex) in
+          (match make_plan cp' with
+          | exception Empty_set -> true
+          | plan' ->
+              let n = n_positions plan' in
+              if n = 0 then false
+              else begin
+                let value = Array.make n 0 in
+                not (exists_from { plan' with nvis_positions = 0 } value 0)
+              end))
+
+let mem_bset (b : Bset.t) (point : int array) : bool =
+  assert (Array.length point = b.Bset.nvis);
+  let fixed = ref b in
+  Array.iteri (fun dim v -> fixed := Bset.fix !fixed ~dim v) point;
+  not (is_empty_bset !fixed)
+
+(* Iterate distinct visible tuples.  Uses [elim_vis:false] so that every
+   visible variable has a position and full tuples can be reported. *)
+let iter_bset (b : Bset.t) (f : int array -> unit) : unit =
+  match compile ~elim_vis:false b with
+  | None -> ()
+  | Some cp -> (
+      match make_plan cp with
+      | exception Empty_set -> ()
+      | plan ->
+      let n = n_positions plan in
+      if n = 0 then (if cp.nvis = 0 then f [||]) |> ignore
+      else begin
+        let value = Array.make n 0 in
+        if plan.dedup then begin
+          let tbl = Hashtbl.create 1024 in
+          let rec go pos =
+            if pos = n then begin
+              let key = visible_key cp plan value in
+              if not (Hashtbl.mem tbl key) then begin
+                Hashtbl.add tbl key ();
+                f key
+              end
+            end
+            else begin
+              let lb, ub = level_bounds plan value pos in
+              if lb <= ub then
+                if
+                  plan.independent.(pos) && not cp.is_vis.(plan.order.(pos))
+                then begin
+                  value.(pos) <- lb;
+                  go (pos + 1)
+                end
+                else
+                  for v = lb to ub do
+                    value.(pos) <- v;
+                    go (pos + 1)
+                  done
+            end
+          in
+          go 0
+        end
+        else begin
+          let rec go pos =
+            if pos = plan.nvis_positions then begin
+              if exists_from plan value pos then f (visible_key cp plan value)
+            end
+            else begin
+              let lb, ub = level_bounds plan value pos in
+              if lb <= ub then
+                for v = lb to ub do
+                  value.(pos) <- v;
+                  go (pos + 1)
+                done
+            end
+          in
+          go 0
+        end
+      end)
+
+let sample_bset (b : Bset.t) : int array option =
+  let result = ref None in
+  (try
+     iter_bset b (fun p ->
+         result := Some (Array.copy p);
+         raise Exit)
+   with Exit -> ());
+  !result
+
+(* A precompiled membership tester: compiles and plans once, then answers
+   [mem] queries without per-query allocation of the constraint system.
+   Falls back to [mem_bset] when the plan needs hash-based deduplication
+   (which cannot happen for the fixed-visible queries we run, but keeps
+   the function total). *)
+let make_mem_bset (b : Bset.t) : int array -> bool =
+  match compile ~elim_vis:false b with
+  | None -> fun _ -> false
+  | Some cp -> (
+      match make_plan ~allow_unbounded_vis:true cp with
+      | exception Empty_set -> fun _ -> false
+      | exception Unbounded _ -> fun p -> mem_bset b p
+      | plan ->
+          if plan.dedup then fun p -> mem_bset b p
+          else begin
+            let n = n_positions plan in
+            let nvisp = plan.nvis_positions in
+            fun point ->
+              (* fresh scratch per call keeps the tester reentrant *)
+              let value = Array.make (max n 1) 0 in
+              let ok = ref true in
+              let pos = ref 0 in
+              while !ok && !pos < nvisp do
+                let v = point.(plan.order.(!pos)) in
+                let lb, ub = level_bounds plan value !pos in
+                if v < lb || v > ub then ok := false
+                else begin
+                  value.(!pos) <- v;
+                  incr pos
+                end
+              done;
+              !ok && exists_from plan value nvisp
+          end)
+
+let make_mem_union (bs : Bset.t list) : int array -> bool =
+  let testers = List.map make_mem_bset bs in
+  fun p -> List.exists (fun t -> t p) testers
+
+(* Disjoint counting of a union of basic sets: count each disjunct's points
+   that do not belong to any earlier disjunct. *)
+let count_union (bs : Bset.t list) : int =
+  match bs with
+  | [] -> 0
+  | [ b ] -> count_bset b
+  | _ ->
+      let earlier = ref [] in
+      let total = ref 0 in
+      List.iter
+        (fun b ->
+          let seen_before p = List.exists (fun test -> test p) !earlier in
+          iter_bset b (fun p -> if not (seen_before p) then incr total);
+          earlier := make_mem_bset b :: !earlier)
+        bs;
+      !total
+
+let iter_union (bs : Bset.t list) (f : int array -> unit) : unit =
+  match bs with
+  | [] -> ()
+  | [ b ] -> iter_bset b f
+  | _ ->
+      let earlier = ref [] in
+      List.iter
+        (fun b ->
+          let seen_before p = List.exists (fun test -> test p) !earlier in
+          iter_bset b (fun p -> if not (seen_before p) then f p);
+          earlier := make_mem_bset b :: !earlier)
+        bs
+
+let mem_union (bs : Bset.t list) (p : int array) : bool =
+  List.exists (fun b -> mem_bset b p) bs
+
+let is_empty_union (bs : Bset.t list) : bool = List.for_all is_empty_bset bs
+

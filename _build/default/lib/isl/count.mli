@@ -1,0 +1,32 @@
+(** Exact integer-point counting over basic sets — the replacement for the
+    Barvinok library used by the original TENET.
+
+    [count] is the number of distinct assignments to the {e visible}
+    dimensions for which the existential dimensions can be completed.  The
+    engine normalizes and Gaussian-substitutes equalities, orders variables
+    so each is bounded by its predecessors, and enumerates with per-level
+    bound propagation; dimensions unreferenced by later constraints
+    contribute closed-form width factors (so boxes cost O(dims)).  See the
+    implementation header for the full algorithm. *)
+
+exception Unbounded of string
+(** Raised when a visible dimension has no finite bounds. *)
+
+val count_bset : Bset.t -> int
+val is_empty_bset : Bset.t -> bool
+val mem_bset : Bset.t -> int array -> bool
+val iter_bset : Bset.t -> (int array -> unit) -> unit
+val sample_bset : Bset.t -> int array option
+
+val count_union : Bset.t list -> int
+(** Cardinality of a union, counting overlaps once. *)
+
+val iter_union : Bset.t list -> (int array -> unit) -> unit
+val mem_union : Bset.t list -> int array -> bool
+val is_empty_union : Bset.t list -> bool
+
+val make_mem_bset : Bset.t -> int array -> bool
+(** Precompiled membership tester; compiles once, then answers queries in
+    time proportional to the constraint count. *)
+
+val make_mem_union : Bset.t list -> int array -> bool

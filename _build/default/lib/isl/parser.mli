@@ -1,0 +1,28 @@
+(** Parser for the ISL-like textual notation of sets and relations.
+
+    Examples accepted:
+    {v
+      { S[i, j] : 0 <= i < 4 and 0 <= j < 3 }
+      { S[i,j,k] -> PE[i mod 8, j mod 8] : 0 <= i < 64 }
+      { PE[i,j] -> PE[x,y] : (x = i and y = j+1) or (x = i+1 and y = j) }
+      { S[k,c,ox,oy,rx,ry] -> T[fl(k/8), fl(c/8), oy, k%8 + c%8 + ox] }
+    v}
+
+    Expressions: [+ - *], [mod]/[%], [floor(e/c)]/[fl(e/c)]/[e/c] with a
+    positive literal divisor, and [abs(e)] inside comparisons with the
+    absolute value on the small side.  Comparison chains
+    ([0 <= i < n]) are expanded; [or] produces unions (DNF); [!=] expands
+    into two disjuncts.  Output tuples of maps may contain arbitrary
+    quasi-affine expressions over the input dims. *)
+
+exception Parse_error of string
+
+val set : string -> Set.t
+val map : string -> Map.t
+
+val expr : dims:string list -> string -> Aff.t
+(** Parse one stand-alone quasi-affine expression over the given
+    dimension names (e.g. ["i%8 + j%8 + k"]). *)
+
+val exprs : dims:string list -> string -> Aff.t list
+(** Split on top-level commas and parse each piece with {!expr}. *)

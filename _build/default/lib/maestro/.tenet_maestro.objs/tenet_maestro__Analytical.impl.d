@@ -1,0 +1,1 @@
+lib/maestro/analytical.ml: Float Hashtbl List Notation String Tenet_arch Tenet_ir Tenet_isl

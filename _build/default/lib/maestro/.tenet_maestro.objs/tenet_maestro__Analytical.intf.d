@@ -1,0 +1,1 @@
+lib/maestro/analytical.mli: Notation Tenet_arch Tenet_ir

@@ -1,0 +1,1 @@
+lib/maestro/maestro_zoo.ml: Notation Tenet_ir

@@ -1,0 +1,1 @@
+lib/maestro/notation.ml: List Printf String Tenet_util

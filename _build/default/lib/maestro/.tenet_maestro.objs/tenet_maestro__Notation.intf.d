@@ -1,0 +1,1 @@
+lib/maestro/notation.mli:

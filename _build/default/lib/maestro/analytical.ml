@@ -1,0 +1,161 @@
+(* A MAESTRO-style analytical performance model: closed-form polynomials
+   over mapping-directive parameters, deliberately reproducing the
+   approximations the paper criticizes (Sections II-C and VI-E):
+
+   - tensor footprints are products of the sizes of the *base* dimension
+     of each subscript, so compound subscripts like [ox + rx] are treated
+     as [ox] (Figure 1's reuse of A: estimated 8, actual 6);
+   - temporal reuse only considers the innermost TemporalMap dimension;
+   - outputs are reported with no reuse at all ("MAESTRO reports no reuse
+     for the output array in all circumstances");
+   - PE utilization is the polynomial spatial-ways / PEs, blind to
+     pipeline fill/drain and skew.
+
+   The model is orders of magnitude cheaper to evaluate than relation
+   counting, which is the Figure 8 runtime trade-off. *)
+
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+
+type tensor_report = {
+  tensor : string;
+  direction : Ir.Tensor_op.direction;
+  reuse_factor : float; (* as reported by the reuse analysis *)
+  traffic : float; (* words moved to/from scratchpad *)
+}
+
+type report = {
+  mapping : string;
+  latency : float;
+  compute_cycles : float;
+  io_cycles : float;
+  utilization : float;
+  per_tensor : tensor_report list;
+}
+
+(* Number of chunks a directive walks for a dimension of size [s]. *)
+let ways ~size ~offset s =
+  if s <= size then 1 else 1 + ((s - size + offset - 1) / offset)
+
+(* The base dimension of a subscript: the first loop variable occurring in
+   it.  [A(c, ox+rx, oy+ry)] has base dims {c, ox, oy}. *)
+let base_dims (op : Ir.Tensor_op.t) tensor : string list =
+  let accs = Ir.Tensor_op.accesses_of op tensor in
+  let of_sub sub =
+    match Tenet_isl.Aff.free_vars sub with v :: _ -> Some v | [] -> None
+  in
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (a : Ir.Tensor_op.access) ->
+         List.filter_map of_sub a.Ir.Tensor_op.subscripts)
+       accs)
+
+let dim_size op d =
+  let lo, hi = Ir.Tensor_op.iter_bounds op d in
+  hi - lo + 1
+
+let analyze (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
+    (mapping : Notation.t) : report =
+  let pes = Arch.Pe_array.size spec.Arch.Spec.pe in
+  let dims_mapped = Notation.mapped_dims mapping in
+  (* every loop dim must be covered by a directive or it is iterated
+     sequentially inside the PE *)
+  let residual =
+    List.fold_left
+      (fun acc it ->
+        if List.mem it.Ir.Tensor_op.iname dims_mapped then acc
+        else acc * Ir.Tensor_op.extent it)
+      1 op.Ir.Tensor_op.iters
+  in
+  (* A dimension may be mapped at several cluster levels (e.g. the
+     Eyeriss mapping tiles C twice); its combined ways are capped at the
+     dimension size, and a dimension touched by any SpatialMap counts as
+     spatially distributed. *)
+  let per_dim : (string, int * bool) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let update dim w spatial =
+        let prev_w, prev_s =
+          try Hashtbl.find per_dim dim with Not_found -> (1, false)
+        in
+        Hashtbl.replace per_dim dim
+          (min (dim_size op dim) (prev_w * w), prev_s || spatial)
+      in
+      match d with
+      | Notation.Spatial_map { size; offset; dim } ->
+          update dim (ways ~size ~offset (dim_size op dim)) true
+      | Notation.Temporal_map { size; offset; dim } ->
+          update dim (ways ~size ~offset (dim_size op dim)) false
+      | Notation.Cluster _ -> ())
+    mapping.Notation.directives;
+  let spatial_ways, temporal_steps =
+    Hashtbl.fold
+      (fun _dim (w, spatial) (s, t) ->
+        if spatial then (s * w, t) else (s, t * w))
+      per_dim (1, 1)
+  in
+  let passes = max 1 ((spatial_ways + pes - 1) / pes) in
+  let utilization =
+    float_of_int spatial_ways /. float_of_int (passes * pes)
+  in
+  let compute_cycles =
+    float_of_int (passes * temporal_steps * residual)
+  in
+  let n_instances = float_of_int (Ir.Tensor_op.n_instances op) in
+  let spatial_dims = Notation.spatial_dims mapping in
+  let innermost_t = Notation.innermost_temporal mapping in
+  let per_tensor =
+    List.map
+      (fun tensor ->
+        let dirn =
+          if List.mem tensor (Ir.Tensor_op.outputs op) then
+            Ir.Tensor_op.Write
+          else Ir.Tensor_op.Read
+        in
+        let bases = base_dims op tensor in
+        let spatial_factor =
+          List.fold_left
+            (fun acc d ->
+              if List.mem d bases then acc
+              else acc *. float_of_int (dim_size op d))
+            1. spatial_dims
+        in
+        let temporal_factor =
+          match innermost_t with
+          | Some d when not (List.mem d bases) ->
+              float_of_int (dim_size op d)
+          | _ -> 1.
+        in
+        let reuse_factor =
+          match dirn with
+          | Ir.Tensor_op.Write -> 1. (* outputs: no reuse reported *)
+          | Ir.Tensor_op.Read -> spatial_factor *. temporal_factor
+        in
+        (* scratchpad traffic estimate: polynomial footprint for outputs,
+           accesses / reuse for inputs *)
+        let traffic =
+          match dirn with
+          | Ir.Tensor_op.Write ->
+              List.fold_left
+                (fun acc d -> acc *. float_of_int (dim_size op d))
+                1. bases
+          | Ir.Tensor_op.Read -> n_instances /. reuse_factor
+        in
+        { tensor; direction = dirn; reuse_factor; traffic })
+      (Ir.Tensor_op.tensors op)
+  in
+  let io_words =
+    List.fold_left (fun acc tr -> acc +. tr.traffic) 0. per_tensor
+  in
+  let io_cycles = io_words /. float_of_int spec.Arch.Spec.bandwidth in
+  {
+    mapping = mapping.Notation.name;
+    latency = Float.max compute_cycles io_cycles;
+    compute_cycles;
+    io_cycles;
+    utilization;
+    per_tensor;
+  }
+
+let find_tensor r name =
+  List.find (fun tr -> String.equal tr.tensor name) r.per_tensor

@@ -1,0 +1,92 @@
+(* The data-centric mappings printed in Table III for the dataflows that
+   the notation can express ("x" rows in the table have no equivalent:
+   they need affine transformations).  Sizes come from the tensor op at
+   construction time. *)
+
+module Ir = Tenet_ir
+open Notation
+
+let sz op d =
+  let lo, hi = Ir.Tensor_op.iter_bounds op d in
+  hi - lo + 1
+
+(* --- GEMM --- *)
+
+let gemm_k_p_ij_t =
+  make ~name:"(K-P | I,J-T)" [ spatial "k"; temporal "i"; temporal "j" ]
+
+let gemm_j_p_ik_t =
+  make ~name:"(J-P | I,K-T)" [ spatial "j"; temporal "i"; temporal "k" ]
+
+(* --- 2D-CONV --- *)
+
+let conv_k_p_ox_oy_t op =
+  make ~name:"(K-P | OX,OY-T)"
+    [
+      spatial "k";
+      temporal "c";
+      temporal ~size:(sz op "rx") "ox";
+      temporal ~size:(sz op "ry") "oy";
+      temporal ~size:(sz op "ry") ~offset:(sz op "ry") "ry";
+      temporal ~size:(sz op "rx") ~offset:(sz op "rx") "rx";
+    ]
+
+let conv_c_p_oy_ox_t op =
+  make ~name:"(C-P | OY,OX-T)"
+    [
+      spatial "c";
+      temporal "k";
+      temporal ~size:(sz op "ry") "oy";
+      temporal ~size:(sz op "rx") "ox";
+      temporal ~size:(sz op "ry") ~offset:(sz op "ry") "ry";
+      temporal ~size:(sz op "rx") ~offset:(sz op "rx") "rx";
+    ]
+
+(* Eyeriss row-stationary, as printed in Table III (two cluster levels
+   flattened: the analytical model reads the directive list linearly). *)
+let conv_eyeriss_rs op =
+  make ~name:"(RYOY-P | OY,OX-T)"
+    [
+      temporal ~size:4 ~offset:4 "c";
+      temporal ~size:16 ~offset:16 "k";
+      spatial ~size:(sz op "ry") "oy";
+      temporal ~size:(sz op "rx") "ox";
+      cluster (sz op "ry");
+      temporal "c";
+      temporal "k";
+      spatial "oy";
+      spatial "ry";
+    ]
+
+(* ShiDianNao output-stationary (Table III). *)
+let conv_shidiannao op =
+  make ~name:"(OYOX-P | OY,OX-T)"
+    [
+      temporal "k";
+      temporal "c";
+      spatial ~size:(sz op "ry") "oy";
+      temporal ~size:10 ~offset:8 "ox";
+      temporal ~size:(sz op "ry") ~offset:(sz op "ry") "ry";
+      temporal ~size:(sz op "rx") ~offset:(sz op "rx") "rx";
+      cluster 8;
+      spatial ~size:(sz op "rx") "ox";
+    ]
+
+(* NVDLA-style (Table III). *)
+let conv_nvdla op =
+  make ~name:"(KC-P | OY,OX-T)"
+    [
+      spatial "k";
+      temporal ~size:8 ~offset:8 "c";
+      temporal ~size:(sz op "ry") ~offset:(sz op "ry") "ry";
+      temporal ~size:(sz op "rx") ~offset:(sz op "rx") "rx";
+      temporal ~size:(sz op "ry") "oy";
+      temporal ~size:(sz op "rx") "ox";
+      cluster 8;
+      spatial "c";
+    ]
+
+(* --- 1D-CONV of Figure 1 --- *)
+
+let conv1d_fig1 =
+  make ~name:"Fig1 (I-Sp, J-Tp)" [ spatial "i"; temporal "j" ]

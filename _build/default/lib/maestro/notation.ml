@@ -1,0 +1,65 @@
+(* The data-centric notation of MAESTRO (Kwon et al., MICRO'19 / IEEE
+   Micro'20): an ordered list of mapping directives.
+
+   SpatialMap(size, offset) dim  distributes [dim] across PEs in chunks of
+   [size] advancing by [offset]; TemporalMap(size, offset) dim iterates
+   [dim] across time-steps; Cluster(n) splits the PE array into groups of
+   [n], with directives below it applying inside a group.
+
+   Expressiveness limits reproduced here (paper Section II-C): every
+   mapped entity is a *single* loop dimension — no affine combination, no
+   skewing, no mapping several loop dims onto one PE dim without an
+   explicit Cluster. *)
+
+type directive =
+  | Spatial_map of { size : int; offset : int; dim : string }
+  | Temporal_map of { size : int; offset : int; dim : string }
+  | Cluster of int
+
+type t = { name : string; directives : directive list }
+
+let make ~name directives = { name; directives }
+
+let spatial ?(size = 1) ?(offset = 1) dim = Spatial_map { size; offset; dim }
+let temporal ?(size = 1) ?(offset = 1) dim = Temporal_map { size; offset; dim }
+let cluster n = Cluster n
+
+let directive_to_string = function
+  | Spatial_map { size; offset; dim } ->
+      Printf.sprintf "SpatialMap(%d,%d) %s" size offset dim
+  | Temporal_map { size; offset; dim } ->
+      Printf.sprintf "TemporalMap(%d,%d) %s" size offset dim
+  | Cluster n -> Printf.sprintf "Cluster(%d, P)" n
+
+let to_string t =
+  t.name ^ ": "
+  ^ String.concat "; " (List.map directive_to_string t.directives)
+
+let spatial_dims t =
+  List.filter_map
+    (function Spatial_map { dim; _ } -> Some dim | _ -> None)
+    t.directives
+
+let temporal_dims t =
+  List.filter_map
+    (function Temporal_map { dim; _ } -> Some dim | _ -> None)
+    t.directives
+
+(* The innermost temporal dimension (last temporal directive), which is
+   the only one MAESTRO's reuse polynomial inspects (Section VI-E). *)
+let innermost_temporal t =
+  List.fold_left
+    (fun acc d ->
+      match d with Temporal_map { dim; _ } -> Some dim | _ -> acc)
+    None t.directives
+
+let mapped_dims t = spatial_dims t @ temporal_dims t
+
+(* Design-space size of the data-centric notation under the paper's
+   Section IV-A assumptions (size = offset = 1, two SpatialMaps on a 2D
+   array): n! orders x C(n,2) choices of the spatial pair = n!*C(n,2).
+   The paper quotes this as O(n! * C(n,2)); for GEMM (n = 3) it evaluates
+   the variant with one spatial dim: 3! * 3 = 18. *)
+let design_space_size ~n_loops ~n_spatial =
+  Tenet_util.Int_math.factorial n_loops
+  * Tenet_util.Int_math.binomial n_loops n_spatial

@@ -1,0 +1,1 @@
+lib/model/concrete.ml: Array Float Hashtbl List Metrics Option Printf Tenet_arch Tenet_dataflow Tenet_ir Tenet_isl

@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Float Format List String Tenet_ir

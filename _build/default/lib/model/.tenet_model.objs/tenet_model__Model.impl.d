@@ -1,0 +1,1 @@
+lib/model/model.ml: Array Concrete Float Hashtbl List Metrics Tenet_arch Tenet_dataflow Tenet_ir Tenet_isl Volumes

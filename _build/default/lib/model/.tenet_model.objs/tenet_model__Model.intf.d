@@ -1,0 +1,1 @@
+lib/model/model.mli: Hashtbl Metrics Tenet_arch Tenet_dataflow Tenet_ir Tenet_isl

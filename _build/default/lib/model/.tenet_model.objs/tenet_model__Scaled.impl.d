@@ -1,0 +1,1 @@
+lib/model/scaled.ml: Array Concrete Float List Metrics Option String Tenet_arch Tenet_dataflow Tenet_ir Tenet_isl Tenet_util

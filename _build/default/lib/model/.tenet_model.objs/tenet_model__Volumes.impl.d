@@ -1,0 +1,1 @@
+lib/model/volumes.ml: List Metrics Tenet_dataflow Tenet_isl

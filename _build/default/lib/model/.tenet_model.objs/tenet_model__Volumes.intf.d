@@ -1,0 +1,1 @@
+lib/model/volumes.mli: Metrics Tenet_dataflow Tenet_isl

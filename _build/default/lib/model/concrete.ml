@@ -1,0 +1,522 @@
+(* Concrete-evaluation engine: computes exactly the same volume and
+   utilization metrics as the relational path ({!Volumes} over {!Tenet_isl}
+   counting), but by walking the iteration domain once and looking
+   adjacent spacetime-stamps up in a hash table.
+
+   Equivalence with the relational engine is enforced by property tests;
+   this engine exists because polyhedral counting of the composed reuse
+   relations costs seconds per tensor, which is too slow for design-space
+   exploration sweeps.  Sets with more than ~10^8 instances should use
+   {!Scaled} analysis instead. *)
+
+module Isl = Tenet_isl
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Df = Tenet_dataflow
+
+exception Invalid_dataflow of string
+
+type compiled = {
+  op : Ir.Tensor_op.t;
+  df : Df.Dataflow.t;
+  iters : (int * int) array; (* (lo, extent) per iterator *)
+  n_iters : int;
+  vals : int array; (* current iterator values (mutable scratch) *)
+  env : string -> int;
+  space_exprs : Isl.Aff.t array;
+  time_exprs : Isl.Aff.t array;
+  (* mixed-radix encodings *)
+  space_base : (int * int) array; (* (lo, extent) per space dim *)
+  time_base : (int * int) array;
+}
+
+let compile (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : compiled =
+  let iters =
+    Array.of_list
+      (List.map (fun it -> (it.Ir.Tensor_op.lo, Ir.Tensor_op.extent it)) op.Ir.Tensor_op.iters)
+  in
+  let n_iters = Array.length iters in
+  let vals = Array.make n_iters 0 in
+  let index = Hashtbl.create 8 in
+  List.iteri
+    (fun i it -> Hashtbl.replace index it.Ir.Tensor_op.iname i)
+    op.Ir.Tensor_op.iters;
+  let env name = vals.(Hashtbl.find index name) in
+  let ienv name = Ir.Tensor_op.iter_bounds op name in
+  let to_base e =
+    let lo, hi = Isl.Aff.interval ienv e in
+    (lo, hi - lo + 1)
+  in
+  {
+    op;
+    df;
+    iters;
+    n_iters;
+    vals;
+    env;
+    space_exprs = Array.of_list df.Df.Dataflow.space;
+    time_exprs = Array.of_list df.Df.Dataflow.time;
+    space_base = Array.of_list (List.map to_base df.Df.Dataflow.space);
+    time_base = Array.of_list (List.map to_base df.Df.Dataflow.time);
+  }
+
+(* Mixed-radix encoding of a tuple given (lo, extent) bases; -1 when any
+   coordinate is out of range (encoding a nonexistent stamp). *)
+let encode (base : (int * int) array) (tup : int array) : int =
+  let acc = ref 0 in
+  let ok = ref true in
+  for i = 0 to Array.length base - 1 do
+    let lo, ext = base.(i) in
+    let v = tup.(i) - lo in
+    if v < 0 || v >= ext then ok := false else acc := (!acc * ext) + v
+  done;
+  if !ok then !acc else -1
+
+let encode_iters (c : compiled) : int =
+  let acc = ref 0 in
+  for i = 0 to c.n_iters - 1 do
+    let lo, ext = c.iters.(i) in
+    acc := (!acc * ext) + (c.vals.(i) - lo)
+  done;
+  !acc
+
+let decode_iters (c : compiled) (code : int) (out : int array) : unit =
+  let code = ref code in
+  for i = c.n_iters - 1 downto 0 do
+    let lo, ext = c.iters.(i) in
+    out.(i) <- (!code mod ext) + lo;
+    code := !code / ext
+  done
+
+(* Decode a mixed-radix code (from [encode]) back into a tuple. *)
+let decode (base : (int * int) array) (code : int) (out : int array) : unit =
+  let code = ref code in
+  for i = Array.length base - 1 downto 0 do
+    let lo, ext = base.(i) in
+    out.(i) <- (!code mod ext) + lo;
+    code := !code / ext
+  done
+
+(* Iterate the whole iteration box, calling [f] with [c.vals] filled. *)
+let iter_instances (c : compiled) (f : unit -> unit) : unit =
+  let rec go i =
+    if i = c.n_iters then f ()
+    else begin
+      let lo, ext = c.iters.(i) in
+      for v = lo to lo + ext - 1 do
+        c.vals.(i) <- v;
+        go (i + 1)
+      done
+    end
+  in
+  go 0
+
+let eval_tuple (c : compiled) (exprs : Isl.Aff.t array) (out : int array) :
+    unit =
+  for i = 0 to Array.length exprs - 1 do
+    out.(i) <- Isl.Aff.eval c.env exprs.(i)
+  done
+
+(* Predecessor time-stamps under the chosen adjacency, written into
+   [out]; returns false when there is no predecessor (start of time or a
+   wrap position that does not apply). *)
+let time_preds ~(adjacency : Df.Spacetime.adjacency) (c : compiled)
+    (t : int array) ~dt : int array list =
+  let m = Array.length t in
+  if m = 0 then []
+  else if dt = 0 then [ Array.copy t ]
+  else begin
+    match adjacency with
+    | `Inner_step ->
+        let t' = Array.copy t in
+        t'.(m - 1) <- t'.(m - 1) - dt;
+        [ t' ]
+    | `Lex_step ->
+        (* piece j applies iff all dims after j currently sit at their
+           minimum; the predecessor has those dims at their maximum. *)
+        let rec pieces j acc =
+          if j < 0 then acc
+          else begin
+            let applies = ref true in
+            for i = j + 1 to m - 1 do
+              let lo, _ = c.time_base.(i) in
+              if t.(i) <> lo then applies := false
+            done;
+            let acc =
+              if !applies then begin
+                let t' = Array.copy t in
+                t'.(j) <- t'.(j) - dt;
+                for i = j + 1 to m - 1 do
+                  let lo, ext = c.time_base.(i) in
+                  t'.(i) <- lo + ext - 1
+                done;
+                t' :: acc
+              end
+              else acc
+            in
+            pieces (j - 1) acc
+          end
+        in
+        pieces (m - 1) []
+  end
+
+(* Temporal predecessor stamps within a register window of [window]
+   stamps: under [`Inner_step] the innermost dim steps back 1..window
+   without wrapping; under [`Lex_step] the window walks back through the
+   box-lexicographic order (wrap-aware), modeling a register file that
+   holds the last [window] elements the PE touched. *)
+let temporal_preds ~(adjacency : Df.Spacetime.adjacency) (c : compiled)
+    (t : int array) ~window : int array list =
+  let m = Array.length t in
+  if m = 0 then []
+  else begin
+    match adjacency with
+    | `Inner_step ->
+        List.init window (fun d ->
+            let t' = Array.copy t in
+            t'.(m - 1) <- t'.(m - 1) - (d + 1);
+            t')
+    | `Lex_step ->
+        let code = encode c.time_base t in
+        if code < 0 then []
+        else begin
+          let rec go d acc =
+            if d > window || code - d < 0 then List.rev acc
+            else begin
+              let t' = Array.make m 0 in
+              decode c.time_base (code - d) t';
+              go (d + 1) (t' :: acc)
+            end
+          in
+          go 1 []
+        end
+  end
+
+(* Spatial predecessor PEs per destination PE, from the (already
+   lex-filtered when interval = 0) interconnect relation. *)
+let pred_pes (spec : Arch.Spec.t) : (int, int array list) Hashtbl.t =
+  let pe = spec.Arch.Spec.pe in
+  let rel = Df.Spacetime.reuse_pe_relation pe spec.Arch.Spec.topology in
+  let base = Array.map (fun d -> (0, d)) (Arch.Pe_array.dims pe) in
+  let tbl = Hashtbl.create 256 in
+  Isl.Map.iter_pairs
+    (fun src dst ->
+      let key = encode base dst in
+      let prev = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key (Array.copy src :: prev))
+    rel;
+  tbl
+
+type analysis = {
+  metrics : Metrics.t;
+  stamp_count : int; (* distinct spacetime stamps (= instances iff valid) *)
+}
+
+(* Per-tensor element encodings: one mixed-radix base per subscript
+   position, wide enough for every access to the tensor. *)
+let tensor_bases (c : compiled) (accs : Ir.Tensor_op.access array) :
+    (int * int) array =
+  let ienv name = Ir.Tensor_op.iter_bounds c.op name in
+  let arity =
+    List.length (accs.(0)).Ir.Tensor_op.subscripts
+  in
+  Array.init arity (fun i ->
+      let lo = ref max_int and hi = ref min_int in
+      Array.iter
+        (fun (a : Ir.Tensor_op.access) ->
+          let l, h = Isl.Aff.interval ienv (List.nth a.Ir.Tensor_op.subscripts i) in
+          if l < !lo then lo := l;
+          if h > !hi then hi := h)
+        accs;
+      (!lo, !hi - !lo + 1))
+
+let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
+    ?(validate = true) ?(window = 1) (spec : Arch.Spec.t)
+    (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : Metrics.t =
+  let c = compile op df in
+  let pe = spec.Arch.Spec.pe in
+  if Ir.Tensor_op.n_instances op > 200_000_000 then
+    raise
+      (Invalid_dataflow
+         (Printf.sprintf
+            "%s: %d instances is too large to enumerate; use Scaled.analyze \
+             (CLI: --scale-dims) for layers of this size"
+            df.Df.Dataflow.name
+            (Ir.Tensor_op.n_instances op)));
+  (* bounds validation *)
+  if validate then begin
+    if Df.Dataflow.n_space df <> Arch.Pe_array.rank pe then
+      raise
+        (Invalid_dataflow
+           (Printf.sprintf "%s: space rank %d vs array rank %d"
+              df.Df.Dataflow.name (Df.Dataflow.n_space df)
+              (Arch.Pe_array.rank pe)));
+    let dims = Arch.Pe_array.dims pe in
+    List.iteri
+      (fun i (lo, hi) ->
+        if lo < 0 || hi >= dims.(i) then
+          raise
+            (Invalid_dataflow
+               (Printf.sprintf "%s: space dim %d spans [%d,%d] outside [0,%d)"
+                  df.Df.Dataflow.name i lo hi dims.(i))))
+      (Df.Dataflow.space_bounds op df)
+  end;
+  let r = Array.length c.space_exprs and m = Array.length c.time_exprs in
+  let pe_base = Array.map (fun d -> (0, d)) (Arch.Pe_array.dims pe) in
+  let p_scratch = Array.make r 0 and t_scratch = Array.make m 0 in
+  (* pass 1: bucket instances by time-stamp code *)
+  let buckets : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let tcodes = ref [] in
+  iter_instances c (fun () ->
+      eval_tuple c c.space_exprs p_scratch;
+      eval_tuple c c.time_exprs t_scratch;
+      let tcode = encode c.time_base t_scratch in
+      let pkey = encode pe_base p_scratch in
+      let inst = encode_iters c in
+      match Hashtbl.find_opt buckets tcode with
+      | Some l -> l := (pkey, inst) :: !l
+      | None ->
+          Hashtbl.add buckets tcode (ref [ (pkey, inst) ]);
+          tcodes := tcode :: !tcodes);
+  let order = List.sort compare !tcodes in
+  let preds = pred_pes spec in
+  let preds_enc : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun pkey plist ->
+      Hashtbl.replace preds_enc pkey
+        (List.map (fun p' -> encode pe_base p') plist))
+    preds;
+  let dt_spatial = Arch.Interconnect.interval spec.Arch.Spec.topology in
+  let tensors = Array.of_list (Ir.Tensor_op.tensors op) in
+  let n_tensors = Array.length tensors in
+  let accs =
+    Array.map (fun t -> Array.of_list (Ir.Tensor_op.accesses_of op t)) tensors
+  in
+  let bases = Array.map (tensor_bases c) accs in
+  let fspace =
+    Array.fold_left
+      (fun acc b -> max acc (Array.fold_left (fun a (_, e) -> a * e) 1 b))
+      1 bases
+  in
+  (* pe/tensor/element key for the last-touch table *)
+  let key ~pkey ~ti fenc = (((pkey * n_tensors) + ti) * fspace) + fenc in
+  let last_touch : (int, int) Hashtbl.t =
+    Hashtbl.create (max 1024 (Ir.Tensor_op.n_instances op))
+  in
+  (* element encodings of the instance currently in c.vals, deduplicated *)
+  let f_scratch = Array.make 16 0 in
+  let eval_fenc ti : int list =
+    let b = bases.(ti) in
+    let arity = Array.length b in
+    let encs =
+      Array.to_list
+        (Array.map
+           (fun (a : Ir.Tensor_op.access) ->
+             List.iteri
+               (fun i e -> f_scratch.(i) <- Isl.Aff.eval c.env e)
+               a.Ir.Tensor_op.subscripts;
+             let acc = ref 0 in
+             for i = 0 to arity - 1 do
+               let lo, ext = b.(i) in
+               acc := (!acc * ext) + (f_scratch.(i) - lo)
+             done;
+             !acc)
+           accs.(ti))
+    in
+    List.sort_uniq compare encs
+  in
+  let inner_ext = if m = 0 then 1 else snd c.time_base.(m - 1) in
+  let same_outer a b =
+    match adjacency with
+    | `Lex_step -> true
+    | `Inner_step -> a / inner_ext = b / inner_ext
+  in
+  let totals = Array.make n_tensors 0 in
+  let reuse_t = Array.make n_tensors 0 in
+  let reuse_s = Array.make n_tensors 0 in
+  (* distinct elements per tensor (footprints), collected on the fly *)
+  let touched = Array.init n_tensors (fun _ -> Hashtbl.create 1024) in
+  let busiest = ref 0 in
+  let conflict = ref false in
+  let stamped_cycles = ref 0 in
+  let iv = Array.make c.n_iters 0 in
+  (* pass 2: walk stamps in lexicographic order, checking each element
+     against the last time this PE (temporal window) or a predecessor PE
+     (spatial, exact interconnect latency) touched it *)
+  List.iter
+    (fun tcode ->
+      let insts = !(Hashtbl.find buckets tcode) in
+      busiest := max !busiest (List.length insts);
+      let stamp_unique = ref 0 in
+      (* conflict check: two instances on one PE in one stamp *)
+      let seen_pe = Hashtbl.create 16 in
+      List.iter
+        (fun (pkey, _) ->
+          if Hashtbl.mem seen_pe pkey then conflict := true
+          else Hashtbl.add seen_pe pkey ())
+        insts;
+      let needs =
+        List.map
+          (fun (pkey, inst) ->
+            decode_iters c inst iv;
+            Array.blit iv 0 c.vals 0 c.n_iters;
+            (pkey, Array.init n_tensors eval_fenc))
+          insts
+      in
+      (* same-stamp needs, for interval-0 wire sharing *)
+      let stamp_needs : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      if dt_spatial = 0 then
+        List.iter
+          (fun (pkey, per_tensor) ->
+            Array.iteri
+              (fun ti fencs ->
+                List.iter
+                  (fun fenc -> Hashtbl.replace stamp_needs (key ~pkey ~ti fenc) ())
+                  fencs)
+              per_tensor)
+          needs;
+      List.iter
+        (fun (pkey, per_tensor) ->
+          let plist =
+            Option.value ~default:[] (Hashtbl.find_opt preds_enc pkey)
+          in
+          Array.iteri
+            (fun ti fencs ->
+              List.iter
+                (fun fenc ->
+                  totals.(ti) <- totals.(ti) + 1;
+                  Hashtbl.replace touched.(ti) fenc ();
+                  let temporal =
+                    m > 0
+                    &&
+                    match Hashtbl.find_opt last_touch (key ~pkey ~ti fenc) with
+                    | Some last ->
+                        tcode - last <= window && same_outer tcode last
+                    | None -> false
+                  in
+                  if temporal then reuse_t.(ti) <- reuse_t.(ti) + 1
+                  else begin
+                    let spatial =
+                      if dt_spatial = 0 then
+                        List.exists
+                          (fun p' ->
+                            Hashtbl.mem stamp_needs (key ~pkey:p' ~ti fenc))
+                          plist
+                      else
+                        List.exists
+                          (fun p' ->
+                            match
+                              Hashtbl.find_opt last_touch (key ~pkey:p' ~ti fenc)
+                            with
+                            | Some last ->
+                                tcode - last = dt_spatial
+                                && same_outer tcode last
+                            | None -> false)
+                          plist
+                    in
+                    if spatial then reuse_s.(ti) <- reuse_s.(ti) + 1
+                    else incr stamp_unique
+                  end)
+                fencs)
+            per_tensor)
+        needs;
+      stamped_cycles :=
+        !stamped_cycles
+        + max 1
+            ((!stamp_unique + spec.Arch.Spec.bandwidth - 1)
+            / spec.Arch.Spec.bandwidth);
+      (* commit this stamp's touches *)
+      List.iter
+        (fun (pkey, per_tensor) ->
+          Array.iteri
+            (fun ti fencs ->
+              List.iter
+                (fun fenc -> Hashtbl.replace last_touch (key ~pkey ~ti fenc) tcode)
+                fencs)
+            per_tensor)
+        needs)
+    order;
+  if validate && !conflict then
+    raise
+      (Invalid_dataflow
+         (Printf.sprintf "%s: two instances share a spacetime-stamp"
+            df.Df.Dataflow.name));
+  (* assemble metrics, mirroring Model.analyze *)
+  let per_tensor =
+    List.mapi
+      (fun ti tensor ->
+        let total = totals.(ti) in
+        let temporal_reuse = reuse_t.(ti) in
+        let spatial_reuse = reuse_s.(ti) in
+        let direction =
+          if List.mem tensor (Ir.Tensor_op.outputs op) then Ir.Tensor_op.Write
+          else Ir.Tensor_op.Read
+        in
+        {
+          Metrics.tensor;
+          direction;
+          volumes =
+            {
+              Metrics.total;
+              temporal_reuse;
+              spatial_reuse;
+              unique = total - temporal_reuse - spatial_reuse;
+            };
+          footprint = Hashtbl.length touched.(ti);
+        })
+      (Array.to_list tensors)
+  in
+  let n_instances = Ir.Tensor_op.n_instances op in
+  let pe_size = Arch.Pe_array.size pe in
+  let n_timestamps = max 1 (Hashtbl.length buckets) in
+  let partial =
+    {
+      Metrics.dataflow = df.Df.Dataflow.name;
+      per_tensor;
+      n_instances;
+      n_timestamps;
+      pe_size;
+      avg_utilization =
+        float_of_int n_instances /. float_of_int (pe_size * n_timestamps);
+      max_utilization = float_of_int !busiest /. float_of_int pe_size;
+      delay_compute = n_timestamps;
+      delay_read = 0.;
+      delay_write = 0.;
+      latency = 0.;
+      latency_stamped = 0.;
+      ibw = 0.;
+      sbw = 0.;
+      energy = 0.;
+    }
+  in
+  let bw = float_of_int spec.Arch.Spec.bandwidth in
+  let delay_read = float_of_int (Metrics.unique_inputs partial) /. bw in
+  let delay_write = float_of_int (Metrics.unique_outputs partial) /. bw in
+  let latency =
+    Float.max (float_of_int n_timestamps) (delay_read +. delay_write)
+  in
+  let e = spec.Arch.Spec.energy in
+  let energy =
+    let open Arch.Energy in
+    let all_total =
+      List.fold_left (fun a tm -> a + tm.Metrics.volumes.Metrics.total) 0
+        per_tensor
+    in
+    (float_of_int n_instances *. e.mac)
+    +. (float_of_int all_total *. e.reg)
+    +. (float_of_int (Metrics.total_unique partial) *. e.spm)
+    +. (float_of_int (Metrics.total_spatial_reuse partial) *. e.link)
+  in
+  {
+    partial with
+    delay_read;
+    delay_write;
+    latency;
+    latency_stamped = float_of_int !stamped_cycles;
+    ibw =
+      float_of_int (Metrics.total_spatial_reuse partial)
+      /. float_of_int n_timestamps;
+    sbw =
+      float_of_int (Metrics.total_unique partial) /. float_of_int n_timestamps;
+    energy;
+  }

@@ -1,0 +1,83 @@
+(* Result records of the performance model (paper Section V). *)
+
+type volumes = {
+  total : int; (* TotalVolume: all (stamp, element) accesses *)
+  temporal_reuse : int; (* reused from the same PE's previous stamp *)
+  spatial_reuse : int; (* reused over the interconnect (and not temporally) *)
+  unique : int; (* TotalVolume - ReuseVolume: scratchpad traffic *)
+}
+
+let reuse v = v.temporal_reuse + v.spatial_reuse
+
+let reuse_factor v =
+  if v.unique = 0 then Float.infinity
+  else float_of_int v.total /. float_of_int v.unique
+
+type tensor_metrics = {
+  tensor : string;
+  direction : Tenet_ir.Tensor_op.direction;
+  volumes : volumes;
+  footprint : int; (* distinct elements touched *)
+}
+
+type t = {
+  dataflow : string;
+  per_tensor : tensor_metrics list;
+  n_instances : int; (* card D_S = number of MACs *)
+  n_timestamps : int; (* distinct time-stamps = compute cycles *)
+  pe_size : int;
+  avg_utilization : float; (* instances / (pe_size * timestamps) *)
+  max_utilization : float; (* busiest stamp / pe_size *)
+  delay_compute : int; (* cycles: one time-stamp per cycle *)
+  delay_read : float; (* unique input volume / bandwidth *)
+  delay_write : float; (* unique output volume / bandwidth *)
+  latency : float; (* max(compute, read + write) *)
+  latency_stamped : float;
+      (* sum over stamps of max(1, traffic_t / bandwidth): accounts for
+         bursty per-stamp traffic the overlap formula hides *)
+  ibw : float; (* interconnect bandwidth: spatial reuse / compute *)
+  sbw : float; (* scratchpad bandwidth: unique volume / compute *)
+  energy : float; (* Energy model units (MAC = 1) *)
+}
+
+let find_tensor t name =
+  List.find (fun tm -> String.equal tm.tensor name) t.per_tensor
+
+let unique_inputs t =
+  List.fold_left
+    (fun acc tm ->
+      if tm.direction = Tenet_ir.Tensor_op.Read then acc + tm.volumes.unique
+      else acc)
+    0 t.per_tensor
+
+let unique_outputs t =
+  List.fold_left
+    (fun acc tm ->
+      if tm.direction = Tenet_ir.Tensor_op.Write then acc + tm.volumes.unique
+      else acc)
+    0 t.per_tensor
+
+let total_unique t =
+  List.fold_left (fun acc tm -> acc + tm.volumes.unique) 0 t.per_tensor
+
+let total_spatial_reuse t =
+  List.fold_left (fun acc tm -> acc + tm.volumes.spatial_reuse) 0 t.per_tensor
+
+let pp_row fmt t =
+  Format.fprintf fmt
+    "%-24s lat=%10.1f cyc=%8d util(avg/max)=%4.2f/%4.2f sbw=%6.2f ibw=%6.2f \
+     energy=%12.1f"
+    t.dataflow t.latency t.delay_compute t.avg_utilization t.max_utilization
+    t.sbw t.ibw t.energy
+
+let to_string t = Format.asprintf "%a" pp_row t
+
+let pp_tensor_row fmt tm =
+  let v = tm.volumes in
+  Format.fprintf fmt
+    "%-3s %-6s total=%-10d uniq=%-10d reuseT=%-10d reuseS=%-10d factor=%6.2f"
+    tm.tensor
+    (match tm.direction with
+    | Tenet_ir.Tensor_op.Read -> "in"
+    | Tenet_ir.Tensor_op.Write -> "out")
+    v.total v.unique v.temporal_reuse v.spatial_reuse (reuse_factor v)

@@ -1,0 +1,151 @@
+(* The TENET performance model (paper Section V): volumes per tensor, PE
+   utilization, latency, bandwidth requirements and energy, all computed
+   by counting relations. *)
+
+module Isl = Tenet_isl
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Df = Tenet_dataflow
+
+exception Invalid_dataflow of string
+
+(* Per-time-stamp occupancy, shared by utilization and timestamp count:
+   walk Θ's pairs once, bucketing instances by time-stamp.  Injectivity
+   (validated separately) makes instances-per-stamp equal active PEs. *)
+let stamp_histogram (th : Isl.Map.t) ~n_space ~n_time =
+  let tbl : (int array, int ref) Hashtbl.t = Hashtbl.create 4096 in
+  Isl.Map.iter_pairs
+    (fun _src dst ->
+      let t = Array.sub dst n_space n_time in
+      match Hashtbl.find_opt tbl t with
+      | Some r -> incr r
+      | None -> Hashtbl.add tbl t (ref 1))
+    th;
+  tbl
+
+let analyze ?(adjacency = `Inner_step) ?(validate = true)
+    (spec : Arch.Spec.t) (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) :
+    Metrics.t =
+  if validate then begin
+    match Df.Dataflow.validate op df spec.Arch.Spec.pe with
+    | Ok () -> ()
+    | Error v ->
+        raise (Invalid_dataflow (Df.Dataflow.violation_to_string v))
+  end;
+  let th = Df.Dataflow.theta op df in
+  let channels = Df.Spacetime.channels ~adjacency spec op df in
+  let per_tensor =
+    List.map
+      (fun tensor ->
+        let assignment = Df.Dataflow.data_assignment op df tensor in
+        let volumes = Volumes.compute ~assignment ~channels in
+        let direction =
+          if List.mem tensor (Ir.Tensor_op.outputs op) then
+            Ir.Tensor_op.Write
+          else Ir.Tensor_op.Read
+        in
+        {
+          Metrics.tensor;
+          direction;
+          volumes;
+          footprint = Ir.Tensor_op.footprint op tensor;
+        })
+      (Ir.Tensor_op.tensors op)
+  in
+  let n_instances = Ir.Tensor_op.n_instances op in
+  let pe_size = Arch.Pe_array.size spec.Arch.Spec.pe in
+  let hist =
+    stamp_histogram th ~n_space:(Df.Dataflow.n_space df)
+      ~n_time:(Df.Dataflow.n_time df)
+  in
+  let n_timestamps = max 1 (Hashtbl.length hist) in
+  let busiest = Hashtbl.fold (fun _ r acc -> max acc !r) hist 0 in
+  let avg_utilization =
+    float_of_int n_instances /. float_of_int (pe_size * n_timestamps)
+  in
+  let max_utilization = float_of_int busiest /. float_of_int pe_size in
+  let metrics_partial =
+    {
+      Metrics.dataflow = df.Df.Dataflow.name;
+      per_tensor;
+      n_instances;
+      n_timestamps;
+      pe_size;
+      avg_utilization;
+      max_utilization;
+      delay_compute = n_timestamps;
+      delay_read = 0.;
+      delay_write = 0.;
+      latency = 0.;
+      latency_stamped = 0.;
+      ibw = 0.;
+      sbw = 0.;
+      energy = 0.;
+    }
+  in
+  let bw = float_of_int spec.Arch.Spec.bandwidth in
+  let delay_read =
+    float_of_int (Metrics.unique_inputs metrics_partial) /. bw
+  in
+  let delay_write =
+    float_of_int (Metrics.unique_outputs metrics_partial) /. bw
+  in
+  (* Buffers, networks and arithmetic are pipelined with double buffering
+     (Section V-B): latency is the maximum of computation and
+     communication. *)
+  let latency =
+    Float.max (float_of_int n_timestamps) (delay_read +. delay_write)
+  in
+  let ibw =
+    float_of_int (Metrics.total_spatial_reuse metrics_partial)
+    /. float_of_int n_timestamps
+  in
+  let sbw =
+    float_of_int (Metrics.total_unique metrics_partial)
+    /. float_of_int n_timestamps
+  in
+  let e = spec.Arch.Spec.energy in
+  let energy =
+    let open Arch.Energy in
+    let totals =
+      List.fold_left (fun a tm -> a + tm.Metrics.volumes.Metrics.total) 0
+        per_tensor
+    in
+    let uniques = Metrics.total_unique metrics_partial in
+    let spatial = Metrics.total_spatial_reuse metrics_partial in
+    (float_of_int n_instances *. e.mac)
+    +. (float_of_int totals *. e.reg)
+    +. (float_of_int uniques *. e.spm)
+    +. (float_of_int spatial *. e.link)
+  in
+  {
+    metrics_partial with
+    delay_read;
+    delay_write;
+    latency;
+    latency_stamped = latency;
+    ibw;
+    sbw;
+    energy;
+  }
+
+(* Volumes for a single tensor without the full report (used by DSE inner
+   loops where only one tensor matters). *)
+let tensor_volumes ?(adjacency = `Inner_step) (spec : Arch.Spec.t)
+    (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) (tensor : string) :
+    Metrics.volumes =
+  let channels = Df.Spacetime.channels ~adjacency spec op df in
+  let assignment = Df.Dataflow.data_assignment op df tensor in
+  Volumes.compute ~assignment ~channels
+
+type engine = [ `Relational | `Concrete ]
+
+(* Engine dispatch: the concrete evaluator computes identical metrics
+   orders of magnitude faster (see Concrete); the relational path is the
+   faithful transcription of the paper's formulas and serves as the
+   reference in tests. *)
+let analyze_with ?(engine : engine = `Concrete) ?(adjacency = `Inner_step)
+    ?(validate = true) spec op df : Metrics.t =
+  match engine with
+  | `Relational -> analyze ~adjacency ~validate spec op df
+  | `Concrete -> Concrete.analyze ~adjacency ~validate spec op df

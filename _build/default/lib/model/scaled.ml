@@ -1,0 +1,221 @@
+(* Scaled analysis for large layers — the substitute for Barvinok's
+   symbolic counting (DESIGN.md, substitution table).
+
+   TENET's quasi-affine dataflows are periodic in their sequential loop
+   dimensions: after the first period, every additional iteration of an
+   outer dim contributes the same per-period volumes.  Hence every integer
+   metric (TotalVolume, reuse volumes, timestamps, instances) is
+   *multilinear* in the extents of those dims once the extents exceed one
+   period.  We exploit this by measuring the metrics exactly on the 2^h
+   corner combinations of two sample extents per scaled dim, fitting the
+   unique multilinear interpolant, and evaluating it at the full extents.
+
+   Exactness on in-range problems is covered by unit tests
+   (test_scaled.ml); callers are responsible for choosing scaled dims that
+   are sequential (not skewed into space stamps), which holds for the
+   channel/spatial dims of the large layers in the paper's Table IV. *)
+
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Df = Tenet_dataflow
+
+type spec_dim = { dim : string; sample_lo : int; sample_hi : int }
+
+(* Default samples: two and four periods of the dim's tiling (or 4 and 8
+   iterations when untiled), clamped to the full extent. *)
+let default_samples (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) dim =
+  let _, hi = Ir.Tensor_op.iter_bounds op dim in
+  let lo, _ = Ir.Tensor_op.iter_bounds op dim in
+  let extent = hi - lo + 1 in
+  (* find a modulus applied to this dim in the stamps, if any *)
+  let rec modulus_of (e : Tenet_isl.Aff.t) =
+    match e with
+    | Tenet_isl.Aff.Mod (Tenet_isl.Aff.Var d, p) when String.equal d dim ->
+        Some p
+    | Tenet_isl.Aff.Fdiv (Tenet_isl.Aff.Var d, p) when String.equal d dim ->
+        Some p
+    | Tenet_isl.Aff.Var _ | Tenet_isl.Aff.Int _ -> None
+    | Tenet_isl.Aff.Neg a
+    | Tenet_isl.Aff.Abs a
+    | Tenet_isl.Aff.Fdiv (a, _)
+    | Tenet_isl.Aff.Mod (a, _) ->
+        modulus_of a
+    | Tenet_isl.Aff.Add (a, b)
+    | Tenet_isl.Aff.Sub (a, b)
+    | Tenet_isl.Aff.Mul (a, b) -> (
+        match modulus_of a with Some p -> Some p | None -> modulus_of b)
+  in
+  let period =
+    List.fold_left
+      (fun acc e -> match acc with Some _ -> acc | None -> modulus_of e)
+      None
+      (df.Df.Dataflow.space @ df.Df.Dataflow.time)
+  in
+  let base = match period with Some p -> p | None -> 4 in
+  let s_lo = min extent (2 * base) and s_hi = min extent (4 * base) in
+  { dim; sample_lo = s_lo; sample_hi = s_hi }
+
+let shrink_op (op : Ir.Tensor_op.t) (assignment : (string * int) list) :
+    Ir.Tensor_op.t =
+  {
+    op with
+    Ir.Tensor_op.iters =
+      List.map
+        (fun it ->
+          match List.assoc_opt it.Ir.Tensor_op.iname assignment with
+          | Some extent -> { it with Ir.Tensor_op.hi = it.Ir.Tensor_op.lo + extent - 1 }
+          | None -> it)
+        op.Ir.Tensor_op.iters;
+  }
+
+(* The integer metrics we extrapolate, flattened to a float vector. *)
+let to_vector (m : Metrics.t) : float array =
+  let per_tensor =
+    List.concat_map
+      (fun tm ->
+        let v = tm.Metrics.volumes in
+        [
+          float_of_int v.Metrics.total;
+          float_of_int v.Metrics.temporal_reuse;
+          float_of_int v.Metrics.spatial_reuse;
+          float_of_int tm.Metrics.footprint;
+        ])
+      m.Metrics.per_tensor
+  in
+  Array.of_list
+    (float_of_int m.Metrics.n_instances
+    :: float_of_int m.Metrics.n_timestamps
+    :: per_tensor)
+
+let of_vector (template : Metrics.t) (bw : int) (energy : Arch.Energy.t)
+    (vec : float array) : Metrics.t =
+  let geti i = int_of_float (Float.round vec.(i)) in
+  let n_instances = geti 0 and n_timestamps = max 1 (geti 1) in
+  let per_tensor =
+    List.mapi
+      (fun idx tm ->
+        let base = 2 + (4 * idx) in
+        let total = geti base
+        and temporal_reuse = geti (base + 1)
+        and spatial_reuse = geti (base + 2)
+        and footprint = geti (base + 3) in
+        {
+          tm with
+          Metrics.volumes =
+            {
+              Metrics.total;
+              temporal_reuse;
+              spatial_reuse;
+              unique = total - temporal_reuse - spatial_reuse;
+            };
+          footprint;
+        })
+      template.Metrics.per_tensor
+  in
+  let partial =
+    {
+      template with
+      Metrics.per_tensor;
+      n_instances;
+      n_timestamps;
+      delay_compute = n_timestamps;
+      latency_stamped = 0.;
+      avg_utilization =
+        float_of_int n_instances
+        /. float_of_int (template.Metrics.pe_size * n_timestamps);
+    }
+  in
+  let bwf = float_of_int bw in
+  let delay_read = float_of_int (Metrics.unique_inputs partial) /. bwf in
+  let delay_write = float_of_int (Metrics.unique_outputs partial) /. bwf in
+  let latency =
+    Float.max (float_of_int n_timestamps) (delay_read +. delay_write)
+  in
+  let all_total =
+    List.fold_left
+      (fun a tm -> a + tm.Metrics.volumes.Metrics.total)
+      0 per_tensor
+  in
+  let energy_total =
+    let open Arch.Energy in
+    (float_of_int n_instances *. energy.mac)
+    +. (float_of_int all_total *. energy.reg)
+    +. (float_of_int (Metrics.total_unique partial) *. energy.spm)
+    +. (float_of_int (Metrics.total_spatial_reuse partial) *. energy.link)
+  in
+  {
+    partial with
+    delay_read;
+    delay_write;
+    latency;
+    latency_stamped = latency;
+    ibw =
+      float_of_int (Metrics.total_spatial_reuse partial)
+      /. float_of_int n_timestamps;
+    sbw =
+      float_of_int (Metrics.total_unique partial) /. float_of_int n_timestamps;
+    energy = energy_total;
+  }
+
+(* Multilinear (tensor-product linear) extrapolation from 2^h corners. *)
+let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
+    ?(validate = true) ?spec_dims (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
+    (df : Df.Dataflow.t) ~(scale_dims : string list) : Metrics.t =
+  let sdims =
+    match spec_dims with
+    | Some s -> s
+    | None -> List.map (default_samples op df) scale_dims
+  in
+  (* dims whose sample span is degenerate are analyzed at full size *)
+  let sdims = List.filter (fun s -> s.sample_lo < s.sample_hi) sdims in
+  let h = List.length sdims in
+  if h = 0 then Concrete.analyze ~adjacency ~validate spec op df
+  else begin
+    let corners = Tenet_util.Int_math.pow 2 h in
+    let corner_vec = Array.make corners [||] in
+    let template = ref None in
+    for c = 0 to corners - 1 do
+      let assignment =
+        List.mapi
+          (fun i s ->
+            (s.dim, if c land (1 lsl i) <> 0 then s.sample_hi else s.sample_lo))
+          sdims
+      in
+      let small = shrink_op op assignment in
+      let m = Concrete.analyze ~adjacency ~validate spec small df in
+      if !template = None then template := Some m;
+      corner_vec.(c) <- to_vector m
+    done;
+    let full_extent d =
+      let lo, hi = Ir.Tensor_op.iter_bounds op d in
+      float_of_int (hi - lo + 1)
+    in
+    (* Lagrange weights per corner *)
+    let weight c =
+      List.fold_left
+        (fun (acc, i) s ->
+          let x = full_extent s.dim in
+          let x0 = float_of_int s.sample_lo and x1 = float_of_int s.sample_hi in
+          let w =
+            if c land (1 lsl i) <> 0 then (x -. x0) /. (x1 -. x0)
+            else (x1 -. x) /. (x1 -. x0)
+          in
+          (acc *. w, i + 1))
+        (1., 0) sdims
+      |> fst
+    in
+    let dim_v = Array.length corner_vec.(0) in
+    let out = Array.make dim_v 0. in
+    for c = 0 to corners - 1 do
+      let w = weight c in
+      for i = 0 to dim_v - 1 do
+        out.(i) <- out.(i) +. (w *. corner_vec.(c).(i))
+      done
+    done;
+    let template = Option.get !template in
+    let m =
+      of_vector template spec.Arch.Spec.bandwidth spec.Arch.Spec.energy out
+    in
+    (* the sampled max utilization is representative; keep the largest *)
+    { m with Metrics.max_utilization = template.Metrics.max_utilization }
+  end

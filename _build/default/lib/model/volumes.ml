@@ -1,0 +1,68 @@
+(* Volume metrics (paper Section V-A, Table II).
+
+   For one tensor with data-assignment relation A = { (PE|T) -> F }:
+   - TotalVolume          = sum(A)
+   - ReuseVolume          = sum(A  /\  M^-1 . A) for a spacetime-map M
+   - UniqueVolume         = TotalVolume - ReuseVolume
+   - TemporalReuseVolume  = reuse through the same-PE channel
+   - SpatialReuseVolume   = reuse through the interconnect channel
+
+   A stamp may be able to reuse a datum both from its own register and
+   from a neighbor; the paper requires ReuseVolume = Temporal + Spatial,
+   so we count temporal reuse first (registers are the cheaper source)
+   and only credit the spatial channel with stamps that temporal reuse
+   does not already cover. *)
+
+module Isl = Tenet_isl
+
+let reuse_map ~(assignment : Isl.Map.t) ~(m : Isl.Map.t) : Isl.Map.t =
+  (* A /\ M^-1.A, i.e. (stamp, element) pairs whose element was already
+     present at an adjacent predecessor stamp. *)
+  Isl.Map.intersect assignment
+    (Isl.Map.apply_range (Isl.Map.reverse m) assignment)
+
+let compute ~(assignment : Isl.Map.t) ~(channels : Tenet_dataflow.Spacetime.channel list)
+    : Metrics.volumes =
+  let total = Isl.Map.card assignment in
+  let temporal_ms =
+    List.filter (fun c -> c.Tenet_dataflow.Spacetime.kind = `Temporal) channels
+  in
+  let spatial_ms =
+    List.filter (fun c -> c.Tenet_dataflow.Spacetime.kind = `Spatial) channels
+  in
+  let union_reuse ms =
+    match ms with
+    | [] -> None
+    | _ ->
+        Some
+          (Isl.Map.union_all
+             (List.map
+                (fun c ->
+                  reuse_map ~assignment ~m:c.Tenet_dataflow.Spacetime.m)
+                ms))
+  in
+  let rt = union_reuse temporal_ms in
+  let temporal_reuse =
+    match rt with None -> 0 | Some rt -> Isl.Map.card rt
+  in
+  let spatial_reuse =
+    match union_reuse spatial_ms with
+    | None -> 0
+    | Some rs -> (
+        match rt with
+        | None -> Isl.Map.card rs
+        | Some rt ->
+            (* pairs spatially reusable but not temporally reusable *)
+            let in_rt = Isl.Map.mem_fn rt in
+            let n = ref 0 in
+            Isl.Set.iter_points
+              (fun p -> if not (in_rt p) then incr n)
+              (Isl.Map.wrap rs);
+            !n)
+  in
+  {
+    Metrics.total;
+    temporal_reuse;
+    spatial_reuse;
+    unique = total - temporal_reuse - spatial_reuse;
+  }

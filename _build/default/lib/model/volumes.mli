@@ -1,0 +1,19 @@
+(** Volume metrics by relation counting (paper Section V-A, Table II).
+
+    For a tensor with data-assignment relation [A = { (PE|T) -> F }] and
+    spacetime-map channels [M]:
+    TotalVolume = sum(A); ReuseVolume = sum(A /\ M^-1 . A);
+    UniqueVolume = Total - Reuse.  A stamp that could reuse both from its
+    own register and from a neighbor is credited to the temporal channel
+    (registers are the cheaper source), keeping
+    Reuse = Temporal + Spatial exact. *)
+
+val reuse_map :
+  assignment:Tenet_isl.Map.t -> m:Tenet_isl.Map.t -> Tenet_isl.Map.t
+(** [A /\ M^-1 . A]: the (stamp, element) pairs whose element was already
+    present at an adjacent predecessor stamp. *)
+
+val compute :
+  assignment:Tenet_isl.Map.t ->
+  channels:Tenet_dataflow.Spacetime.channel list ->
+  Metrics.volumes

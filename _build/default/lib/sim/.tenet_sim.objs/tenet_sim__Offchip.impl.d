@@ -1,0 +1,1 @@
+lib/sim/offchip.ml: Array List Reuse_distance Simulator Tenet_arch Tenet_dataflow Tenet_ir

@@ -1,0 +1,1 @@
+lib/sim/offchip.mli: Reuse_distance Tenet_arch Tenet_dataflow Tenet_ir

@@ -1,0 +1,1 @@
+lib/sim/reuse_distance.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Hashtbl List Printf String Tenet_arch Tenet_dataflow Tenet_ir Tenet_isl Tenet_model

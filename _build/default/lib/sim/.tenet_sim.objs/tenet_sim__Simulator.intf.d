@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Tenet_arch Tenet_dataflow Tenet_ir

@@ -1,0 +1,50 @@
+(* Off-chip traffic analysis: runs the simulator with trace recording and
+   feeds the scratchpad access stream to the LRU reuse-distance model,
+   giving DRAM traffic as a function of scratchpad capacity.
+
+   This closes the loop on Spec.buffer_words: the analytical model's
+   UniqueVolume assumes an on-chip hit; this module says how much of it
+   actually fits. *)
+
+module Arch = Tenet_arch
+module Ir = Tenet_ir
+module Df = Tenet_dataflow
+
+type t = {
+  histogram : Reuse_distance.histogram;
+  scratchpad_accesses : int;
+  dram_accesses : int; (* at the spec's buffer capacity (inf if None) *)
+  hit_rate : float;
+  min_full_reuse_capacity : int;
+      (* smallest buffer with only cold misses *)
+}
+
+let analyze ?(window = 1) (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
+    (df : Df.Dataflow.t) : t =
+  let buf = ref [] in
+  let _result =
+    Simulator.run ~window
+      ~trace:(fun tensor element -> buf := (tensor, Array.copy element) :: !buf)
+      spec op df
+  in
+  let trace = Array.of_list (List.rev !buf) in
+  let histogram = Reuse_distance.histogram trace in
+  let capacity =
+    match spec.Arch.Spec.buffer_words with Some b -> b | None -> max_int
+  in
+  {
+    histogram;
+    scratchpad_accesses = histogram.Reuse_distance.total;
+    dram_accesses = Reuse_distance.misses histogram ~capacity;
+    hit_rate = Reuse_distance.hit_rate histogram ~capacity;
+    min_full_reuse_capacity =
+      Reuse_distance.min_full_reuse_capacity histogram;
+  }
+
+(* DRAM traffic across a sweep of capacities (one simulator run). *)
+let sweep ?(window = 1) (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
+    (df : Df.Dataflow.t) ~(capacities : int list) : (int * int) list =
+  let a = analyze ~window spec op df in
+  List.map
+    (fun c -> (c, Reuse_distance.misses a.histogram ~capacity:c))
+    capacities

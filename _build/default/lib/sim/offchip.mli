@@ -1,0 +1,28 @@
+(** Off-chip traffic analysis: the simulator's scratchpad access trace
+    fed to {!Reuse_distance}, giving DRAM traffic as a function of
+    scratchpad capacity (and meaning to [Spec.buffer_words]). *)
+
+type t = {
+  histogram : Reuse_distance.histogram;
+  scratchpad_accesses : int;
+  dram_accesses : int;
+      (** at the spec's [buffer_words] (all-cold if unbounded) *)
+  hit_rate : float;
+  min_full_reuse_capacity : int;
+}
+
+val analyze :
+  ?window:int ->
+  Tenet_arch.Spec.t ->
+  Tenet_ir.Tensor_op.t ->
+  Tenet_dataflow.Dataflow.t ->
+  t
+
+val sweep :
+  ?window:int ->
+  Tenet_arch.Spec.t ->
+  Tenet_ir.Tensor_op.t ->
+  Tenet_dataflow.Dataflow.t ->
+  capacities:int list ->
+  (int * int) list
+(** [(capacity, dram accesses)] pairs from a single simulator run. *)

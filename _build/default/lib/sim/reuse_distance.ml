@@ -1,0 +1,85 @@
+(* LRU reuse-distance analysis of the scratchpad access stream.
+
+   The analytical model's UniqueVolume is the traffic between PE array
+   and scratchpad; whether each of those accesses also crosses the
+   off-chip boundary depends on the scratchpad capacity.  Classic stack
+   (reuse) distances answer that for every capacity at once: an access
+   hits in an LRU buffer of B words iff fewer than B distinct words were
+   touched since its previous access.
+
+   The histogram is computed with the standard Bennett-Kruskal algorithm:
+   a Fenwick tree over access positions marks each element's most recent
+   position; the stack distance of an access is the number of marked
+   positions after its element's previous one.  O(N log N). *)
+
+type trace = (string * int array) array
+(** (tensor, element) scratchpad accesses in program order. *)
+
+type histogram = {
+  distances : (int, int) Hashtbl.t; (* stack distance -> access count *)
+  cold : int; (* first-ever accesses *)
+  total : int;
+}
+
+module Fenwick = struct
+  type t = { tree : int array }
+
+  let create n = { tree = Array.make (n + 1) 0 }
+
+  let add t i delta =
+    let i = ref (i + 1) in
+    while !i < Array.length t.tree do
+      t.tree.(!i) <- t.tree.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* sum of positions [0, i] *)
+  let prefix t i =
+    let acc = ref 0 in
+    let i = ref (i + 1) in
+    while !i > 0 do
+      acc := !acc + t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+end
+
+let histogram (trace : trace) : histogram =
+  let n = Array.length trace in
+  let fw = Fenwick.create (max n 1) in
+  let last : (string * int list, int) Hashtbl.t = Hashtbl.create 1024 in
+  let distances = Hashtbl.create 64 in
+  let cold = ref 0 in
+  Array.iteri
+    (fun t (tensor, element) ->
+      let key = (tensor, Array.to_list element) in
+      (match Hashtbl.find_opt last key with
+      | None -> incr cold
+      | Some t0 ->
+          (* distinct elements touched strictly after t0: marked
+             positions in (t0, t) *)
+          let d = Fenwick.prefix fw (t - 1) - Fenwick.prefix fw t0 in
+          Hashtbl.replace distances d
+            (1 + Option.value ~default:0 (Hashtbl.find_opt distances d));
+          Fenwick.add fw t0 (-1));
+      Fenwick.add fw t 1;
+      Hashtbl.replace last key t)
+    trace;
+  { distances; cold = !cold; total = n }
+
+(* Misses of an LRU buffer holding [capacity] words: cold misses plus
+   accesses whose stack distance is >= capacity. *)
+let misses (h : histogram) ~capacity =
+  if capacity <= 0 then h.total
+  else
+    Hashtbl.fold
+      (fun d count acc -> if d >= capacity then acc + count else acc)
+      h.distances h.cold
+
+let hit_rate (h : histogram) ~capacity =
+  if h.total = 0 then 1.0
+  else 1.0 -. (float_of_int (misses h ~capacity) /. float_of_int h.total)
+
+(* The smallest capacity at which only cold misses remain. *)
+let min_full_reuse_capacity (h : histogram) =
+  Hashtbl.fold (fun d _ acc -> max acc (d + 1)) h.distances 1

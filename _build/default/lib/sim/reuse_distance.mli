@@ -1,0 +1,26 @@
+(** LRU reuse-distance (stack-distance) analysis of the scratchpad access
+    stream, computed with the Bennett-Kruskal Fenwick-tree algorithm in
+    O(N log N).
+
+    An access hits in an LRU buffer of [capacity] words iff fewer than
+    [capacity] distinct words were touched since its previous access, so
+    one histogram answers every capacity. *)
+
+type trace = (string * int array) array
+(** (tensor, element) scratchpad accesses in program order. *)
+
+type histogram = {
+  distances : (int, int) Hashtbl.t;  (** stack distance -> access count *)
+  cold : int;  (** first-ever accesses *)
+  total : int;
+}
+
+val histogram : trace -> histogram
+
+val misses : histogram -> capacity:int -> int
+(** Cold misses plus accesses at stack distance >= [capacity]. *)
+
+val hit_rate : histogram -> capacity:int -> float
+
+val min_full_reuse_capacity : histogram -> int
+(** The smallest capacity at which only cold misses remain. *)

@@ -1,0 +1,308 @@
+(* A cycle-level simulator for tensor dataflows on spatial architectures.
+
+   This is the repository's substitute for the silicon ground truth the
+   paper compares against (reported Eyeriss / MAERI numbers): it actually
+   executes the dataflow stamp by stamp, moving data through registers,
+   interconnect and a bandwidth-limited scratchpad, and reports observed
+   latency / utilization / traffic.  It shares only the IR with the
+   analytical models, so model-vs-simulator agreement is a genuine
+   cross-check (see DESIGN.md).
+
+   Machine model:
+   - time-stamps execute in lexicographic order; a stamp takes
+     max(1, ceil((reads + writes) / bandwidth)) cycles — scratchpad
+     traffic the analytical model assumes is hidden by double buffering
+     shows up here as stalls when bandwidth is short;
+   - each PE holds a register file per tensor retaining the elements it
+     touched during the last [window] stamps (default 1), matching the
+     analytical model's temporal-reuse window;
+   - interval-1 interconnects deliver a neighbor's previous-stamp
+     elements; interval-0 wires share one fetch among connected PEs
+     needing the same element in the same stamp (the lex-least fetches);
+   - output partial sums are written back on eviction and reloaded when
+     an already-initialized element returns to a PE. *)
+
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Df = Tenet_dataflow
+module C = Tenet_model.Concrete
+
+type tensor_traffic = {
+  tensor : string;
+  direction : Ir.Tensor_op.direction;
+  fetches : int; (* scratchpad reads *)
+  writebacks : int; (* scratchpad writes *)
+}
+
+type result = {
+  cycles : int; (* observed latency *)
+  busy_pe_cycles : int;
+  n_instances : int;
+  pe_size : int;
+  utilization : float; (* instances / (PEs * cycles), the Fig 11 metric *)
+  traffic : tensor_traffic list;
+  stalled_cycles : int; (* cycles beyond one per stamp *)
+}
+
+let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
+    (df : Df.Dataflow.t) : result =
+  let record tensor element =
+    match trace with None -> () | Some f -> f tensor element
+  in
+  let c = C.compile op df in
+  let pe = spec.Arch.Spec.pe in
+  let pe_base = Array.map (fun d -> (0, d)) (Arch.Pe_array.dims pe) in
+  let pe_size = Arch.Pe_array.size pe in
+  let r = Df.Dataflow.n_space df and m = Df.Dataflow.n_time df in
+  let p_scratch = Array.make r 0 and t_scratch = Array.make m 0 in
+  (* bucket instances by time-stamp *)
+  let buckets : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 4096 in
+  let tkeys = ref [] in
+  C.iter_instances c (fun () ->
+      C.eval_tuple c c.C.space_exprs p_scratch;
+      C.eval_tuple c c.C.time_exprs t_scratch;
+      let tkey = C.encode c.C.time_base t_scratch in
+      let pkey = C.encode pe_base p_scratch in
+      let inst = C.encode_iters c in
+      match Hashtbl.find_opt buckets tkey with
+      | Some l -> l := (pkey, inst) :: !l
+      | None ->
+          Hashtbl.add buckets tkey (ref [ (pkey, inst) ]);
+          tkeys := tkey :: !tkeys);
+  (* lexicographic stamp order = ascending mixed-radix code *)
+  let order = List.sort compare !tkeys in
+  let interval = Arch.Interconnect.interval spec.Arch.Spec.topology in
+  (* hop/wire predecessors per PE (lex-filtered for interval 0) *)
+  let preds : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  Tenet_isl.Map.iter_pairs
+    (fun src dst ->
+      let s = C.encode pe_base src and d = C.encode pe_base dst in
+      let prev = try Hashtbl.find preds d with Not_found -> [] in
+      Hashtbl.replace preds d (s :: prev))
+    (Df.Spacetime.reuse_pe_relation pe spec.Arch.Spec.topology);
+  let tensors = Array.of_list (Ir.Tensor_op.tensors op) in
+  let n_tensors = Array.length tensors in
+  let accs =
+    Array.map (fun t -> Array.of_list (Ir.Tensor_op.accesses_of op t)) tensors
+  in
+  let is_output =
+    Array.map (fun t -> List.mem t (Ir.Tensor_op.outputs op)) tensors
+  in
+  (* regs.(pe * n_tensors + ti): FIFO (newest first) of the element sets
+     this PE touched during the last [window] stamps *)
+  let regs : int array list list array =
+    Array.make (pe_size * n_tensors) []
+  in
+  let reg_elements r = List.concat regs.(r) in
+  (* output elements that already hold partial sums in the scratchpad *)
+  let initialized : (int * int array, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let fetches = Array.make n_tensors 0 in
+  let writebacks = Array.make n_tensors 0 in
+  let cycles = ref 0 and busy = ref 0 and stalls = ref 0 in
+  let iv = Array.make c.C.n_iters 0 in
+  let fs_of inst ti =
+    C.decode_iters c inst iv;
+    Array.blit iv 0 c.C.vals 0 c.C.n_iters;
+    List.sort_uniq compare
+      (Array.to_list
+         (Array.map
+            (fun (a : Ir.Tensor_op.access) ->
+              Array.of_list
+                (List.map
+                   (fun e -> Tenet_isl.Aff.eval c.C.env e)
+                   a.Ir.Tensor_op.subscripts))
+            accs.(ti)))
+  in
+  List.iter
+    (fun tkey ->
+      let insts = !(Hashtbl.find buckets tkey) in
+      busy := !busy + List.length insts;
+      let needs =
+        List.map
+          (fun (pkey, inst) ->
+            (pkey, List.init n_tensors (fun ti -> (ti, fs_of inst ti))))
+          insts
+      in
+      (* (pe, tensor, element) needed this stamp, for same-cycle sharing *)
+      let stamp_needs : (int * int, int array list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      (* all (tensor, element) pairs alive this stamp, for eviction *)
+      let used_now : (int * int array, unit) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (pkey, per_tensor) ->
+          List.iter
+            (fun (ti, fs) ->
+              Hashtbl.replace stamp_needs (pkey, ti) fs;
+              List.iter (fun f -> Hashtbl.replace used_now (ti, f) ()) fs)
+            per_tensor)
+        needs;
+      (* deduplicate writebacks of replicated copies within one stamp *)
+      let written_now : (int * int array, unit) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let reads = ref 0 and writes = ref 0 in
+      List.iter
+        (fun (pkey, per_tensor) ->
+          List.iter
+            (fun (ti, fs) ->
+              let reg = (pkey * n_tensors) + ti in
+              let held = reg_elements reg in
+              let have_local f = List.exists (fun g -> compare g f = 0) held in
+              let have_neighbor f =
+                match Hashtbl.find_opt preds pkey with
+                | None -> false
+                | Some ps ->
+                    if interval = 0 then
+                      List.exists
+                        (fun p' ->
+                          match Hashtbl.find_opt stamp_needs (p', ti) with
+                          | None -> false
+                          | Some fs' ->
+                              List.exists (fun g -> compare g f = 0) fs')
+                        ps
+                    else
+                      List.exists
+                        (fun p' ->
+                          List.exists
+                            (fun g -> compare g f = 0)
+                            (reg_elements ((p' * n_tensors) + ti)))
+                        ps
+              in
+              if is_output.(ti) then begin
+                (* evict partial sums leaving the array: those about to
+                   fall off the register window, not used anywhere this
+                   stamp (a live element merely migrating between PEs
+                   travels over the interconnect), and written only once
+                   per stamp even if several PEs held copies *)
+                let falling_off =
+                  if List.length regs.(reg) >= window then
+                    match List.rev regs.(reg) with
+                    | oldest :: _ ->
+                        let rest =
+                          List.concat
+                            (match List.rev regs.(reg) with
+                            | _ :: r -> r
+                            | [] -> [])
+                        in
+                        List.filter
+                          (fun g ->
+                            not (List.exists (fun h -> compare g h = 0) rest))
+                          oldest
+                    | [] -> []
+                  else []
+                in
+                let evicted =
+                  List.filter
+                    (fun g ->
+                      (not (List.exists (fun f -> compare g f = 0) fs))
+                      && (not (Hashtbl.mem used_now (ti, g)))
+                      && not (Hashtbl.mem written_now (ti, g)))
+                    falling_off
+                in
+                List.iter
+                  (fun g ->
+                    incr writes;
+                    writebacks.(ti) <- writebacks.(ti) + 1;
+                    record tensors.(ti) g;
+                    Hashtbl.replace written_now (ti, g) ();
+                    Hashtbl.replace initialized (ti, g) ())
+                  evicted;
+                List.iter
+                  (fun f ->
+                    if not (have_local f || have_neighbor f) then
+                      if Hashtbl.mem initialized (ti, f) then begin
+                        (* reload an existing partial sum *)
+                        incr reads;
+                        fetches.(ti) <- fetches.(ti) + 1;
+                        record tensors.(ti) f
+                      end)
+                  fs
+              end
+              else
+                List.iter
+                  (fun f ->
+                    if not (have_local f || have_neighbor f) then begin
+                      incr reads;
+                      fetches.(ti) <- fetches.(ti) + 1;
+                      record tensors.(ti) f
+                    end)
+                  fs)
+            per_tensor)
+        needs;
+      let step_cycles =
+        max 1
+          ((!reads + !writes + spec.Arch.Spec.bandwidth - 1)
+          / spec.Arch.Spec.bandwidth)
+      in
+      stalls := !stalls + (step_cycles - 1);
+      cycles := !cycles + step_cycles;
+      (* commit registers for the next stamp: push this stamp's set and
+         retire anything beyond the window *)
+      List.iter
+        (fun (pkey, per_tensor) ->
+          List.iter
+            (fun (ti, fs) ->
+              let reg = (pkey * n_tensors) + ti in
+              let take n l =
+                let rec go n = function
+                  | x :: r when n > 0 -> x :: go (n - 1) r
+                  | _ -> []
+                in
+                go n l
+              in
+              regs.(reg) <- take window (fs :: regs.(reg)))
+            per_tensor)
+        needs)
+    order;
+  (* final drain: all live output partial sums return to the scratchpad *)
+  let final_writes = ref 0 in
+  Array.iteri
+    (fun ti out ->
+      if out then begin
+        let distinct = Hashtbl.create 64 in
+        for p = 0 to pe_size - 1 do
+          List.iter
+            (fun g -> Hashtbl.replace distinct g ())
+            (reg_elements ((p * n_tensors) + ti))
+        done;
+        Hashtbl.iter (fun g () -> record tensors.(ti) g) distinct;
+        final_writes := !final_writes + Hashtbl.length distinct;
+        writebacks.(ti) <- writebacks.(ti) + Hashtbl.length distinct
+      end)
+    is_output;
+  cycles :=
+    !cycles
+    + ((!final_writes + spec.Arch.Spec.bandwidth - 1)
+      / spec.Arch.Spec.bandwidth);
+  let n_instances = Ir.Tensor_op.n_instances op in
+  {
+    cycles = !cycles;
+    busy_pe_cycles = !busy;
+    n_instances;
+    pe_size;
+    utilization =
+      float_of_int n_instances /. float_of_int (pe_size * max 1 !cycles);
+    traffic =
+      Array.to_list
+        (Array.mapi
+           (fun ti t ->
+             {
+               tensor = t;
+               direction =
+                 (if is_output.(ti) then Ir.Tensor_op.Write
+                  else Ir.Tensor_op.Read);
+               fetches = fetches.(ti);
+               writebacks = writebacks.(ti);
+             })
+           tensors);
+    stalled_cycles = !stalls;
+  }
+
+let to_string r =
+  Printf.sprintf "cycles=%d util=%.3f busy=%d stalls=%d traffic=[%s]" r.cycles
+    r.utilization r.busy_pe_cycles r.stalled_cycles
+    (String.concat "; "
+       (List.map
+          (fun t -> Printf.sprintf "%s r%d w%d" t.tensor t.fetches t.writebacks)
+          r.traffic))

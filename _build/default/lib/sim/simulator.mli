@@ -1,0 +1,41 @@
+(** A cycle-level simulator for tensor dataflows on spatial
+    architectures — the executable ground truth for the Figure 11
+    accuracy study (see DESIGN.md's substitution table).
+
+    The machine executes time-stamps in lexicographic order; each PE
+    keeps a register file per tensor holding the elements touched in the
+    last [window] stamps; interval-1 interconnects forward a neighbor's
+    previous-stamp elements, interval-0 wires share one fetch per element
+    per cycle; scratchpad traffic is limited to [bandwidth] words/cycle
+    and surplus shows up as stall cycles; output partial sums write back
+    on eviction and reload when they return. *)
+
+type tensor_traffic = {
+  tensor : string;
+  direction : Tenet_ir.Tensor_op.direction;
+  fetches : int;
+  writebacks : int;
+}
+
+type result = {
+  cycles : int;  (** observed latency *)
+  busy_pe_cycles : int;
+  n_instances : int;
+  pe_size : int;
+  utilization : float;  (** instances / (PEs x cycles) *)
+  traffic : tensor_traffic list;
+  stalled_cycles : int;
+}
+
+val run :
+  ?window:int ->
+  ?trace:(string -> int array -> unit) ->
+  Tenet_arch.Spec.t ->
+  Tenet_ir.Tensor_op.t ->
+  Tenet_dataflow.Dataflow.t ->
+  result
+(** [window] defaults to 1 (single-stamp registers).  [trace] is invoked
+    with (tensor, element) for every scratchpad access, in program order,
+    feeding {!Reuse_distance}. *)
+
+val to_string : result -> string

@@ -1,0 +1,38 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let fdiv a b =
+  assert (b <> 0);
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let fmod a b = a - (b * fdiv a b)
+
+let cdiv a b = -fdiv (-a) b
+
+let pow base e =
+  assert (e >= 0);
+  let rec go acc base e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * base) (base * base) (e asr 1)
+    else go acc (base * base) (e asr 1)
+  in
+  go 1 base e
+
+let factorial n =
+  assert (n >= 0);
+  let rec go acc i = if i > n then acc else go (acc * i) (i + 1) in
+  go 1 2
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    go 1 1
+  end
+
+let sum = List.fold_left ( + ) 0
+
+let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v

@@ -1,0 +1,32 @@
+(** Exact integer arithmetic helpers.
+
+    All divisions here are the mathematical (floor/ceil) variants, which
+    differ from OCaml's truncating [(/)] on negative operands.  Quasi-affine
+    expressions in the polyhedral model are defined in terms of floor
+    division, so these are used pervasively by {!Tenet_isl}. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b] is the non-negative least common multiple. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is [floor (a / b)]. [b] must be non-zero. *)
+
+val fmod : int -> int -> int
+(** [fmod a b] is [a - b * fdiv a b]; always in [\[0, |b|)] for [b > 0]. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is [ceil (a / b)]. [b] must be non-zero. *)
+
+val pow : int -> int -> int
+(** [pow base e] for [e >= 0]. *)
+
+val factorial : int -> int
+
+val binomial : int -> int -> int
+(** [binomial n k] is the number of [k]-subsets of an [n]-set. *)
+
+val sum : int list -> int
+val clamp : lo:int -> hi:int -> int -> int

@@ -1,0 +1,12 @@
+(** Imperative union-find over integers [0 .. n-1], used to split constraint
+    systems into independent connected components before counting. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+
+val groups : t -> int list array
+(** All equivalence classes, each as a sorted list of members.  The array is
+    indexed arbitrarily (one entry per class). *)

@@ -1,0 +1,1 @@
+lib/workloads/layers.ml: List Printf Tenet_ir

@@ -1,0 +1,1 @@
+lib/workloads/layers.mli: Tenet_ir

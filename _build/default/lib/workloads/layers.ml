@@ -1,0 +1,123 @@
+(* Layer tables for the real-world applications of the paper (Table IV and
+   Figures 11-12): AlexNet, VGG16, GoogLeNet, MobileNet, ALS (MTTKRP) and
+   Transformer (matrix-multiplication chains).
+
+   Convolution strides are normalized to 1 (our conv IR indexes the input
+   as [ox + rx]); output resolutions are the networks' actual ones, so
+   MAC counts and reuse structure are preserved — this is the documented
+   stride substitution in DESIGN.md.  Grouped convolutions (AlexNet
+   conv2/4/5) use their per-group channel counts. *)
+
+module Ir = Tenet_ir
+
+type kind = Conv | Dw_conv | Gemm | Mttkrp | Mmc
+
+type layer = {
+  lname : string;
+  kind : kind;
+  op : Ir.Tensor_op.t;
+  (* dims that are safe to extrapolate (sequential in common dataflows) *)
+  scale_dims : string list;
+}
+
+let conv lname ~k ~c ~o ~r =
+  {
+    lname;
+    kind = Conv;
+    op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r;
+    scale_dims = [ "k"; "c"; "ox" ];
+  }
+
+let dw_conv lname ~c ~o ~r =
+  {
+    lname;
+    kind = Dw_conv;
+    op = Ir.Kernels.dw_conv2d ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r;
+    scale_dims = [ "c"; "ox" ];
+  }
+
+let pw_conv lname ~k ~c ~o =
+  {
+    lname;
+    kind = Conv;
+    op = Ir.Kernels.pw_conv2d ~nk:k ~nc:c ~nox:o ~noy:o;
+    scale_dims = [ "k"; "c"; "ox" ];
+  }
+
+let macs l = Ir.Tensor_op.n_instances l.op
+
+(* --- AlexNet (Krizhevsky et al.): the five conv layers of Fig 11a/b. --- *)
+let alexnet : layer list =
+  [
+    conv "CONV1" ~k:96 ~c:3 ~o:55 ~r:11;
+    conv "CONV2" ~k:256 ~c:48 ~o:27 ~r:5;
+    conv "CONV3" ~k:384 ~c:256 ~o:13 ~r:3;
+    conv "CONV4" ~k:384 ~c:192 ~o:13 ~r:3;
+    conv "CONV5" ~k:256 ~c:192 ~o:13 ~r:3;
+  ]
+
+(* --- VGG16: the first conv of each stage (C1-C5 in Fig 11c/d). --- *)
+let vgg16 : layer list =
+  [
+    conv "CONV1-1" ~k:64 ~c:3 ~o:224 ~r:3;
+    conv "CONV2-1" ~k:128 ~c:64 ~o:112 ~r:3;
+    conv "CONV3-1" ~k:256 ~c:128 ~o:56 ~r:3;
+    conv "CONV4-1" ~k:512 ~c:256 ~o:28 ~r:3;
+    conv "CONV5-1" ~k:512 ~c:512 ~o:14 ~r:3;
+  ]
+
+(* --- GoogLeNet: stem + representative inception branches (6.7M params,
+   three layer shapes per Table IV). --- *)
+let googlenet : layer list =
+  [
+    conv "conv1/7x7" ~k:64 ~c:3 ~o:112 ~r:7;
+    conv "conv2/3x3" ~k:192 ~c:64 ~o:56 ~r:3;
+    conv "inception-3a/3x3" ~k:128 ~c:96 ~o:28 ~r:3;
+    conv "inception-4a/3x3" ~k:208 ~c:96 ~o:14 ~r:3;
+    pw_conv "inception-4a/1x1" ~k:192 ~c:480 ~o:14;
+    conv "inception-5a/3x3" ~k:320 ~c:160 ~o:7 ~r:3;
+  ]
+
+(* --- MobileNet v1: alternating depthwise / pointwise stacks (4.2M
+   params, four layer shapes per Table IV). --- *)
+let mobilenet : layer list =
+  [
+    conv "conv1" ~k:32 ~c:3 ~o:112 ~r:3;
+    dw_conv "dw-CONV2" ~c:64 ~o:112 ~r:3;
+    pw_conv "pw-CONV2" ~k:128 ~c:64 ~o:56;
+    dw_conv "dw-CONV4" ~c:256 ~o:28 ~r:3;
+    pw_conv "pw-CONV4" ~k:256 ~c:256 ~o:28;
+    dw_conv "dw-CONV6" ~c:512 ~o:14 ~r:3;
+    pw_conv "pw-CONV6" ~k:512 ~c:512 ~o:14;
+  ]
+
+(* --- ALS on the Netflix-scale tensor (Table IV: 480K x 18K x 2K), rank
+   32: the MTTKRP bottleneck operation. --- *)
+let als ?(rank = 32) () : layer =
+  {
+    lname = "ALS-MTTKRP";
+    kind = Mttkrp;
+    op = Ir.Kernels.mttkrp ~ni:480_000 ~nj:rank ~nk:18_000 ~nl:2_000;
+    scale_dims = [ "i"; "k"; "l" ];
+  }
+
+(* --- Transformer (Vaswani et al.): attention score x value chains with
+   model dims 512 / 768 / 1024 (Table IV), sequence length 512. --- *)
+let transformer ?(seq = 512) () : layer list =
+  List.map
+    (fun dm ->
+      {
+        lname = Printf.sprintf "MMc-d%d" dm;
+        kind = Mmc;
+        op = Ir.Kernels.mmc ~ni:seq ~nj:dm ~nk:seq ~nl:dm;
+        scale_dims = [ "i"; "j"; "k"; "l" ];
+      })
+    [ 512; 768; 1024 ]
+
+let all_networks : (string * layer list) list =
+  [
+    ("AlexNet", alexnet);
+    ("VGG16", vgg16);
+    ("GoogLeNet", googlenet);
+    ("MobileNet", mobilenet);
+  ]

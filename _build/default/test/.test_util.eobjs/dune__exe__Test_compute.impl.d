@@ -1,0 +1,1 @@
+test/test_compute.ml: Alcotest List QCheck QCheck_alcotest String Tenet Tenet_compute

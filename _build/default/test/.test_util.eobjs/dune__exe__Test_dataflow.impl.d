@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array List Printf Tenet

@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest List Option Printf Tenet

@@ -1,0 +1,1 @@
+test/test_isl.ml: Alcotest Array List Printf QCheck QCheck_alcotest Tenet

@@ -1,0 +1,1 @@
+test/test_maestro.ml: Alcotest List Tenet Tenet_util Unix

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest List QCheck QCheck_alcotest String Tenet

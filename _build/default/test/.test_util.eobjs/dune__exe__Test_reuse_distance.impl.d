@@ -1,0 +1,1 @@
+test/test_reuse_distance.ml: Alcotest Array List QCheck QCheck_alcotest Tenet

@@ -1,0 +1,1 @@
+test/test_scaled.ml: Alcotest List QCheck QCheck_alcotest Tenet

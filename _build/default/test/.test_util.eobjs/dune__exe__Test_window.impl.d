@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest List QCheck QCheck_alcotest Tenet

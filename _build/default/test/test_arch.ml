@@ -1,0 +1,182 @@
+(* Tests for tenet.arch: PE arrays, interconnect relations, repository. *)
+
+module Arch = Tenet.Arch
+module Isl = Tenet.Isl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_pe_array () =
+  let pe = Arch.Pe_array.d2 8 8 in
+  check_int "size" 64 (Arch.Pe_array.size pe);
+  check_int "rank" 2 (Arch.Pe_array.rank pe);
+  check_int "domain card" 64 (Isl.Set.card (Arch.Pe_array.domain pe));
+  check_bool "in bounds" true (Arch.Pe_array.in_bounds pe [| 7; 7 |]);
+  check_bool "out of bounds" false (Arch.Pe_array.in_bounds pe [| 8; 0 |]);
+  check_bool "negative" false (Arch.Pe_array.in_bounds pe [| -1; 0 |]);
+  check_bool "bad rank" false (Arch.Pe_array.in_bounds pe [| 1 |]);
+  check_bool "invalid dims" true
+    (match Arch.Pe_array.make [| 0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Edge counts for an n x n array:
+   2D-systolic: right edges n*(n-1) + down edges n*(n-1)
+   mesh: 8-neighborhood: 4 corners*3 + 4(n-2) edges*5 + (n-2)^2 interior*8 *)
+let test_systolic_2d_edges () =
+  let pe = Arch.Pe_array.d2 4 4 in
+  let rel = Arch.Interconnect.relation Arch.Interconnect.Systolic_2d pe in
+  check_int "edges" (2 * 4 * 3) (Isl.Map.card rel);
+  check_int "interval" 1 (Arch.Interconnect.interval Arch.Interconnect.Systolic_2d)
+
+let test_mesh_edges () =
+  let pe = Arch.Pe_array.d2 4 4 in
+  let rel = Arch.Interconnect.relation Arch.Interconnect.Mesh pe in
+  check_int "edges" ((4 * 3) + (8 * 5) + (4 * 8)) (Isl.Map.card rel)
+
+let test_systolic_1d_edges () =
+  let pe = Arch.Pe_array.d1 8 in
+  let rel = Arch.Interconnect.relation Arch.Interconnect.Systolic_1d pe in
+  check_int "edges" 7 (Isl.Map.card rel);
+  (* no self loops *)
+  check_bool "no self" false (Isl.Map.mem rel ~src:[| 3 |] ~dst:[| 3 |]);
+  check_bool "forward only" true (Isl.Map.mem rel ~src:[| 3 |] ~dst:[| 4 |]);
+  check_bool "no backward" false (Isl.Map.mem rel ~src:[| 4 |] ~dst:[| 3 |])
+
+let test_multicast_edges () =
+  let pe = Arch.Pe_array.d1 8 in
+  (* abs distance in [1,3]: per paper, 4 PEs share a wire *)
+  let rel = Arch.Interconnect.relation (Arch.Interconnect.Multicast 3) pe in
+  (* sum over i of #{j : |i-j| <= 3, j != i, 0 <= j < 8} *)
+  let expect = 3 + 4 + 5 + 6 + 6 + 5 + 4 + 3 in
+  check_int "edges" expect (Isl.Map.card rel);
+  check_int "interval" 0
+    (Arch.Interconnect.interval (Arch.Interconnect.Multicast 3))
+
+let test_broadcast_row_col () =
+  let pe = Arch.Pe_array.d2 3 4 in
+  let row = Arch.Interconnect.relation Arch.Interconnect.Broadcast_row pe in
+  check_int "row edges" (3 * 4 * 3) (Isl.Map.card row);
+  check_bool "same row" true (Isl.Map.mem row ~src:[| 1; 0 |] ~dst:[| 1; 3 |]);
+  check_bool "cross row" false
+    (Isl.Map.mem row ~src:[| 1; 0 |] ~dst:[| 2; 0 |]);
+  let col = Arch.Interconnect.relation Arch.Interconnect.Broadcast_col pe in
+  check_int "col edges" (4 * 3 * 2) (Isl.Map.card col)
+
+let test_reduction_tree () =
+  let pe = Arch.Pe_array.d1 4 in
+  let rel = Arch.Interconnect.relation Arch.Interconnect.Reduction_tree pe in
+  (* full multicast minus self *)
+  check_int "edges" (4 * 3) (Isl.Map.card rel);
+  check_int "interval" 0
+    (Arch.Interconnect.interval Arch.Interconnect.Reduction_tree)
+
+let test_identity_relation () =
+  let pe = Arch.Pe_array.d2 3 3 in
+  let id = Arch.Interconnect.identity pe in
+  check_int "pairs" 9 (Isl.Map.card id);
+  check_bool "self" true (Isl.Map.mem id ~src:[| 1; 2 |] ~dst:[| 1; 2 |]);
+  check_bool "not other" false (Isl.Map.mem id ~src:[| 1; 2 |] ~dst:[| 2; 2 |])
+
+let test_rank_mismatch () =
+  check_bool "1D topology on 2D array" true
+    (match
+       Arch.Interconnect.relation Arch.Interconnect.Systolic_1d
+         (Arch.Pe_array.d2 2 2)
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "2D topology on 1D array" true
+    (match
+       Arch.Interconnect.relation Arch.Interconnect.Mesh (Arch.Pe_array.d1 4)
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_spec () =
+  let s = Arch.Spec.make ~pe:(Arch.Pe_array.d2 8 8)
+      ~topology:Arch.Interconnect.Systolic_2d () in
+  check_int "default bandwidth" 64 s.Arch.Spec.bandwidth;
+  let s2 = Arch.Spec.with_bandwidth 16 s in
+  check_int "override" 16 s2.Arch.Spec.bandwidth;
+  check_bool "bad bandwidth" true
+    (match
+       Arch.Spec.make ~bandwidth:0 ~pe:(Arch.Pe_array.d1 4)
+         ~topology:Arch.Interconnect.Systolic_1d ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_repository () =
+  check_int "entries" 7 (List.length Arch.Repository.all);
+  List.iter
+    (fun (name, spec) ->
+      check_bool (name ^ " nonempty PE array") true
+        (Arch.Pe_array.size spec.Arch.Spec.pe > 0))
+    Arch.Repository.all;
+  let e = Arch.Repository.find "eyeriss-12x14" in
+  check_int "eyeriss size" (12 * 14) (Arch.Pe_array.size e.Arch.Spec.pe);
+  check_bool "unknown" true
+    (match Arch.Repository.find "nope" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_energy () =
+  let e = Arch.Energy.default in
+  check_bool "hierarchy" true
+    (e.Arch.Energy.reg <= e.Arch.Energy.link
+    && e.Arch.Energy.link <= e.Arch.Energy.spm
+    && e.Arch.Energy.spm <= e.Arch.Energy.dram);
+  let s = Arch.Energy.scale 2.0 e in
+  Alcotest.(check (float 1e-9)) "scaled" (2.0 *. e.Arch.Energy.spm)
+    s.Arch.Energy.spm
+
+(* property: every topology's relation stays inside the array and never
+   contains self loops *)
+let prop_relation_wellformed =
+  QCheck.Test.make ~name:"interconnect relations well-formed" ~count:30
+    QCheck.(pair (int_range 2 5) (int_range 0 4))
+    (fun (n, which) ->
+      let pe, topo =
+        match which with
+        | 0 -> (Arch.Pe_array.d1 n, Arch.Interconnect.Systolic_1d)
+        | 1 -> (Arch.Pe_array.d2 n n, Arch.Interconnect.Systolic_2d)
+        | 2 -> (Arch.Pe_array.d2 n n, Arch.Interconnect.Mesh)
+        | 3 -> (Arch.Pe_array.d1 n, Arch.Interconnect.Multicast 2)
+        | _ -> (Arch.Pe_array.d1 n, Arch.Interconnect.Reduction_tree)
+      in
+      let rel = Arch.Interconnect.relation topo pe in
+      let ok = ref true in
+      Isl.Map.iter_pairs
+        (fun src dst ->
+          if not (Arch.Pe_array.in_bounds pe src) then ok := false;
+          if not (Arch.Pe_array.in_bounds pe dst) then ok := false;
+          if Tenet_util.Ivec.equal src dst then ok := false)
+        rel;
+      !ok)
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "pe_array",
+        [ Alcotest.test_case "basics" `Quick test_pe_array ] );
+      ( "interconnect",
+        [
+          Alcotest.test_case "2D systolic" `Quick test_systolic_2d_edges;
+          Alcotest.test_case "mesh" `Quick test_mesh_edges;
+          Alcotest.test_case "1D systolic" `Quick test_systolic_1d_edges;
+          Alcotest.test_case "multicast" `Quick test_multicast_edges;
+          Alcotest.test_case "broadcast row/col" `Quick test_broadcast_row_col;
+          Alcotest.test_case "reduction tree" `Quick test_reduction_tree;
+          Alcotest.test_case "identity" `Quick test_identity_relation;
+          Alcotest.test_case "rank mismatch" `Quick test_rank_mismatch;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "spec" `Quick test_spec;
+          Alcotest.test_case "repository" `Quick test_repository;
+          Alcotest.test_case "energy" `Quick test_energy;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_relation_wellformed ] );
+    ]

@@ -1,0 +1,124 @@
+(* Tests for the compute-centric notation (Timeloop/Interstellar
+   baseline) and its compilation into relation-centric dataflows. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Cc = Tenet_compute.Schedule
+module Dse = Tenet.Dse.Dse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let gemm = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16
+
+let test_compile_os () =
+  let df = Cc.to_dataflow gemm (Cc.gemm_output_stationary ~p:8 ()) in
+  check_int "space dims" 2 (Df.Dataflow.n_space df);
+  check_int "time dims" 3 (Df.Dataflow.n_time df);
+  match Df.Dataflow.validate gemm df (Arch.Pe_array.d2 8 8) with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail (Df.Dataflow.violation_to_string v)
+
+let test_compute_centric_is_expressible () =
+  (* Table I containment: every compute-centric schedule lands in the
+     data-centric-expressible subspace *)
+  List.iter
+    (fun sched ->
+      let df = Cc.to_dataflow gemm sched in
+      check_bool (df.Df.Dataflow.name ^ " expressible") true
+        (Dse.data_centric_expressible df))
+    [ Cc.gemm_output_stationary (); Cc.gemm_weight_stationary () ];
+  let conv = Ir.Kernels.conv2d ~nk:8 ~nc:8 ~nox:4 ~noy:4 ~nrx:3 ~nry:3 in
+  check_bool "conv schedule expressible" true
+    (Dse.data_centric_expressible
+       (Cc.to_dataflow conv (Cc.conv_channel_parallel ())))
+
+let test_os_equals_zoo_unskewed () =
+  (* the compiled OS schedule gives the same volumes as the hand-written
+     zoo dataflow modulo the skew (which only affects pipelining) *)
+  let spec = Arch.Repository.tpu_like () in
+  let df = Cc.to_dataflow gemm (Cc.gemm_output_stationary ~p:8 ()) in
+  let m = M.Concrete.analyze spec gemm df in
+  let y = (M.Metrics.find_tensor m "Y").M.Metrics.volumes in
+  check_int "Y unique = footprint" 256 y.M.Metrics.unique;
+  (* each of the 256 output elements is revisited for all 16 k values *)
+  check_int "Y temporal reuse" (4096 - 256) y.M.Metrics.temporal_reuse
+
+let test_coverage_validation () =
+  let bad_missing =
+    Cc.make ~tiles:[ ("i", 8); ("j", 8) ]
+      ~order:[ Cc.outer "i"; Cc.outer "j" ] (* k missing *)
+      ~parallel:[ Cc.inner "i"; Cc.inner "j" ]
+      ()
+  in
+  check_bool "missing dim" true
+    (match Cc.to_dataflow gemm bad_missing with
+    | _ -> false
+    | exception Cc.Ill_formed _ -> true);
+  let bad_double =
+    Cc.make
+      ~order:[ Cc.full "i"; Cc.full "i"; Cc.full "j"; Cc.full "k" ]
+      ~parallel:[] ()
+  in
+  check_bool "doubled dim" true
+    (match Cc.to_dataflow gemm bad_double with
+    | _ -> false
+    | exception Cc.Ill_formed _ -> true);
+  let bad_untied =
+    Cc.make ~order:[ Cc.outer "i"; Cc.full "j"; Cc.full "k" ]
+      ~parallel:[ Cc.inner "i" ] ()
+  in
+  check_bool "untiled outer/inner" true
+    (match Cc.to_dataflow gemm bad_untied with
+    | _ -> false
+    | exception Cc.Ill_formed _ -> true);
+  let bad_3par =
+    Cc.make ~order:[]
+      ~parallel:[ Cc.full "i"; Cc.full "j"; Cc.full "k" ]
+      ()
+  in
+  check_bool "3 parallel loops" true
+    (match Cc.to_dataflow gemm bad_3par with
+    | _ -> false
+    | exception Cc.Ill_formed _ -> true)
+
+let test_to_string () =
+  let s = Cc.to_string (Cc.gemm_output_stationary ~p:8 ()) in
+  check_bool "mentions tiles" true (String.length s > 10)
+
+(* property: compiled schedules are always valid on a big-enough array
+   and never skewed *)
+let prop_compiled_valid =
+  QCheck.Test.make ~name:"compiled schedules valid & unskewed" ~count:30
+    QCheck.(pair (int_range 2 8) (int_range 2 8))
+    (fun (p, q) ->
+      let op = Ir.Kernels.gemm ~ni:(2 * p) ~nj:(2 * q) ~nk:4 in
+      let sched =
+        Cc.make
+          ~tiles:[ ("i", p); ("j", q) ]
+          ~order:[ Cc.outer "i"; Cc.outer "j"; Cc.full "k" ]
+          ~parallel:[ Cc.inner "i"; Cc.inner "j" ]
+          ()
+      in
+      let df = Cc.to_dataflow op sched in
+      Dse.data_centric_expressible df
+      && Df.Dataflow.validate op df (Arch.Pe_array.make [| p; q |]) = Ok ())
+
+let () =
+  Alcotest.run "compute"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "compile OS gemm" `Quick test_compile_os;
+          Alcotest.test_case "expressibility containment" `Quick
+            test_compute_centric_is_expressible;
+          Alcotest.test_case "OS volumes" `Quick test_os_equals_zoo_unskewed;
+          Alcotest.test_case "coverage validation" `Quick
+            test_coverage_validation;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_compiled_valid ] );
+    ]

@@ -1,0 +1,250 @@
+(* Tests for tenet.dataflow: Θ construction, validation, the Table III
+   zoo, and spacetime-map channels. *)
+
+module Isl = Tenet.Isl
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fig3_df =
+  Df.Dataflow.make ~name:"fig3"
+    ~space:Isl.Aff.[ Var "i"; Var "j" ]
+    ~time:Isl.Aff.[ Add (Add (Var "i", Var "j"), Var "k") ]
+
+let test_theta_fig3 () =
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  let th = Df.Dataflow.theta op fig3_df in
+  check_int "pairs" 16 (Isl.Map.card th);
+  check_bool "injective" true (Isl.Map.is_injective th);
+  match Isl.Map.eval th [| 1; 0; 2 |] with
+  | Some st ->
+      check_int "p0" 1 st.(0);
+      check_int "p1" 0 st.(1);
+      check_int "t" 3 st.(2)
+  | None -> Alcotest.fail "in domain"
+
+let test_validate_ok () =
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  match Df.Dataflow.validate op fig3_df (Arch.Pe_array.d2 2 2) with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail (Df.Dataflow.violation_to_string v)
+
+let test_validate_out_of_array () =
+  let op = Ir.Kernels.gemm ~ni:4 ~nj:2 ~nk:4 in
+  match Df.Dataflow.validate op fig3_df (Arch.Pe_array.d2 2 2) with
+  | Error (Df.Dataflow.Out_of_array _) -> ()
+  | _ -> Alcotest.fail "expected Out_of_array"
+
+let test_validate_conflict () =
+  (* time-stamp [k] alone collides instances with equal (i, j, k)?? no —
+     collides instances sharing PE and k is fine; use a degenerate time
+     that drops a needed dim *)
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  let bad =
+    Df.Dataflow.make ~name:"bad"
+      ~space:Isl.Aff.[ Var "i"; Var "j" ]
+      ~time:Isl.Aff.[ Var "i" ] (* k unmapped: 4 instances per stamp *)
+  in
+  match Df.Dataflow.validate op bad (Arch.Pe_array.d2 2 2) with
+  | Error (Df.Dataflow.Pe_conflict _) -> ()
+  | _ -> Alcotest.fail "expected Pe_conflict"
+
+let test_validate_rank () =
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  match Df.Dataflow.validate op fig3_df (Arch.Pe_array.d1 4) with
+  | Error (Df.Dataflow.Rank_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected Rank_mismatch"
+
+let test_unknown_iterator () =
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  let bad =
+    Df.Dataflow.make ~name:"bad" ~space:[ Isl.Aff.Var "zz" ]
+      ~time:[ Isl.Aff.Var "i" ]
+  in
+  check_bool "unknown iterator" true
+    (match Df.Dataflow.theta op bad with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_data_assignment () =
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  let a = Df.Dataflow.data_assignment op fig3_df "Y" in
+  check_int "pairs" 16 (Isl.Map.card a);
+  (* Y is stationary: the assignment restricted to one PE has one element *)
+  let at_pe = Isl.Map.fix_input ~dim:0 0 (Isl.Map.fix_input ~dim:1 1 a) in
+  check_int "one Y element per PE" 1 (Isl.Set.card (Isl.Map.range at_pe))
+
+let test_time_bounds () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:4 in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let b = Df.Dataflow.time_bounds op df in
+  check_int "time dims" 3 (List.length b);
+  let lo, hi = List.nth b 2 in
+  check_int "inner lo" 0 lo;
+  check_int "inner hi" (7 + 7 + 3) hi
+
+(* --- zoo validity: every Table III dataflow is valid on its natural
+   array and problem sizes --- *)
+
+let validate_all name pe op dfs =
+  List.iter
+    (fun df ->
+      match Df.Dataflow.validate op df pe with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.fail
+            (Printf.sprintf "%s / %s: %s" name df.Df.Dataflow.name
+               (Df.Dataflow.violation_to_string v)))
+    dfs
+
+let test_zoo_gemm () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  validate_all "gemm2d" (Arch.Pe_array.d2 8 8) op (Df.Zoo.gemm_2d ());
+  validate_all "gemm1d" (Arch.Pe_array.d1 64) op (Df.Zoo.gemm_1d ())
+
+let test_zoo_conv () =
+  let op = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:8 ~noy:8 ~nrx:3 ~nry:3 in
+  let two_d =
+    [
+      Df.Zoo.conv_kc_p_oy_kcox_t ();
+      Df.Zoo.conv_kox_p_oy_koxc_t ();
+      Df.Zoo.conv_kc_p_c_kox_t ();
+      Df.Zoo.conv_shidiannao ();
+      Df.Zoo.conv_nvdla ();
+    ]
+  in
+  validate_all "conv2d" (Arch.Pe_array.d2 8 8) op two_d;
+  validate_all "conv1d"
+    (Arch.Pe_array.d1 64)
+    op
+    [ Df.Zoo.conv_k_p_ox_oy_t (); Df.Zoo.conv_c_p_oy_ox_t () ]
+
+let test_zoo_eyeriss () =
+  (* row-stationary on 12 x 14: needs oy <= 13, ry = 3, c % 4 slices *)
+  let op = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:13 ~noy:13 ~nrx:3 ~nry:3 in
+  validate_all "eyeriss"
+    (Arch.Pe_array.d2 12 14)
+    op
+    [ Df.Zoo.conv_eyeriss_rs () ]
+
+let test_zoo_mttkrp () =
+  let op = Ir.Kernels.mttkrp ~ni:8 ~nj:8 ~nk:8 ~nl:8 in
+  validate_all "mttkrp" (Arch.Pe_array.d2 8 8) op (Df.Zoo.mttkrp_all ())
+
+let test_zoo_jacobi () =
+  let op = Ir.Kernels.jacobi2d ~n:18 in
+  validate_all "jacobi 2d" (Arch.Pe_array.d2 8 8) op
+    [ Df.Zoo.jacobi_ij_p_ij_t () ];
+  validate_all "jacobi 1d" (Arch.Pe_array.d1 64) op
+    [ Df.Zoo.jacobi_i_p_ij_t () ]
+
+let test_zoo_mmc () =
+  let op = Ir.Kernels.mmc ~ni:8 ~nj:8 ~nk:8 ~nl:8 in
+  validate_all "mmc" (Arch.Pe_array.d2 8 8) op (Df.Zoo.mmc_all ())
+
+(* --- spacetime channels --- *)
+
+let test_channels_shape () =
+  let spec = Arch.Repository.tpu_like ~n:2 () in
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  let chans = Df.Spacetime.channels spec op fig3_df in
+  check_int "two channels" 2 (List.length chans);
+  let kinds = List.map (fun c -> c.Df.Spacetime.kind) chans in
+  check_bool "temporal present" true (List.mem `Temporal kinds);
+  check_bool "spatial present" true (List.mem `Spatial kinds)
+
+let test_temporal_channel_semantics () =
+  let op = Ir.Kernels.gemm ~ni:2 ~nj:2 ~nk:4 in
+  let pe = Arch.Pe_array.d2 2 2 in
+  let c = Df.Spacetime.temporal op fig3_df pe in
+  (* same PE, t -> t+1 *)
+  check_bool "succ" true
+    (Isl.Map.mem c.Df.Spacetime.m ~src:[| 0; 0; 2 |] ~dst:[| 0; 0; 3 |]);
+  check_bool "not same t" false
+    (Isl.Map.mem c.Df.Spacetime.m ~src:[| 0; 0; 2 |] ~dst:[| 0; 0; 2 |]);
+  check_bool "not other PE" false
+    (Isl.Map.mem c.Df.Spacetime.m ~src:[| 0; 0; 2 |] ~dst:[| 0; 1; 3 |])
+
+let test_lex_adjacency_wraps () =
+  (* two time dims with bounds (0..1, 0..2): lex successor of (0,2) is
+     (1,0) *)
+  let op =
+    Ir.Tensor_op.make
+      ~iters:[ ("a", 0, 1); ("b", 0, 2) ]
+      ~accesses:
+        [
+          {
+            Ir.Tensor_op.tensor = "Y";
+            subscripts = [ Isl.Aff.Var "a"; Isl.Aff.Var "b" ];
+            direction = Ir.Tensor_op.Write;
+          };
+        ]
+      ()
+  in
+  let df =
+    Df.Dataflow.make ~name:"seq" ~space:[ Isl.Aff.Int 0 ]
+      ~time:Isl.Aff.[ Var "a"; Var "b" ]
+  in
+  let pe = Arch.Pe_array.d1 1 in
+  let inner = Df.Spacetime.temporal ~adjacency:`Inner_step op df pe in
+  let lex = Df.Spacetime.temporal ~adjacency:`Lex_step op df pe in
+  check_bool "inner: no wrap" false
+    (Isl.Map.mem inner.Df.Spacetime.m ~src:[| 0; 0; 2 |] ~dst:[| 0; 1; 0 |]);
+  check_bool "lex: wrap" true
+    (Isl.Map.mem lex.Df.Spacetime.m ~src:[| 0; 0; 2 |] ~dst:[| 0; 1; 0 |]);
+  check_bool "lex: plain step too" true
+    (Isl.Map.mem lex.Df.Spacetime.m ~src:[| 0; 0; 1 |] ~dst:[| 0; 0; 2 |]);
+  check_bool "lex: no skip" false
+    (Isl.Map.mem lex.Df.Spacetime.m ~src:[| 0; 0; 0 |] ~dst:[| 0; 1; 1 |])
+
+let test_lex_lt_filter () =
+  let pe = Arch.Pe_array.d1 4 in
+  let full =
+    Arch.Interconnect.relation Arch.Interconnect.Reduction_tree pe
+  in
+  let filtered = Df.Spacetime.reuse_pe_relation pe Arch.Interconnect.Reduction_tree in
+  check_int "full" 12 (Isl.Map.card full);
+  check_int "half" 6 (Isl.Map.card filtered);
+  check_bool "increasing kept" true
+    (Isl.Map.mem filtered ~src:[| 1 |] ~dst:[| 3 |]);
+  check_bool "decreasing dropped" false
+    (Isl.Map.mem filtered ~src:[| 3 |] ~dst:[| 1 |])
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "theta",
+        [
+          Alcotest.test_case "fig3" `Quick test_theta_fig3;
+          Alcotest.test_case "data assignment" `Quick test_data_assignment;
+          Alcotest.test_case "time bounds" `Quick test_time_bounds;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "ok" `Quick test_validate_ok;
+          Alcotest.test_case "out of array" `Quick test_validate_out_of_array;
+          Alcotest.test_case "pe conflict" `Quick test_validate_conflict;
+          Alcotest.test_case "rank mismatch" `Quick test_validate_rank;
+          Alcotest.test_case "unknown iterator" `Quick test_unknown_iterator;
+        ] );
+      ( "zoo (Table III)",
+        [
+          Alcotest.test_case "gemm" `Quick test_zoo_gemm;
+          Alcotest.test_case "conv" `Quick test_zoo_conv;
+          Alcotest.test_case "eyeriss rs" `Quick test_zoo_eyeriss;
+          Alcotest.test_case "mttkrp" `Quick test_zoo_mttkrp;
+          Alcotest.test_case "jacobi" `Quick test_zoo_jacobi;
+          Alcotest.test_case "mmc" `Quick test_zoo_mmc;
+        ] );
+      ( "spacetime",
+        [
+          Alcotest.test_case "channels" `Quick test_channels_shape;
+          Alcotest.test_case "temporal semantics" `Quick
+            test_temporal_channel_semantics;
+          Alcotest.test_case "lex adjacency" `Quick test_lex_adjacency_wraps;
+          Alcotest.test_case "interval-0 lex filter" `Quick test_lex_lt_filter;
+        ] );
+    ]

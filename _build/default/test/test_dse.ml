@@ -1,0 +1,128 @@
+(* Tests for the design-space exploration module. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Dse = Tenet.Dse.Dse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_candidate_counts () =
+  let op = Ir.Kernels.gemm ~ni:8 ~nj:8 ~nk:8 in
+  (* 2D: 6 ordered pairs x 1 remaining inner dim x 2 (skew or not) *)
+  check_int "gemm 2D" 12 (List.length (Dse.candidates_2d op ~p:4));
+  (* 1D: 3 choices of spatial dim x 2 inner dims *)
+  check_int "gemm 1D" 6 (List.length (Dse.candidates_1d op ~p:8));
+  let conv = Ir.Kernels.conv2d ~nk:4 ~nc:4 ~nox:4 ~noy:4 ~nrx:3 ~nry:3 in
+  (* 30 ordered pairs x 4 inner x 2 *)
+  check_int "conv 2D" 240 (List.length (Dse.candidates_2d conv ~p:4));
+  (* with outer permutations: 30 x 4 x 2 x 3! *)
+  check_int "conv 2D permuted" 1440
+    (List.length (Dse.candidates_2d ~permute_outer:true conv ~p:4))
+
+let test_unique_names () =
+  let op = Ir.Kernels.gemm ~ni:8 ~nj:8 ~nk:8 in
+  let names =
+    List.map (fun d -> d.Df.Dataflow.name) (Dse.candidates_2d op ~p:4)
+  in
+  check_int "names distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_search_finds_tpu_class () =
+  (* on a square GEMM the known-good dataflows must be near the top *)
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let spec = Arch.Repository.tpu_like ~bandwidth:8 () in
+  let cands = Dse.candidates_2d op ~p:8 in
+  match Dse.best spec op cands with
+  | None -> Alcotest.fail "no valid dataflow found"
+  | Some o ->
+      check_bool "best latency sane" true (o.Dse.metrics.M.Metrics.latency > 0.)
+
+let test_expressible_subset () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let spec = Arch.Repository.tpu_like ~bandwidth:8 () in
+  let cands = Dse.candidates_2d op ~p:8 in
+  let all = Dse.evaluate_all ~objective:Dse.Latency spec op cands in
+  let expressible = List.filter (fun o -> o.Dse.expressible) all in
+  check_bool "strict subset" true
+    (List.length expressible < List.length all && expressible <> []);
+  (* the skewed candidates must be classified inexpressible *)
+  List.iter
+    (fun o ->
+      let skewed =
+        List.exists
+          (fun e ->
+            List.length
+              (List.sort_uniq compare (Tenet.Isl.Aff.free_vars e))
+            > 1)
+          o.Dse.dataflow.Df.Dataflow.time
+      in
+      if skewed then check_bool "skewed -> inexpressible" false o.Dse.expressible)
+    all
+
+let test_fig6_direction () =
+  (* at low bandwidth, the best relation-centric dataflow must beat or
+     match the best data-centric-expressible one (Fig 6's claim) *)
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let cands = Dse.candidates_2d op ~p:8 @ Dse.candidates_1d op ~p:64 in
+  List.iter
+    (fun bw ->
+      let spec = Arch.Repository.tpu_like ~bandwidth:bw () in
+      match (Dse.best spec op cands, Dse.best_expressible spec op cands) with
+      | Some b, Some be ->
+          check_bool
+            (Printf.sprintf "bw=%d: tenet <= data-centric" bw)
+            true
+            (b.Dse.metrics.M.Metrics.latency
+            <= be.Dse.metrics.M.Metrics.latency)
+      | _ -> Alcotest.fail "search failed")
+    [ 2; 8; 64 ]
+
+let test_invalid_candidates_dropped () =
+  (* a 16-wide PE request on an 8x8 array: all 2D candidates with p=16
+     are invalid and must be silently dropped *)
+  let op = Ir.Kernels.gemm ~ni:32 ~nj:32 ~nk:32 in
+  let spec = Arch.Repository.tpu_like ~n:8 () in
+  let cands = Dse.candidates_2d op ~p:16 in
+  check_int "all dropped" 0
+    (List.length (Dse.evaluate_all ~objective:Dse.Latency spec op cands))
+
+let test_objectives () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let spec = Arch.Repository.tpu_like ~bandwidth:4 () in
+  let cands = Dse.candidates_2d op ~p:8 in
+  let by_lat = Option.get (Dse.best ~objective:Dse.Latency spec op cands) in
+  let by_en = Option.get (Dse.best ~objective:Dse.Energy spec op cands) in
+  let by_sbw = Option.get (Dse.best ~objective:Dse.Sbw spec op cands) in
+  (* each winner is optimal under its own objective *)
+  let all = Dse.evaluate_all ~objective:Dse.Latency spec op cands in
+  List.iter
+    (fun o ->
+      check_bool "latency opt" true
+        (by_lat.Dse.metrics.M.Metrics.latency <= o.Dse.metrics.M.Metrics.latency);
+      check_bool "energy opt" true
+        (by_en.Dse.metrics.M.Metrics.energy <= o.Dse.metrics.M.Metrics.energy);
+      check_bool "sbw opt" true
+        (by_sbw.Dse.metrics.M.Metrics.sbw <= o.Dse.metrics.M.Metrics.sbw))
+    all
+
+let () =
+  Alcotest.run "dse"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "candidate counts" `Quick test_candidate_counts;
+          Alcotest.test_case "unique names" `Quick test_unique_names;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "finds valid" `Quick test_search_finds_tpu_class;
+          Alcotest.test_case "expressible subset" `Quick test_expressible_subset;
+          Alcotest.test_case "fig6 direction" `Quick test_fig6_direction;
+          Alcotest.test_case "invalid dropped" `Quick
+            test_invalid_candidates_dropped;
+          Alcotest.test_case "objectives" `Quick test_objectives;
+        ] );
+    ]

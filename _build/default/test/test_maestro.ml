@@ -1,0 +1,178 @@
+(* Tests for the MAESTRO baseline: the data-centric notation, its design
+   space, and the documented inaccuracies of its polynomial model
+   (paper Figure 1 and Section VI-E). *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Ma = Tenet.Maestro
+module Dse = Tenet.Dse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- notation --- *)
+
+let test_notation_printing () =
+  let m =
+    Ma.Notation.make ~name:"x"
+      [ Ma.Notation.spatial "k"; Ma.Notation.temporal "c"; Ma.Notation.cluster 4 ]
+  in
+  Alcotest.(check string)
+    "printed" "x: SpatialMap(1,1) k; TemporalMap(1,1) c; Cluster(4, P)"
+    (Ma.Notation.to_string m)
+
+let test_notation_queries () =
+  let m =
+    Ma.Notation.make ~name:"x"
+      [
+        Ma.Notation.spatial "k";
+        Ma.Notation.temporal "c";
+        Ma.Notation.temporal "ox";
+      ]
+  in
+  Alcotest.(check (list string)) "spatial" [ "k" ] (Ma.Notation.spatial_dims m);
+  Alcotest.(check (list string))
+    "temporal" [ "c"; "ox" ]
+    (Ma.Notation.temporal_dims m);
+  Alcotest.(check (option string))
+    "innermost" (Some "ox")
+    (Ma.Notation.innermost_temporal m)
+
+(* --- design-space sizes (Section IV-A) --- *)
+
+let test_design_space_sizes () =
+  check_int "MAESTRO GEMM: 3! x C(3,2) = 18" 18
+    (Dse.Dse.maestro_design_space_size ~n_loops:3);
+  check_int "TENET GEMM: 2^(3x3) = 512" 512
+    (Dse.Dse.tenet_design_space_size ~n_loops:3);
+  check_int "ratio 28x (paper)" 28 (512 / 18);
+  check_int "conv: 2^36" (Tenet_util.Int_math.pow 2 36)
+    (Dse.Dse.tenet_design_space_size ~n_loops:6)
+
+(* --- expressibility classification of Table III --- *)
+
+let test_expressibility () =
+  let e df = Dse.Dse.data_centric_expressible df in
+  (* GEMM: skewed 2D dataflows are NOT expressible, 1D ones are *)
+  check_bool "(IJ-P | J,IJK-T)" false (e (Df.Zoo.gemm_ij_p_ijk_t ()));
+  check_bool "(KJ-P | K,IJK-T)" false (e (Df.Zoo.gemm_kj_p_ijk_t ()));
+  check_bool "(IK-P | K,IJK-T)" false (e (Df.Zoo.gemm_ik_p_ijk_t ()));
+  check_bool "(K-P | I,J-T)" true (e (Df.Zoo.gemm_k_p_ij_t ()));
+  check_bool "(J-P | I,K-T)" true (e (Df.Zoo.gemm_j_p_ik_t ()));
+  (* CONV *)
+  check_bool "(KC-P | OY,KCOX-T)" false (e (Df.Zoo.conv_kc_p_oy_kcox_t ()));
+  check_bool "(KOX-P | OY,KOXC-T)" false (e (Df.Zoo.conv_kox_p_oy_koxc_t ()));
+  check_bool "(KC-P | C,KOX-T)" false (e (Df.Zoo.conv_kc_p_c_kox_t ()));
+  check_bool "(K-P | OX,OY-T)" true (e (Df.Zoo.conv_k_p_ox_oy_t ()));
+  check_bool "(C-P | OY,OX-T)" true (e (Df.Zoo.conv_c_p_oy_ox_t ()));
+  check_bool "eyeriss (cluster idiom)" true (e (Df.Zoo.conv_eyeriss_rs ()));
+  check_bool "shidiannao" true (e (Df.Zoo.conv_shidiannao ()));
+  check_bool "nvdla" true (e (Df.Zoo.conv_nvdla ()))
+
+(* --- Figure 1: MAESTRO overestimates the reuse of A --- *)
+
+let test_fig1_reuse_gap () =
+  let op = Ir.Kernels.conv1d ~no:4 ~nr:3 in
+  let spec =
+    Arch.Spec.make ~pe:(Arch.Pe_array.d1 4)
+      ~topology:Arch.Interconnect.Bidirectional_1d ~bandwidth:64 ()
+  in
+  (* MAESTRO: unique(A) = size(i) = 4 -> reuse = 12 - 4 = 8 *)
+  let rep = Ma.Analytical.analyze spec op Ma.Maestro_zoo.conv1d_fig1 in
+  let a = Ma.Analytical.find_tensor rep "A" in
+  check_int "MAESTRO unique(A) = 4" 4 (int_of_float a.Ma.Analytical.traffic);
+  check_int "MAESTRO reuse(A) = 8 (paper Fig 1c)" 8
+    (12 - int_of_float a.Ma.Analytical.traffic);
+  (* TENET (ground truth): unique(A) = footprint 6 -> actual reuse 6 *)
+  let df =
+    Df.Dataflow.make ~name:"fig1"
+      ~space:[ Tenet.Isl.Aff.Var "i" ]
+      ~time:[ Tenet.Isl.Aff.Var "j" ]
+  in
+  let m = M.Concrete.analyze spec op df in
+  let va = (M.Metrics.find_tensor m "A").M.Metrics.volumes in
+  check_int "TENET unique(A) = 6" 6 va.M.Metrics.unique;
+  check_int "TENET reuse(A) = 6 (actual)" 6 (M.Metrics.reuse va)
+
+(* --- no output reuse reported, ever --- *)
+
+let test_output_reuse_always_one () =
+  let op = Ir.Kernels.conv2d ~nk:8 ~nc:8 ~nox:6 ~noy:6 ~nrx:3 ~nry:3 in
+  let spec = Arch.Repository.eyeriss_like () in
+  List.iter
+    (fun mapping ->
+      let rep = Ma.Analytical.analyze spec op mapping in
+      let y = Ma.Analytical.find_tensor rep "Y" in
+      Alcotest.(check (float 1e-9))
+        ("no output reuse: " ^ mapping.Ma.Notation.name)
+        1.0 y.Ma.Analytical.reuse_factor)
+    [
+      Ma.Maestro_zoo.conv_k_p_ox_oy_t op;
+      Ma.Maestro_zoo.conv_c_p_oy_ox_t op;
+      Ma.Maestro_zoo.conv_eyeriss_rs op;
+    ]
+
+(* --- utilization polynomial --- *)
+
+let test_utilization_polynomial () =
+  let op = Ir.Kernels.gemm ~ni:48 ~nj:48 ~nk:48 in
+  let spec = Arch.Repository.maeri_like ~n:64 () in
+  let rep = Ma.Analytical.analyze spec op Ma.Maestro_zoo.gemm_k_p_ij_t in
+  (* SpatialMap k with 48 ways on 64 PEs: util = 48/64 *)
+  Alcotest.(check (float 1e-9)) "util" 0.75 rep.Ma.Analytical.utilization;
+  check_bool "compute cycles = temporal product" true
+    (rep.Ma.Analytical.compute_cycles = float_of_int (48 * 48))
+
+let test_ways () =
+  check_int "unit" 5 (Ma.Analytical.ways ~size:1 ~offset:1 5);
+  check_int "tile" 3 (Ma.Analytical.ways ~size:3 ~offset:3 9);
+  check_int "sliding" 7 (Ma.Analytical.ways ~size:3 ~offset:1 9);
+  check_int "oversize" 1 (Ma.Analytical.ways ~size:9 ~offset:1 5)
+
+(* --- MAESTRO is cheap to evaluate (Figure 8 direction) --- *)
+
+let test_runtime_direction () =
+  let op = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:14 ~noy:14 ~nrx:3 ~nry:3 in
+  let spec = Arch.Repository.eyeriss_like () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 100 do
+    ignore (Ma.Analytical.analyze spec op (Ma.Maestro_zoo.conv_k_p_ox_oy_t op))
+  done;
+  let maestro_time = (Unix.gettimeofday () -. t0) /. 100. in
+  let t1 = Unix.gettimeofday () in
+  ignore
+    (M.Concrete.analyze
+       (Arch.Repository.tpu_like ())
+       op (Df.Zoo.conv_nvdla ()));
+  let tenet_time = Unix.gettimeofday () -. t1 in
+  check_bool "MAESTRO faster than TENET" true (maestro_time < tenet_time)
+
+let () =
+  Alcotest.run "maestro"
+    [
+      ( "notation",
+        [
+          Alcotest.test_case "printing" `Quick test_notation_printing;
+          Alcotest.test_case "queries" `Quick test_notation_queries;
+        ] );
+      ( "design space",
+        [ Alcotest.test_case "sizes (Section IV-A)" `Quick
+            test_design_space_sizes ] );
+      ( "expressibility",
+        [ Alcotest.test_case "Table III classification" `Quick
+            test_expressibility ] );
+      ( "model inaccuracies",
+        [
+          Alcotest.test_case "Fig 1 reuse 8 vs 6" `Quick test_fig1_reuse_gap;
+          Alcotest.test_case "no output reuse" `Quick
+            test_output_reuse_always_one;
+          Alcotest.test_case "utilization polynomial" `Quick
+            test_utilization_polynomial;
+          Alcotest.test_case "ways" `Quick test_ways;
+        ] );
+      ( "runtime",
+        [ Alcotest.test_case "Fig 8 direction" `Quick test_runtime_direction ]
+      );
+    ]

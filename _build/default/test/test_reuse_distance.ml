@@ -1,0 +1,181 @@
+(* Tests for the LRU reuse-distance buffer analysis. *)
+
+module Rd = Tenet.Sim.Reuse_distance
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module Sim = Tenet.Sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let t name i = (name, [| i |])
+
+let test_simple_trace () =
+  (* a b c a : distance of the second 'a' is 2 (b, c touched between) *)
+  let h = Rd.histogram [| t "x" 0; t "x" 1; t "x" 2; t "x" 0 |] in
+  check_int "cold" 3 h.Rd.cold;
+  check_int "total" 4 h.Rd.total;
+  check_int "misses cap 2" 4 (Rd.misses h ~capacity:2);
+  check_int "misses cap 3" 3 (Rd.misses h ~capacity:3);
+  check_int "min full reuse" 3 (Rd.min_full_reuse_capacity h)
+
+let test_repeat_trace () =
+  (* a a a a : all re-accesses at distance 0 *)
+  let h = Rd.histogram (Array.make 4 (t "x" 0)) in
+  check_int "cold" 1 h.Rd.cold;
+  check_int "misses cap 1" 1 (Rd.misses h ~capacity:1);
+  check_int "misses cap 0" 4 (Rd.misses h ~capacity:0)
+
+let test_tensor_namespaces () =
+  (* same element index in different tensors is different data *)
+  let h = Rd.histogram [| t "x" 0; t "y" 0; t "x" 0 |] in
+  check_int "cold" 2 h.Rd.cold;
+  check_int "misses cap 1" 3 (Rd.misses h ~capacity:1);
+  check_int "misses cap 2" 2 (Rd.misses h ~capacity:2)
+
+let test_cyclic_thrash () =
+  (* round-robin over k elements: LRU of capacity < k never hits *)
+  let k = 5 in
+  let trace = Array.init (3 * k) (fun i -> t "x" (i mod k)) in
+  let h = Rd.histogram trace in
+  check_int "cap k-1 thrashes" (3 * k) (Rd.misses h ~capacity:(k - 1));
+  check_int "cap k all hits after cold" k (Rd.misses h ~capacity:k)
+
+let test_empty () =
+  let h = Rd.histogram [||] in
+  check_int "misses" 0 (Rd.misses h ~capacity:4);
+  Alcotest.(check (float 1e-9)) "hit rate" 1.0 (Rd.hit_rate h ~capacity:4)
+
+(* infinite capacity leaves only cold misses = distinct elements *)
+let prop_infinite_capacity =
+  QCheck.Test.make ~name:"cap=inf -> cold = distinct" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 60) (int_range 0 9))
+    (fun accesses ->
+      let trace = Array.of_list (List.map (t "x") accesses) in
+      let h = Rd.histogram trace in
+      let distinct = List.length (List.sort_uniq compare accesses) in
+      Rd.misses h ~capacity:max_int = distinct && h.Rd.cold = distinct)
+
+(* misses decrease monotonically with capacity *)
+let prop_monotone =
+  QCheck.Test.make ~name:"misses monotone in capacity" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 60) (int_range 0 9))
+    (fun accesses ->
+      let trace = Array.of_list (List.map (t "x") accesses) in
+      let h = Rd.histogram trace in
+      let rec ok c prev =
+        if c > 12 then true
+        else begin
+          let m = Rd.misses h ~capacity:c in
+          m <= prev && ok (c + 1) m
+        end
+      in
+      ok 1 max_int)
+
+(* brute-force LRU simulation agrees with the stack-distance histogram *)
+let brute_lru ~capacity accesses =
+  let cache = ref [] in
+  let misses = ref 0 in
+  List.iter
+    (fun a ->
+      if List.mem a !cache then cache := a :: List.filter (( <> ) a) !cache
+      else begin
+        incr misses;
+        let c = a :: !cache in
+        cache :=
+          if List.length c > capacity then List.filteri (fun i _ -> i < capacity) c
+          else c
+      end)
+    accesses;
+  !misses
+
+let prop_matches_lru_simulation =
+  QCheck.Test.make ~name:"histogram = brute-force LRU" ~count:100
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size (QCheck.Gen.int_range 0 50) (int_range 0 7)))
+    (fun (capacity, accesses) ->
+      let trace = Array.of_list (List.map (t "x") accesses) in
+      let h = Rd.histogram trace in
+      Rd.misses h ~capacity = brute_lru ~capacity accesses)
+
+(* end-to-end: simulator trace + buffer analysis *)
+let test_sim_trace_integration () =
+  let spec = Arch.Repository.tpu_like ~bandwidth:1024 () in
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let buf = ref [] in
+  let r =
+    Sim.Simulator.run ~trace:(fun t f -> buf := (t, Array.copy f) :: !buf)
+      spec op df
+  in
+  let trace = Array.of_list (List.rev !buf) in
+  let expected =
+    List.fold_left
+      (fun acc (t : Sim.Simulator.tensor_traffic) ->
+        acc + t.Sim.Simulator.fetches + t.Sim.Simulator.writebacks)
+      0 r.Sim.Simulator.traffic
+  in
+  check_int "trace length = scratchpad accesses" expected (Array.length trace);
+  let h = Rd.histogram trace in
+  (* with infinite scratchpad, off-chip traffic = sum of footprints *)
+  let footprints =
+    List.fold_left (fun a t -> a + Ir.Tensor_op.footprint op t) 0
+      (Ir.Tensor_op.tensors op)
+  in
+  check_bool "cold misses <= footprints (outputs may never be re-read)"
+    true (h.Rd.cold <= footprints);
+  check_bool "bigger buffer never worse" true
+    (Rd.misses h ~capacity:4096 <= Rd.misses h ~capacity:64)
+
+
+let test_offchip_analyze () =
+  let spec =
+    Arch.Spec.make ~buffer_words:256
+      ~pe:(Arch.Pe_array.d2 8 8)
+      ~topology:Arch.Interconnect.Systolic_2d ~bandwidth:64 ()
+  in
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let a = Sim.Offchip.analyze spec op (Df.Zoo.gemm_ij_p_ijk_t ()) in
+  check_bool "dram <= scratchpad accesses" true
+    (a.Sim.Offchip.dram_accesses <= a.Sim.Offchip.scratchpad_accesses);
+  check_bool "hit rate in [0,1]" true
+    (a.Sim.Offchip.hit_rate >= 0. && a.Sim.Offchip.hit_rate <= 1.);
+  check_bool "min capacity positive" true
+    (a.Sim.Offchip.min_full_reuse_capacity >= 1)
+
+let test_offchip_sweep_monotone () =
+  let spec = Arch.Repository.tpu_like () in
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let rows =
+    Sim.Offchip.sweep spec op (Df.Zoo.gemm_ij_p_ijk_t ())
+      ~capacities:[ 32; 64; 128; 256; 512; 1024 ]
+  in
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  check_bool "misses non-increasing in capacity" true (monotone rows)
+
+let () =
+  Alcotest.run "reuse_distance"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple" `Quick test_simple_trace;
+          Alcotest.test_case "repeat" `Quick test_repeat_trace;
+          Alcotest.test_case "namespaces" `Quick test_tensor_namespaces;
+          Alcotest.test_case "cyclic thrash" `Quick test_cyclic_thrash;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "simulator integration" `Quick
+            test_sim_trace_integration;
+          Alcotest.test_case "offchip analyze" `Quick test_offchip_analyze;
+          Alcotest.test_case "offchip sweep" `Quick
+            test_offchip_sweep_monotone;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_infinite_capacity; prop_monotone; prop_matches_lru_simulation ]
+      );
+    ]

@@ -1,0 +1,93 @@
+(* Tests for Model.Scaled: the multilinear extrapolation must agree with
+   exact analysis wherever exact analysis is feasible. *)
+
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let summary (m : M.Metrics.t) =
+  ( m.M.Metrics.n_instances,
+    m.M.Metrics.n_timestamps,
+    List.map
+      (fun tm ->
+        let v = tm.M.Metrics.volumes in
+        ( tm.M.Metrics.tensor,
+          v.M.Metrics.total,
+          v.M.Metrics.temporal_reuse,
+          v.M.Metrics.spatial_reuse,
+          tm.M.Metrics.footprint ))
+      m.M.Metrics.per_tensor )
+
+let test_gemm_exactness () =
+  let spec = Arch.Repository.tpu_like () in
+  let op = Ir.Kernels.gemm ~ni:64 ~nj:64 ~nk:48 in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let exact = M.Concrete.analyze spec op df in
+  let scaled = M.Scaled.analyze spec op df ~scale_dims:[ "i"; "j"; "k" ] in
+  Alcotest.(check bool) "summaries equal" true (summary exact = summary scaled)
+
+let test_conv_exactness () =
+  let spec = Arch.Repository.tpu_like () in
+  let op = Ir.Kernels.conv2d ~nk:16 ~nc:16 ~nox:20 ~noy:12 ~nrx:3 ~nry:3 in
+  let df = Df.Zoo.conv_nvdla () in
+  let exact = M.Concrete.analyze spec op df in
+  let scaled = M.Scaled.analyze spec op df ~scale_dims:[ "c"; "ox"; "oy" ] in
+  Alcotest.(check bool) "summaries equal" true (summary exact = summary scaled)
+
+let test_mttkrp_exactness () =
+  let spec = Arch.Repository.tpu_like () in
+  let op = Ir.Kernels.mttkrp ~ni:24 ~nj:16 ~nk:16 ~nl:16 in
+  let df = Df.Zoo.mttkrp_ij_p_ijl_t () in
+  let exact = M.Concrete.analyze spec op df in
+  let scaled = M.Scaled.analyze spec op df ~scale_dims:[ "k"; "l" ] in
+  Alcotest.(check bool) "summaries equal" true (summary exact = summary scaled)
+
+let test_degenerate_dims_fall_back () =
+  (* a dim already at its sample size: scaled must equal exact *)
+  let spec = Arch.Repository.tpu_like () in
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:8 in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let exact = M.Concrete.analyze spec op df in
+  let scaled = M.Scaled.analyze spec op df ~scale_dims:[ "k" ] in
+  Alcotest.(check bool) "summaries equal" true (summary exact = summary scaled)
+
+let test_huge_runs_fast () =
+  let spec = Arch.Repository.tpu_like () in
+  let op = Ir.Kernels.mttkrp ~ni:48_000 ~nj:32 ~nk:1_800 ~nl:200 in
+  let df = Df.Zoo.mttkrp_ij_p_ijl_t () in
+  let m = M.Scaled.analyze spec op df ~scale_dims:[ "i"; "k"; "l" ] in
+  check_int "instances" (48_000 * 32 * 1_800 * 200) m.M.Metrics.n_instances;
+  check_bool "positive latency" true (m.M.Metrics.latency > 0.);
+  check_bool "utilization sane" true
+    (m.M.Metrics.avg_utilization > 0. && m.M.Metrics.avg_utilization <= 1.0)
+
+let prop_scaled_matches_exact_gemm =
+  QCheck.Test.make ~name:"scaled = exact across gemm sizes" ~count:8
+    QCheck.(triple (int_range 3 6) (int_range 3 6) (int_range 3 6))
+    (fun (ti, tj, tk) ->
+      let spec = Arch.Repository.tpu_like () in
+      let op = Ir.Kernels.gemm ~ni:(8 * ti) ~nj:(8 * tj) ~nk:(8 * tk) in
+      let df = Df.Zoo.gemm_ij_p_ijk_t () in
+      let exact = M.Concrete.analyze spec op df in
+      let scaled = M.Scaled.analyze spec op df ~scale_dims:[ "i"; "j"; "k" ] in
+      summary exact = summary scaled)
+
+let () =
+  Alcotest.run "scaled"
+    [
+      ( "exactness",
+        [
+          Alcotest.test_case "gemm" `Quick test_gemm_exactness;
+          Alcotest.test_case "conv" `Quick test_conv_exactness;
+          Alcotest.test_case "mttkrp" `Quick test_mttkrp_exactness;
+          Alcotest.test_case "degenerate" `Quick test_degenerate_dims_fall_back;
+          Alcotest.test_case "huge layer" `Quick test_huge_runs_fast;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_scaled_matches_exact_gemm ]
+      );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the register-window temporal channel and the lexicographic
+   adjacency: the machinery behind the Section VI-E row-stationary
+   analysis. *)
+
+module Isl = Tenet.Isl
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+
+let check_int = Alcotest.(check int)
+
+(* A 1-PE "machine" running a loop that revisits elements at a fixed
+   stride: Y[i] accessed for each j, at temporal distance = extent of the
+   inner dim. *)
+let strided_op ~ni ~nj =
+  Ir.Tensor_op.make
+    ~iters:[ ("j", 0, nj - 1); ("i", 0, ni - 1) ]
+    ~accesses:
+      [
+        {
+          Ir.Tensor_op.tensor = "Y";
+          subscripts = [ Isl.Aff.Var "i" ];
+          direction = Ir.Tensor_op.Write;
+        };
+      ]
+    ()
+
+let one_pe_df =
+  Df.Dataflow.make ~name:"seq" ~space:[ Isl.Aff.Int 0 ]
+    ~time:Isl.Aff.[ Var "j"; Var "i" ]
+
+let spec1 =
+  Arch.Spec.make ~pe:(Arch.Pe_array.d1 1)
+    ~topology:Arch.Interconnect.Systolic_1d ~bandwidth:64 ()
+
+let y_volumes ~window ~adjacency ~ni ~nj =
+  let m =
+    M.Concrete.analyze ~adjacency ~window spec1 (strided_op ~ni ~nj) one_pe_df
+  in
+  (M.Metrics.find_tensor m "Y").M.Metrics.volumes
+
+let test_window_1_misses_strided_reuse () =
+  (* Y[i] revisited at lex distance ni; window 1 sees nothing *)
+  let v = y_volumes ~window:1 ~adjacency:`Lex_step ~ni:5 ~nj:4 in
+  check_int "total" 20 v.M.Metrics.total;
+  check_int "temporal" 0 v.M.Metrics.temporal_reuse;
+  check_int "unique" 20 v.M.Metrics.unique
+
+let test_window_covers_stride () =
+  (* window >= ni captures every revisit: unique = footprint *)
+  let v = y_volumes ~window:5 ~adjacency:`Lex_step ~ni:5 ~nj:4 in
+  check_int "temporal" 15 v.M.Metrics.temporal_reuse;
+  check_int "unique = footprint" 5 v.M.Metrics.unique
+
+let test_window_boundary () =
+  (* window = stride - 1 still misses *)
+  let v = y_volumes ~window:4 ~adjacency:`Lex_step ~ni:5 ~nj:4 in
+  check_int "temporal" 0 v.M.Metrics.temporal_reuse
+
+let test_inner_step_never_wraps () =
+  (* under Inner_step the revisit crosses the j boundary: invisible at
+     any window *)
+  let v = y_volumes ~window:50 ~adjacency:`Inner_step ~ni:5 ~nj:4 in
+  check_int "temporal" 0 v.M.Metrics.temporal_reuse
+
+let test_inner_step_within_row () =
+  (* an element reused within the inner loop is visible to Inner_step *)
+  let op =
+    Ir.Tensor_op.make
+      ~iters:[ ("j", 0, 3); ("i", 0, 9) ]
+      ~accesses:
+        [
+          {
+            Ir.Tensor_op.tensor = "Y";
+            subscripts = [ Isl.Aff.Fdiv (Isl.Aff.Var "i", 5) ];
+            direction = Ir.Tensor_op.Write;
+          };
+        ]
+      ()
+  in
+  let m = M.Concrete.analyze ~adjacency:`Inner_step ~window:1 spec1 op one_pe_df in
+  let v = (M.Metrics.find_tensor m "Y").M.Metrics.volumes in
+  (* Y[i/5]: runs of 5 consecutive accesses -> 4 reuses per run, 8 runs *)
+  check_int "temporal" 32 v.M.Metrics.temporal_reuse;
+  check_int "unique" 8 v.M.Metrics.unique
+
+(* the Eyeriss miniature: output row cycling with period = OX is captured
+   exactly by window = OX under lex adjacency *)
+let test_eyeriss_miniature () =
+  let op = Ir.Kernels.conv2d ~nk:4 ~nc:4 ~nox:5 ~noy:5 ~nrx:3 ~nry:3 in
+  let spec =
+    Arch.Spec.make
+      ~pe:(Arch.Pe_array.d2 12 14)
+      ~topology:Arch.Interconnect.Row_col_broadcast ~bandwidth:64 ()
+  in
+  let df = Df.Zoo.conv_eyeriss_rs ~kt:4 ~ct:4 ~cpack:4 () in
+  let m = M.Concrete.analyze ~adjacency:`Lex_step ~window:5 spec op df in
+  let y = (M.Metrics.find_tensor m "Y").M.Metrics.volumes in
+  (* with C = 4 all channel slices sit in the space stamp: temporal chain
+     is rx (3), the column shares across ry x c%4 (12): factor 3 x 12 *)
+  Alcotest.(check (float 1e-6))
+    "output factor 36" 36.
+    (M.Metrics.reuse_factor y)
+
+(* window does not change TotalVolume or instance counts *)
+let prop_window_invariants =
+  QCheck.Test.make ~name:"window only moves unique -> reuse" ~count:20
+    QCheck.(pair (int_range 1 6) (int_range 0 1))
+    (fun (window, adj) ->
+      let adjacency = if adj = 0 then `Inner_step else `Lex_step in
+      let op = Ir.Kernels.gemm ~ni:8 ~nj:8 ~nk:4 in
+      let spec = Arch.Repository.tpu_like ~n:4 () in
+      let df = Df.Zoo.gemm_ij_p_ijk_t ~p:4 () in
+      let m = M.Concrete.analyze ~adjacency ~window spec op df in
+      List.for_all
+        (fun tm ->
+          let v = tm.M.Metrics.volumes in
+          v.M.Metrics.total = 256
+          && v.M.Metrics.unique + M.Metrics.reuse v = v.M.Metrics.total
+          && v.M.Metrics.unique >= tm.M.Metrics.footprint)
+        m.M.Metrics.per_tensor)
+
+(* a larger window never decreases temporal reuse *)
+let prop_window_monotone =
+  QCheck.Test.make ~name:"temporal reuse monotone in window" ~count:10
+    QCheck.(int_range 1 6)
+    (fun w ->
+      let op = Ir.Kernels.conv2d ~nk:4 ~nc:4 ~nox:5 ~noy:5 ~nrx:3 ~nry:3 in
+      let spec = Arch.Repository.tpu_like ~n:4 () in
+      let df = Df.Zoo.conv_nvdla ~p:4 () in
+      let t window =
+        let m = M.Concrete.analyze ~adjacency:`Lex_step ~window spec op df in
+        List.fold_left
+          (fun a tm -> a + tm.M.Metrics.volumes.M.Metrics.temporal_reuse)
+          0 m.M.Metrics.per_tensor
+      in
+      t (w + 1) >= t w)
+
+let () =
+  Alcotest.run "window"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "window 1 misses stride" `Quick
+            test_window_1_misses_strided_reuse;
+          Alcotest.test_case "window covers stride" `Quick
+            test_window_covers_stride;
+          Alcotest.test_case "window boundary" `Quick test_window_boundary;
+          Alcotest.test_case "inner-step never wraps" `Quick
+            test_inner_step_never_wraps;
+          Alcotest.test_case "inner-step within row" `Quick
+            test_inner_step_within_row;
+          Alcotest.test_case "eyeriss miniature" `Quick test_eyeriss_miniature;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_window_invariants; prop_window_monotone ] );
+    ]
