@@ -1,6 +1,7 @@
 (* Shared helpers for the per-figure benchmark sections. *)
 
 module M = Tenet.Model
+module Json = Tenet.Obs.Json
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -26,3 +27,55 @@ let time_it f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase timing registry (docs/observability.md).                  *)
+(*                                                                     *)
+(* Sections record named phases with [phase]; the harness (bench/main)  *)
+(* resets the registry before each section and writes one JSON file per *)
+(* section with the phase breakdown, next to the printed tables.  Set   *)
+(* TENET_BENCH_TIMINGS to choose the directory ("none" disables).       *)
+(* ------------------------------------------------------------------ *)
+
+let phases : (string * float) list ref = ref [] (* newest first *)
+
+let reset_phases () = phases := []
+let record_phase name seconds = phases := (name, seconds) :: !phases
+
+(* Like [time_it], but also records the measurement as a named phase. *)
+let phase name f =
+  let r, dt = time_it f in
+  record_phase name dt;
+  (r, dt)
+
+let timings_dir () =
+  match Sys.getenv_opt "TENET_BENCH_TIMINGS" with
+  | Some "" | Some "0" | Some "none" -> None
+  | Some dir -> Some dir
+  | None -> Some "bench-timings"
+
+let write_phases ~name ~total_s : string option =
+  match timings_dir () with
+  | None -> None
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".json") in
+      let j =
+        Json.Obj
+          [
+            ("section", Json.String name);
+            ("total_s", Json.Float total_s);
+            ( "phases",
+              Json.List
+                (List.rev_map
+                   (fun (n, s) ->
+                     Json.Obj
+                       [ ("name", Json.String n); ("seconds", Json.Float s) ])
+                   !phases) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string ~pretty:true j);
+      output_char oc '\n';
+      close_out oc;
+      Some path

@@ -33,7 +33,7 @@ let run_dse () =
      paper's prune: 25920)\n"
     (List.length cands);
   let outcomes, dt =
-    Bench_util.time_it (fun () ->
+    Bench_util.phase "dse.evaluate_all" (fun () ->
         Dse.evaluate_all ~objective:Dse.Latency spec op cands)
   in
   Printf.printf "explored %d valid dataflows in %.1fs (paper: <1 hour)\n"

@@ -61,7 +61,8 @@ let run () =
       ("CONV5", 16, 16, 13, 3);
     ]
   in
-  let accs =
+  let accs, _ =
+    Bench_util.phase "eyeriss/alexnet" @@ fun () ->
     List.map
       (fun (lname, k, c, o, r) ->
         let op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r in
@@ -91,7 +92,8 @@ let run () =
       ("C5-1", 14, 14, 14, 3);
     ]
   in
-  let accs_m =
+  let accs_m, _ =
+    Bench_util.phase "maeri/vgg" @@ fun () ->
     List.map
       (fun (lname, k, c, o, r) ->
         let op = Ir.Kernels.conv2d ~nk:k ~nc:c ~nox:o ~noy:o ~nrx:r ~nry:r in

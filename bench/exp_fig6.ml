@@ -22,13 +22,14 @@ let mesh_spec pe =
 
 let sweep name op (configs : (Df.Dataflow.t * Arch.Pe_array.t) list) =
   Bench_util.subsection name;
-  let analyzed =
-    List.filter_map
-      (fun (df, pe) ->
-        match M.Concrete.analyze (mesh_spec pe) op df with
-        | m -> Some (df, m)
-        | exception M.Concrete.Invalid_dataflow _ -> None)
-      configs
+  let analyzed, _ =
+    Bench_util.phase ("analyze " ^ name) (fun () ->
+        List.filter_map
+          (fun (df, pe) ->
+            match M.Concrete.analyze (mesh_spec pe) op df with
+            | m -> Some (df, m)
+            | exception M.Concrete.Invalid_dataflow _ -> None)
+          configs)
   in
   Bench_util.row "%-10s | %-26s %-10s | %-26s %-10s | %s\n" "bw (w/cyc)"
     "best TENET dataflow" "latency" "best data-centric" "latency" "reduction";

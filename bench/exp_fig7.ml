@@ -85,6 +85,8 @@ let explore_layer (spec : Arch.Spec.t) (layer : W.layer) =
 let show_app ?(maestro_supported = true) name (layers : W.layer list) spec =
   let t_lat = ref 0. and d_lat = ref 0. and ideal = ref 0. in
   let t_sbw = ref 0. and d_sbw = ref 0. and have_d = ref true in
+  let (), _ =
+    Bench_util.phase ("explore " ^ name) @@ fun () ->
   List.iter
     (fun layer ->
       match explore_layer spec layer with
@@ -101,7 +103,8 @@ let show_app ?(maestro_supported = true) name (layers : W.layer list) spec =
               d_sbw := Float.max !d_sbw dm.M.Metrics.sbw
           | _ -> have_d := false)
       | None, _ -> ())
-    layers;
+    layers
+  in
   if !have_d && !d_lat > 0. then
     Bench_util.row
       "  %-12s | norm-lat TENET %6.2f  data-centric %6.2f  (-%5.1f%%) | \

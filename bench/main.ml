@@ -26,17 +26,27 @@ let () =
     | _ -> List.map (fun (n, _, _) -> n) sections
   in
   let t0 = Unix.gettimeofday () in
+  let timing_files = ref [] in
   List.iter
     (fun name ->
       match List.find_opt (fun (n, _, _) -> String.equal n name) sections with
       | Some (_, _, run) -> begin
-          try run ()
-          with e ->
-            Printf.printf "!! section %s failed: %s\n" name
-              (Printexc.to_string e)
+          Bench_util.reset_phases ();
+          let s0 = Unix.gettimeofday () in
+          (try run ()
+           with e ->
+             Printf.printf "!! section %s failed: %s\n" name
+               (Printexc.to_string e));
+          let total_s = Unix.gettimeofday () -. s0 in
+          match Bench_util.write_phases ~name ~total_s with
+          | Some path -> timing_files := path :: !timing_files
+          | None -> ()
         end
       | None ->
           Printf.printf "unknown section %s (known: %s)\n" name
             (String.concat ", " (List.map (fun (n, _, _) -> n) sections)))
     requested;
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if !timing_files <> [] then
+    Printf.printf "per-phase timing JSON: %s\n"
+      (String.concat ", " (List.rev !timing_files))

@@ -6,7 +6,12 @@
      tenet dse --kernel conv --sizes 16,16,14,14,3,3 --arch tpu-8x8-systolic
      tenet archs
      tenet simulate --kernel gemm --sizes 32,32,32 --arch tpu-8x8-systolic \
-                   --space "i%8,j%8" --time "i/8,j/8,i%8+j%8+k" *)
+                   --space "i%8,j%8" --time "i/8,j/8,i%8+j%8+k"
+
+   Observability (see docs/observability.md): every analysis command takes
+   --trace FILE (Chrome-trace JSON of the internal spans), --stats FILE
+   (flat counters/span-aggregate JSON) and --json (machine-readable result
+   on stdout instead of the human tables). *)
 
 module T = Tenet
 module Ir = Tenet.Ir
@@ -14,11 +19,31 @@ module Arch = Tenet.Arch
 module Df = Tenet.Dataflow
 module M = Tenet.Model
 module Dse = Tenet.Dse.Dse
+module Obs = Tenet.Obs
+module Json = Tenet.Obs.Json
 open Cmdliner
 
 let parse_sizes s =
-  try List.map int_of_string (String.split_on_char ',' s)
-  with _ -> failwith "sizes must be a comma-separated integer list"
+  let fail msg =
+    failwith
+      (Printf.sprintf
+         "bad --sizes %S: %s (expected a comma-separated list of positive \
+          integers, e.g. 64,64,64)"
+         s msg)
+  in
+  if String.trim s = "" then fail "empty list";
+  List.map
+    (fun tok ->
+      let tok = String.trim tok in
+      match int_of_string_opt tok with
+      | None ->
+          fail
+            (if tok = "" then "empty entry"
+             else Printf.sprintf "%S is not an integer" tok)
+      | Some n when n <= 0 ->
+          fail (Printf.sprintf "extent %d is not positive" n)
+      | Some n -> n)
+    (String.split_on_char ',' s)
 
 let kernel_of ~kernel ~sizes =
   match (kernel, parse_sizes sizes) with
@@ -58,6 +83,44 @@ let dataflow_of op ~space ~time =
   Df.Dataflow.make ~name:"(cli)"
     ~space:(T.Isl.Parser.exprs ~dims space)
     ~time:(T.Isl.Parser.exprs ~dims time)
+
+(* --- telemetry plumbing --- *)
+
+(* Telemetry is armed whenever any output that needs it was requested;
+   the trace/stats files are written even if the command fails partway,
+   so a crash still leaves the spans collected so far on disk. *)
+let with_telemetry ~trace ~stats ~span f =
+  if trace <> None || stats <> None then Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.enabled () then begin
+        Option.iter Obs.write_trace trace;
+        Option.iter Obs.write_stats stats
+      end)
+    (fun () -> Obs.with_span span f)
+
+(* Counters appended to --json output when telemetry is armed. *)
+let telemetry_fields () =
+  if Obs.enabled () then [ ("telemetry", Obs.stats ()) ] else []
+
+let dataflow_json (df : Df.Dataflow.t) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String df.Df.Dataflow.name);
+      ( "space",
+        Json.List
+          (List.map
+             (fun e -> Json.String (T.Isl.Aff.to_string e))
+             df.Df.Dataflow.space) );
+      ( "time",
+        Json.List
+          (List.map
+             (fun e -> Json.String (T.Isl.Aff.to_string e))
+             df.Df.Dataflow.time) );
+    ]
+
+let print_json fields =
+  print_endline (Json.to_string ~pretty:true (Json.Obj fields))
 
 (* --- flags --- *)
 
@@ -101,6 +164,21 @@ let scaled_t =
   Arg.(value & opt (some string) None & info [ "scale-dims" ] ~docv:"D,D"
          ~doc:"Extrapolate these sequential dims (for huge layers).")
 
+let trace_t =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome-trace JSON (chrome://tracing, Perfetto) of \
+               the internal spans to $(docv).")
+
+let stats_t =
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE"
+         ~doc:"Write flat telemetry stats (counters, span aggregates) as \
+               JSON to $(docv).")
+
+let json_t =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print one machine-readable JSON object on stdout instead of \
+               the human-readable report.")
+
 (* --- commands --- *)
 
 let wrap f = try `Ok (f ()) with
@@ -108,73 +186,136 @@ let wrap f = try `Ok (f ()) with
   | M.Concrete.Invalid_dataflow msg -> `Error (false, "invalid dataflow: " ^ msg)
   | T.Isl.Parser.Parse_error msg -> `Error (false, "parse error: " ^ msg)
   | Ir.Cfront.Syntax_error msg -> `Error (false, "C syntax error: " ^ msg)
+  | Sys_error msg -> `Error (false, msg)
+  (* a telemetry file that fails to write surfaces from Fun.protect's
+     cleanup as Finally_raised *)
+  | Fun.Finally_raised (Sys_error msg) -> `Error (false, msg)
 
 let analyze_cmd =
   let run kernel sizes c_file arch bandwidth space time window lex scale_dims
-      =
+      trace stats json =
     wrap (fun () ->
-        let op = op_of ~kernel ~sizes ~c_file in
-        let spec = arch_of arch ~bandwidth in
-        let df = dataflow_of op ~space ~time in
-        let adjacency = if lex then `Lex_step else `Inner_step in
-        let m =
-          match scale_dims with
-          | Some dims ->
-              M.Scaled.analyze ~adjacency spec op df
-                ~scale_dims:(String.split_on_char ',' dims)
-          | None -> M.Concrete.analyze ~adjacency ~window spec op df
-        in
-        print_string (T.report m))
+        with_telemetry ~trace ~stats ~span:"cli.analyze" (fun () ->
+            let op = op_of ~kernel ~sizes ~c_file in
+            let spec = arch_of arch ~bandwidth in
+            let df = dataflow_of op ~space ~time in
+            let adjacency = if lex then `Lex_step else `Inner_step in
+            let m =
+              match scale_dims with
+              | Some dims ->
+                  M.Scaled.analyze ~adjacency spec op df
+                    ~scale_dims:(String.split_on_char ',' dims)
+              | None -> M.Concrete.analyze ~adjacency ~window spec op df
+            in
+            if json then
+              print_json
+                ([
+                   ("command", Json.String "analyze");
+                   ("kernel", Json.String kernel);
+                   ("arch", Json.String arch);
+                   ("dataflow", dataflow_json df);
+                   ("metrics", M.Metrics.to_json m);
+                 ]
+                @ telemetry_fields ())
+            else print_string (T.report m)))
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Analyze one dataflow (Figure 2 flow).")
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ space_t $ time_t $ window_t $ lex_t $ scaled_t))
+       $ space_t $ time_t $ window_t $ lex_t $ scaled_t $ trace_t $ stats_t
+       $ json_t))
 
 let simulate_cmd =
-  let run kernel sizes c_file arch bandwidth space time =
+  let run kernel sizes c_file arch bandwidth space time trace stats json =
     wrap (fun () ->
-        let op = op_of ~kernel ~sizes ~c_file in
-        let spec = arch_of arch ~bandwidth in
-        let df = dataflow_of op ~space ~time in
-        let r = T.Sim.Simulator.run spec op df in
-        print_endline (T.Sim.Simulator.to_string r))
+        with_telemetry ~trace ~stats ~span:"cli.simulate" (fun () ->
+            let op = op_of ~kernel ~sizes ~c_file in
+            let spec = arch_of arch ~bandwidth in
+            let df = dataflow_of op ~space ~time in
+            let r = T.Sim.Simulator.run spec op df in
+            if json then
+              print_json
+                ([
+                   ("command", Json.String "simulate");
+                   ("kernel", Json.String kernel);
+                   ("arch", Json.String arch);
+                   ("dataflow", dataflow_json df);
+                   ("result", T.Sim.Simulator.to_json r);
+                 ]
+                @ telemetry_fields ())
+            else print_endline (T.Sim.Simulator.to_string r)))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the cycle-level simulator on a dataflow.")
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ space_t $ time_t))
+       $ space_t $ time_t $ trace_t $ stats_t $ json_t))
 
 let dse_cmd =
-  let run kernel sizes c_file arch bandwidth top =
+  let run kernel sizes c_file arch bandwidth top trace stats json =
     wrap (fun () ->
-        let op = op_of ~kernel ~sizes ~c_file in
-        let spec = arch_of arch ~bandwidth in
-        let p =
-          let dims = Arch.Pe_array.dims spec.Arch.Spec.pe in
-          dims.(0)
-        in
-        let cands =
-          if Arch.Pe_array.rank spec.Arch.Spec.pe = 2 then
-            Dse.candidates_2d op ~p
-          else Dse.candidates_1d op ~p
-        in
-        let outcomes = Dse.evaluate_all ~objective:Dse.Latency spec op cands in
-        Printf.printf "%d candidates, %d valid; top %d by latency:\n"
-          (List.length cands) (List.length outcomes) top;
-        List.iteri
-          (fun i o ->
-            if i < top then
-              Printf.printf "%2d. %-34s lat=%10.0f util=%4.2f sbw=%7.2f [%s]\n"
-                (i + 1) o.Dse.dataflow.Df.Dataflow.name
-                o.Dse.metrics.M.Metrics.latency
-                o.Dse.metrics.M.Metrics.avg_utilization
-                o.Dse.metrics.M.Metrics.sbw
-                (if o.Dse.expressible then "data-centric" else "TENET-only"))
-          outcomes)
+        with_telemetry ~trace ~stats ~span:"cli.dse" (fun () ->
+            let op = op_of ~kernel ~sizes ~c_file in
+            let spec = arch_of arch ~bandwidth in
+            let p =
+              let dims = Arch.Pe_array.dims spec.Arch.Spec.pe in
+              dims.(0)
+            in
+            let cands =
+              if Arch.Pe_array.rank spec.Arch.Spec.pe = 2 then
+                Dse.candidates_2d op ~p
+              else Dse.candidates_1d op ~p
+            in
+            let outcomes =
+              Dse.evaluate_all ~objective:Dse.Latency spec op cands
+            in
+            if json then begin
+              let outcome_json (o : Dse.outcome) =
+                Json.Obj
+                  [
+                    ("dataflow", dataflow_json o.Dse.dataflow);
+                    ("expressible", Json.Bool o.Dse.expressible);
+                    ("metrics", M.Metrics.to_json o.Dse.metrics);
+                  ]
+              in
+              let rec take n = function
+                | x :: r when n > 0 -> x :: take (n - 1) r
+                | _ -> []
+              in
+              print_json
+                ([
+                   ("command", Json.String "dse");
+                   ("kernel", Json.String kernel);
+                   ("arch", Json.String arch);
+                   ("objective", Json.String "latency");
+                   ("candidates", Json.Int (List.length cands));
+                   ("valid", Json.Int (List.length outcomes));
+                   ( "best",
+                     match outcomes with
+                     | o :: _ -> outcome_json o
+                     | [] -> Json.Null );
+                   ("top", Json.List (List.map outcome_json (take top outcomes)));
+                 ]
+                @ telemetry_fields ())
+            end
+            else begin
+              Printf.printf "%d candidates, %d valid; top %d by latency:\n"
+                (List.length cands) (List.length outcomes) top;
+              List.iteri
+                (fun i o ->
+                  if i < top then
+                    Printf.printf
+                      "%2d. %-34s lat=%10.0f util=%4.2f sbw=%7.2f [%s]\n"
+                      (i + 1) o.Dse.dataflow.Df.Dataflow.name
+                      o.Dse.metrics.M.Metrics.latency
+                      o.Dse.metrics.M.Metrics.avg_utilization
+                      o.Dse.metrics.M.Metrics.sbw
+                      (if o.Dse.expressible then "data-centric"
+                       else "TENET-only"))
+                outcomes
+            end))
   in
   let top_t =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
@@ -184,7 +325,7 @@ let dse_cmd =
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ top_t))
+       $ top_t $ trace_t $ stats_t $ json_t))
 
 let archs_cmd =
   let run () =

@@ -16,9 +16,13 @@
     - {!Sim}: a cycle-level simulator used as executable ground truth;
     - {!Dse}: design-space generation and search;
     - {!Workloads}: real-network layer tables (AlexNet, VGG16,
-      GoogLeNet, MobileNet, ALS, Transformer). *)
+      GoogLeNet, MobileNet, ALS, Transformer);
+    - {!Obs}: telemetry (spans, counters, Chrome-trace/JSON export),
+      threaded through the counting engine, models, simulator and DSE
+      (see docs/observability.md). *)
 
 module Util = Tenet_util
+module Obs = Tenet_obs
 module Isl = Tenet_isl
 module Ir = Tenet_ir
 module Arch = Tenet_arch

@@ -12,6 +12,11 @@ module Ir = Tenet_ir
 module Arch = Tenet_arch
 module Df = Tenet_dataflow
 module M = Tenet_model
+module Obs = Tenet_obs
+
+let c_evaluated = Obs.counter "dse.candidates_evaluated"
+let c_valid = Obs.counter "dse.candidates_valid"
+let c_invalid = Obs.counter "dse.candidates_invalid"
 
 (* ------------------------------------------------------------------ *)
 (* Design-space sizes (Section IV-A).                                  *)
@@ -146,14 +151,22 @@ type outcome = {
 let evaluate_all ?(adjacency = `Inner_step) ~objective (spec : Arch.Spec.t)
     (op : Ir.Tensor_op.t) (cands : Df.Dataflow.t list) : outcome list =
   let outcomes =
+    Obs.with_span "dse.evaluate_all" @@ fun () ->
     List.filter_map
       (fun df ->
+        Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ]
+          "dse.candidate"
+        @@ fun () ->
+        Obs.incr c_evaluated;
         match M.Concrete.analyze ~adjacency spec op df with
         | m ->
+            Obs.incr c_valid;
             Some
               { dataflow = df; metrics = m;
                 expressible = data_centric_expressible df }
-        | exception M.Concrete.Invalid_dataflow _ -> None)
+        | exception M.Concrete.Invalid_dataflow _ ->
+            Obs.incr c_invalid;
+            None)
       cands
   in
   List.sort

@@ -23,6 +23,16 @@
       collecting distinct visible tuples in a hash table. *)
 
 module IM = Tenet_util.Int_math
+module Obs = Tenet_obs
+
+(* Telemetry cells, resolved once so enabled-mode bumps are field writes
+   and disabled-mode bumps are a single bool check (see docs/observability.md
+   for the counter glossary). *)
+let c_bset_calls = Obs.counter "count.bset_calls"
+let c_points = Obs.counter "count.points_enumerated"
+let c_closed = Obs.counter "count.closed_form_hits"
+let c_fm = Obs.counter "count.fm_derivations"
+let c_dedup = Obs.counter "count.dedup_fallbacks"
 
 exception Unbounded of string
 
@@ -92,6 +102,7 @@ let substitute ~v ~(eqc : con) (c : con) : con option =
 (* [~elim_vis:false] keeps all visible variables alive so that iteration
    can report full visible tuples. *)
 let compile ?(elim_vis = true) (b : Bset.t) : compiled option =
+  Obs.incr c_bset_calls;
   let nvars = Bset.nvars b in
   let nvis = b.Bset.nvis in
   try
@@ -278,6 +289,7 @@ let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
           (Unbounded
              (Printf.sprintf "no bounded variable at position %d of %d" !pos n));
       fm_done.(!blocker) <- true;
+      Obs.incr c_fm;
       cons := Array.append !cons (Array.of_list (fm_derive !blocker))
       (* the same position is retried with the enriched constraint set *)
     end
@@ -388,11 +400,15 @@ let rec exists_from plan value pos =
 
 (* Exact-mode counting: positions [0, nvis_positions) hold visible vars. *)
 let rec count_from plan value pos =
-  if pos = plan.nvis_positions then if exists_from plan value pos then 1 else 0
+  if pos = plan.nvis_positions then begin
+    Obs.incr c_points;
+    if exists_from plan value pos then 1 else 0
+  end
   else begin
     let lb, ub = level_bounds plan value pos in
     if lb > ub then 0
     else if plan.independent.(pos) then begin
+      Obs.incr c_closed;
       value.(pos) <- lb;
       (ub - lb + 1) * count_from plan value (pos + 1)
     end
@@ -422,10 +438,12 @@ let count_with_plan cp plan =
   let n = n_positions plan in
   if n = 0 then 1
   else if plan.dedup then begin
+    Obs.incr c_dedup;
     let value = Array.make n 0 in
     let tbl = Hashtbl.create 1024 in
     let rec go pos =
       if pos = n then begin
+        Obs.incr c_points;
         let key = visible_key cp plan value in
         if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key ()
       end
@@ -514,6 +532,7 @@ let iter_bset (b : Bset.t) (f : int array -> unit) : unit =
           let tbl = Hashtbl.create 1024 in
           let rec go pos =
             if pos = n then begin
+              Obs.incr c_points;
               let key = visible_key cp plan value in
               if not (Hashtbl.mem tbl key) then begin
                 Hashtbl.add tbl key ();
@@ -541,6 +560,7 @@ let iter_bset (b : Bset.t) (f : int array -> unit) : unit =
         else begin
           let rec go pos =
             if pos = plan.nvis_positions then begin
+              Obs.incr c_points;
               if exists_from plan value pos then f (visible_key cp plan value)
             end
             else begin

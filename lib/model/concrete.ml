@@ -13,6 +13,10 @@ module Isl = Tenet_isl
 module Ir = Tenet_ir
 module Arch = Tenet_arch
 module Df = Tenet_dataflow
+module Obs = Tenet_obs
+
+let c_analyses = Obs.counter "concrete.analyses"
+let c_instances = Obs.counter "concrete.instances_walked"
 
 exception Invalid_dataflow of string
 
@@ -233,6 +237,9 @@ let tensor_bases (c : compiled) (accs : Ir.Tensor_op.access array) :
 let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
     ?(validate = true) ?(window = 1) (spec : Arch.Spec.t)
     (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : Metrics.t =
+  Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ] "concrete.analyze"
+  @@ fun () ->
+  Obs.incr c_analyses;
   let c = compile op df in
   let pe = spec.Arch.Spec.pe in
   if Ir.Tensor_op.n_instances op > 200_000_000 then
@@ -267,17 +274,19 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
   (* pass 1: bucket instances by time-stamp code *)
   let buckets : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 4096 in
   let tcodes = ref [] in
-  iter_instances c (fun () ->
-      eval_tuple c c.space_exprs p_scratch;
-      eval_tuple c c.time_exprs t_scratch;
-      let tcode = encode c.time_base t_scratch in
-      let pkey = encode pe_base p_scratch in
-      let inst = encode_iters c in
-      match Hashtbl.find_opt buckets tcode with
-      | Some l -> l := (pkey, inst) :: !l
-      | None ->
-          Hashtbl.add buckets tcode (ref [ (pkey, inst) ]);
-          tcodes := tcode :: !tcodes);
+  Obs.with_span "concrete.bucket" (fun () ->
+      iter_instances c (fun () ->
+          eval_tuple c c.space_exprs p_scratch;
+          eval_tuple c c.time_exprs t_scratch;
+          let tcode = encode c.time_base t_scratch in
+          let pkey = encode pe_base p_scratch in
+          let inst = encode_iters c in
+          match Hashtbl.find_opt buckets tcode with
+          | Some l -> l := (pkey, inst) :: !l
+          | None ->
+              Hashtbl.add buckets tcode (ref [ (pkey, inst) ]);
+              tcodes := tcode :: !tcodes));
+  Obs.add c_instances (Ir.Tensor_op.n_instances op);
   let order = List.sort compare !tcodes in
   let preds = pred_pes spec in
   let preds_enc : (int, int list) Hashtbl.t = Hashtbl.create 256 in
@@ -343,6 +352,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
   (* pass 2: walk stamps in lexicographic order, checking each element
      against the last time this PE (temporal window) or a predecessor PE
      (spatial, exact interconnect latency) touched it *)
+  Obs.with_span "concrete.walk" (fun () ->
   List.iter
     (fun tcode ->
       let insts = !(Hashtbl.find buckets tcode) in
@@ -435,7 +445,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
                 fencs)
             per_tensor)
         needs)
-    order;
+    order);
   if validate && !conflict then
     raise
       (Invalid_dataflow

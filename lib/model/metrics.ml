@@ -72,6 +72,54 @@ let pp_row fmt t =
 
 let to_string t = Format.asprintf "%a" pp_row t
 
+(* Machine-readable form, consumed by the CLI's --json/--stats outputs and
+   the bench timing files.  Keys are stable: tests round-trip this through
+   Tenet_obs.Json.parse. *)
+let volumes_to_json (v : volumes) : Tenet_obs.Json.t =
+  Tenet_obs.Json.Obj
+    [
+      ("total", Tenet_obs.Json.Int v.total);
+      ("temporal_reuse", Tenet_obs.Json.Int v.temporal_reuse);
+      ("spatial_reuse", Tenet_obs.Json.Int v.spatial_reuse);
+      ("unique", Tenet_obs.Json.Int v.unique);
+    ]
+
+let to_json (t : t) : Tenet_obs.Json.t =
+  let open Tenet_obs.Json in
+  Obj
+    [
+      ("dataflow", String t.dataflow);
+      ("n_instances", Int t.n_instances);
+      ("n_timestamps", Int t.n_timestamps);
+      ("pe_size", Int t.pe_size);
+      ("avg_utilization", Float t.avg_utilization);
+      ("max_utilization", Float t.max_utilization);
+      ("delay_compute", Int t.delay_compute);
+      ("delay_read", Float t.delay_read);
+      ("delay_write", Float t.delay_write);
+      ("latency", Float t.latency);
+      ("latency_stamped", Float t.latency_stamped);
+      ("ibw", Float t.ibw);
+      ("sbw", Float t.sbw);
+      ("energy", Float t.energy);
+      ( "per_tensor",
+        List
+          (List.map
+             (fun tm ->
+               Obj
+                 [
+                   ("tensor", String tm.tensor);
+                   ( "direction",
+                     String
+                       (match tm.direction with
+                       | Tenet_ir.Tensor_op.Read -> "in"
+                       | Tenet_ir.Tensor_op.Write -> "out") );
+                   ("footprint", Int tm.footprint);
+                   ("volumes", volumes_to_json tm.volumes);
+                 ])
+             t.per_tensor) );
+    ]
+
 let pp_tensor_row fmt tm =
   let v = tm.volumes in
   Format.fprintf fmt

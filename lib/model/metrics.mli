@@ -53,3 +53,8 @@ val total_spatial_reuse : t -> int
 val pp_row : Format.formatter -> t -> unit
 val pp_tensor_row : Format.formatter -> tensor_metrics -> unit
 val to_string : t -> string
+
+val volumes_to_json : volumes -> Tenet_obs.Json.t
+
+val to_json : t -> Tenet_obs.Json.t
+(** Machine-readable form with stable keys (CLI [--json], stats files). *)

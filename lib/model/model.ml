@@ -6,6 +6,9 @@ module Isl = Tenet_isl
 module Ir = Tenet_ir
 module Arch = Tenet_arch
 module Df = Tenet_dataflow
+module Obs = Tenet_obs
+
+let c_relational = Obs.counter "model.relational_analyses"
 
 exception Invalid_dataflow of string
 
@@ -26,17 +29,25 @@ let stamp_histogram (th : Isl.Map.t) ~n_space ~n_time =
 let analyze ?(adjacency = `Inner_step) ?(validate = true)
     (spec : Arch.Spec.t) (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) :
     Metrics.t =
+  Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ] "model.analyze"
+  @@ fun () ->
+  Obs.incr c_relational;
   if validate then begin
     match Df.Dataflow.validate op df spec.Arch.Spec.pe with
     | Ok () -> ()
     | Error v ->
         raise (Invalid_dataflow (Df.Dataflow.violation_to_string v))
   end;
-  let th = Df.Dataflow.theta op df in
-  let channels = Df.Spacetime.channels ~adjacency spec op df in
+  let th = Obs.with_span "model.theta" (fun () -> Df.Dataflow.theta op df) in
+  let channels =
+    Obs.with_span "model.channels" (fun () ->
+        Df.Spacetime.channels ~adjacency spec op df)
+  in
   let per_tensor =
     List.map
       (fun tensor ->
+        Obs.with_span ~args:[ ("tensor", tensor) ] "model.volumes"
+        @@ fun () ->
         let assignment = Df.Dataflow.data_assignment op df tensor in
         let volumes = Volumes.compute ~assignment ~channels in
         let direction =
@@ -55,8 +66,9 @@ let analyze ?(adjacency = `Inner_step) ?(validate = true)
   let n_instances = Ir.Tensor_op.n_instances op in
   let pe_size = Arch.Pe_array.size spec.Arch.Spec.pe in
   let hist =
-    stamp_histogram th ~n_space:(Df.Dataflow.n_space df)
-      ~n_time:(Df.Dataflow.n_time df)
+    Obs.with_span "model.stamp_histogram" (fun () ->
+        stamp_histogram th ~n_space:(Df.Dataflow.n_space df)
+          ~n_time:(Df.Dataflow.n_time df))
   in
   let n_timestamps = max 1 (Hashtbl.length hist) in
   let busiest = Hashtbl.fold (fun _ r acc -> max acc !r) hist 0 in

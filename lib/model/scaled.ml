@@ -18,6 +18,9 @@
 module Ir = Tenet_ir
 module Arch = Tenet_arch
 module Df = Tenet_dataflow
+module Obs = Tenet_obs
+
+let c_corners = Obs.counter "scaled.corners_evaluated"
 
 type spec_dim = { dim : string; sample_lo : int; sample_hi : int }
 
@@ -171,10 +174,13 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
   let h = List.length sdims in
   if h = 0 then Concrete.analyze ~adjacency ~validate spec op df
   else begin
+    Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ] "scaled.analyze"
+    @@ fun () ->
     let corners = Tenet_util.Int_math.pow 2 h in
     let corner_vec = Array.make corners [||] in
     let template = ref None in
     for c = 0 to corners - 1 do
+      Obs.incr c_corners;
       let assignment =
         List.mapi
           (fun i s ->
@@ -182,7 +188,10 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
           sdims
       in
       let small = shrink_op op assignment in
-      let m = Concrete.analyze ~adjacency ~validate spec small df in
+      let m =
+        Obs.with_span ~args:[ ("corner", string_of_int c) ] "scaled.corner"
+          (fun () -> Concrete.analyze ~adjacency ~validate spec small df)
+      in
       if !template = None then template := Some m;
       corner_vec.(c) <- to_vector m
     done;

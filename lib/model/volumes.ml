@@ -14,6 +14,9 @@
    does not already cover. *)
 
 module Isl = Tenet_isl
+module Obs = Tenet_obs
+
+let c_computes = Obs.counter "volumes.computes"
 
 let reuse_map ~(assignment : Isl.Map.t) ~(m : Isl.Map.t) : Isl.Map.t =
   (* A /\ M^-1.A, i.e. (stamp, element) pairs whose element was already
@@ -23,7 +26,10 @@ let reuse_map ~(assignment : Isl.Map.t) ~(m : Isl.Map.t) : Isl.Map.t =
 
 let compute ~(assignment : Isl.Map.t) ~(channels : Tenet_dataflow.Spacetime.channel list)
     : Metrics.volumes =
-  let total = Isl.Map.card assignment in
+  Obs.incr c_computes;
+  let total =
+    Obs.with_span "volumes.total" (fun () -> Isl.Map.card assignment)
+  in
   let temporal_ms =
     List.filter (fun c -> c.Tenet_dataflow.Spacetime.kind = `Temporal) channels
   in
@@ -43,22 +49,24 @@ let compute ~(assignment : Isl.Map.t) ~(channels : Tenet_dataflow.Spacetime.chan
   in
   let rt = union_reuse temporal_ms in
   let temporal_reuse =
-    match rt with None -> 0 | Some rt -> Isl.Map.card rt
+    Obs.with_span "volumes.temporal" (fun () ->
+        match rt with None -> 0 | Some rt -> Isl.Map.card rt)
   in
   let spatial_reuse =
-    match union_reuse spatial_ms with
-    | None -> 0
-    | Some rs -> (
-        match rt with
-        | None -> Isl.Map.card rs
-        | Some rt ->
-            (* pairs spatially reusable but not temporally reusable *)
-            let in_rt = Isl.Map.mem_fn rt in
-            let n = ref 0 in
-            Isl.Set.iter_points
-              (fun p -> if not (in_rt p) then incr n)
-              (Isl.Map.wrap rs);
-            !n)
+    Obs.with_span "volumes.spatial" (fun () ->
+        match union_reuse spatial_ms with
+        | None -> 0
+        | Some rs -> (
+            match rt with
+            | None -> Isl.Map.card rs
+            | Some rt ->
+                (* pairs spatially reusable but not temporally reusable *)
+                let in_rt = Isl.Map.mem_fn rt in
+                let n = ref 0 in
+                Isl.Set.iter_points
+                  (fun p -> if not (in_rt p) then incr n)
+                  (Isl.Map.wrap rs);
+                !n))
   in
   {
     Metrics.total;

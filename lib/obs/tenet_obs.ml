@@ -1,0 +1,344 @@
+(* Telemetry: hierarchical spans, named counters and histograms, and
+   exporters (human summary, Chrome-trace JSON, flat stats JSON).
+
+   Design constraints, in order:
+   1. Zero-cost when disabled (the default).  Every recording entry point
+      first reads one mutable bool; instrumented hot loops (the counting
+      engine visits millions of points) must pay only that check.
+   2. Global registry.  Instrumentation sites hold a [counter] cell
+      obtained once at module init, so the enabled-mode cost of a counter
+      bump is a field update, not a hashtable probe.
+   3. Deterministic for tests.  The clock is injectable ([set_clock]), and
+      exporters sort by name / completion order so the JSON shape is
+      stable under a fake clock.
+
+   Spans nest by dynamic scope: [with_span] pushes a depth, times the
+   thunk (exception-safe), and records a completed-span row.  The Chrome
+   trace exporter emits them as "X" (complete) events on one pid/tid;
+   chrome://tracing and Perfetto reconstruct the nesting from ts/dur. *)
+
+module Json = Json
+
+(* ------------------------------------------------------------------ *)
+(* State.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type span = {
+  sp_name : string;
+  sp_args : (string * string) list;
+  sp_start : float; (* seconds, relative to [epoch] *)
+  sp_dur : float;
+  sp_depth : int; (* nesting depth at the time the span was open *)
+  sp_seq : int; (* completion order, 0-based *)
+}
+
+let enabled_flag = ref false
+let clock : (unit -> float) ref = ref Unix.gettimeofday
+let epoch = ref 0.
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let completed : span list ref = ref [] (* newest first *)
+let seq = ref 0
+let depth = ref 0
+
+let enabled () = !enabled_flag
+
+let enable () =
+  epoch := !clock ();
+  enabled_flag := true
+
+let disable () = enabled_flag := false
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  Hashtbl.reset histograms_tbl;
+  completed := [];
+  seq := 0;
+  depth := 0;
+  epoch := !clock ()
+
+let set_clock f =
+  clock := f;
+  epoch := f ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Find-or-create: instrumentation sites call this once at module init,
+   so the cell exists (at value 0) even when telemetry never runs. *)
+let counter (name : string) : counter =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add counters_tbl name c;
+      c
+
+let add (c : counter) (by : int) : unit =
+  if !enabled_flag then c.c_value <- c.c_value + by
+
+let incr (c : counter) : unit = if !enabled_flag then c.c_value <- c.c_value + 1
+let value (c : counter) : int = c.c_value
+
+(* By-name convenience for cold paths. *)
+let count ?(by = 1) (name : string) : unit =
+  if !enabled_flag then add (counter name) by
+
+let counters () : (string * int) list =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let observe (name : string) (v : float) : unit =
+  if !enabled_flag then begin
+    let h =
+      match Hashtbl.find_opt histograms_tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            { h_name = name; h_count = 0; h_sum = 0.; h_min = infinity;
+              h_max = neg_infinity }
+          in
+          Hashtbl.add histograms_tbl name h;
+          h
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let histograms () : histogram list =
+  Hashtbl.fold (fun _ h acc -> h :: acc) histograms_tbl []
+  |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_span ?(args : (string * string) list = []) (name : string)
+    (f : unit -> 'a) : 'a =
+  if not !enabled_flag then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = !clock () in
+    let finish () =
+      let t1 = !clock () in
+      depth := d;
+      let sp =
+        {
+          sp_name = name;
+          sp_args = args;
+          sp_start = t0 -. !epoch;
+          sp_dur = t1 -. t0;
+          sp_depth = d;
+          sp_seq = !seq;
+        }
+      in
+      seq := !seq + 1;
+      completed := sp :: !completed
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* Completed spans in completion order (inner spans before the parents
+   that enclose them). *)
+let spans () : span list = List.rev !completed
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation & exporters.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type span_stat = {
+  ss_name : string;
+  ss_count : int;
+  ss_total : float; (* seconds, wall-clock inclusive *)
+  ss_max : float;
+}
+
+let span_stats () : span_stat list =
+  let tbl : (string, span_stat ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      match Hashtbl.find_opt tbl sp.sp_name with
+      | Some r ->
+          r :=
+            {
+              !r with
+              ss_count = !r.ss_count + 1;
+              ss_total = !r.ss_total +. sp.sp_dur;
+              ss_max = Float.max !r.ss_max sp.sp_dur;
+            }
+      | None ->
+          Hashtbl.add tbl sp.sp_name
+            (ref
+               {
+                 ss_name = sp.sp_name;
+                 ss_count = 1;
+                 ss_total = sp.sp_dur;
+                 ss_max = sp.sp_dur;
+               }))
+    (spans ());
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b -> compare b.ss_total a.ss_total)
+
+(* Human-readable summary: span table (by total time) then counters. *)
+let summary () : string =
+  let buf = Buffer.create 512 in
+  let stats = span_stats () in
+  if stats <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-32s %8s %12s %12s\n" "span" "calls" "total_ms"
+         "max_ms");
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-32s %8d %12.3f %12.3f\n" s.ss_name s.ss_count
+             (1e3 *. s.ss_total) (1e3 *. s.ss_max)))
+      stats
+  end;
+  let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  if cs <> [] then begin
+    if stats <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "%-32s %12s\n" "counter" "value");
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "%-32s %12d\n" name v))
+      cs
+  end;
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-32s n=%d sum=%g min=%g max=%g\n" h.h_name h.h_count
+           h.h_sum h.h_min h.h_max))
+    (histograms ());
+  Buffer.contents buf
+
+(* Chrome-trace-format JSON (the "JSON Array Format" with the object
+   wrapper): complete ("X") events for spans plus counter ("C") events at
+   the end of the timeline.  Load via chrome://tracing or ui.perfetto.dev. *)
+let chrome_trace () : Json.t =
+  let us t = Float.round (1e6 *. t) in
+  let span_events =
+    List.map
+      (fun sp ->
+        let args =
+          List.map (fun (k, v) -> (k, Json.String v)) sp.sp_args
+        in
+        Json.Obj
+          [
+            ("name", Json.String sp.sp_name);
+            ("cat", Json.String "tenet");
+            ("ph", Json.String "X");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ("ts", Json.Float (us sp.sp_start));
+            ("dur", Json.Float (us sp.sp_dur));
+            ("args", Json.Obj args);
+          ])
+      (spans ())
+  in
+  let end_ts =
+    List.fold_left
+      (fun acc sp -> Float.max acc (us (sp.sp_start +. sp.sp_dur)))
+      0. (spans ())
+  in
+  let counter_events =
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0 then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.String name);
+                 ("ph", Json.String "C");
+                 ("pid", Json.Int 1);
+                 ("ts", Json.Float end_ts);
+                 ("args", Json.Obj [ ("value", Json.Int v) ]);
+               ]))
+      (counters ())
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ("traceEvents", Json.List (span_events @ counter_events));
+    ]
+
+(* Flat stats JSON: counters, span aggregates, histograms. *)
+let stats () : Json.t =
+  let counter_fields =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+      (counters ())
+  in
+  let span_fields =
+    List.map
+      (fun s ->
+        ( s.ss_name,
+          Json.Obj
+            [
+              ("calls", Json.Int s.ss_count);
+              ("total_s", Json.Float s.ss_total);
+              ("max_s", Json.Float s.ss_max);
+            ] ))
+      (List.sort
+         (fun a b -> String.compare a.ss_name b.ss_name)
+         (span_stats ()))
+  in
+  let histogram_fields =
+    List.map
+      (fun h ->
+        ( h.h_name,
+          Json.Obj
+            [
+              ("count", Json.Int h.h_count);
+              ("sum", Json.Float h.h_sum);
+              ("min", Json.Float h.h_min);
+              ("max", Json.Float h.h_max);
+              ( "mean",
+                Json.Float
+                  (if h.h_count = 0 then 0.
+                   else h.h_sum /. float_of_int h.h_count) );
+            ] ))
+      (histograms ())
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counter_fields);
+      ("spans", Json.Obj span_fields);
+      ("histograms", Json.Obj histogram_fields);
+    ]
+
+let write_file (path : string) (contents : string) : unit =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let write_trace (path : string) : unit =
+  write_file path (Json.to_string (chrome_trace ()))
+
+let write_stats (path : string) : unit =
+  write_file path (Json.to_string ~pretty:true (stats ()))

@@ -9,6 +9,10 @@
 module Arch = Tenet_arch
 module Ir = Tenet_ir
 module Df = Tenet_dataflow
+module Obs = Tenet_obs
+
+let c_offchip = Obs.counter "sim.offchip_accesses"
+let c_spm = Obs.counter "sim.scratchpad_accesses"
 
 type t = {
   histogram : Reuse_distance.histogram;
@@ -21,6 +25,8 @@ type t = {
 
 let analyze ?(window = 1) (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
     (df : Df.Dataflow.t) : t =
+  Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ] "sim.offchip"
+  @@ fun () ->
   let buf = ref [] in
   let _result =
     Simulator.run ~window
@@ -28,14 +34,20 @@ let analyze ?(window = 1) (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
       spec op df
   in
   let trace = Array.of_list (List.rev !buf) in
-  let histogram = Reuse_distance.histogram trace in
+  let histogram =
+    Obs.with_span "sim.reuse_histogram" (fun () ->
+        Reuse_distance.histogram trace)
+  in
   let capacity =
     match spec.Arch.Spec.buffer_words with Some b -> b | None -> max_int
   in
+  let dram_accesses = Reuse_distance.misses histogram ~capacity in
+  Obs.add c_offchip dram_accesses;
+  Obs.add c_spm histogram.Reuse_distance.total;
   {
     histogram;
     scratchpad_accesses = histogram.Reuse_distance.total;
-    dram_accesses = Reuse_distance.misses histogram ~capacity;
+    dram_accesses;
     hit_rate = Reuse_distance.hit_rate histogram ~capacity;
     min_full_reuse_capacity =
       Reuse_distance.min_full_reuse_capacity histogram;

@@ -26,6 +26,13 @@ module Ir = Tenet_ir
 module Arch = Tenet_arch
 module Df = Tenet_dataflow
 module C = Tenet_model.Concrete
+module Obs = Tenet_obs
+
+let c_runs = Obs.counter "sim.runs"
+let c_stamps = Obs.counter "sim.stamps"
+let c_fetches = Obs.counter "sim.fetches"
+let c_writebacks = Obs.counter "sim.writebacks"
+let c_stalls = Obs.counter "sim.stalled_cycles"
 
 type tensor_traffic = {
   tensor : string;
@@ -46,6 +53,9 @@ type result = {
 
 let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
     (df : Df.Dataflow.t) : result =
+  Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ] "sim.run"
+  @@ fun () ->
+  Obs.incr c_runs;
   let record tensor element =
     match trace with None -> () | Some f -> f tensor element
   in
@@ -276,6 +286,10 @@ let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
     + ((!final_writes + spec.Arch.Spec.bandwidth - 1)
       / spec.Arch.Spec.bandwidth);
   let n_instances = Ir.Tensor_op.n_instances op in
+  Obs.add c_stamps (List.length order);
+  Obs.add c_fetches (Array.fold_left ( + ) 0 fetches);
+  Obs.add c_writebacks (Array.fold_left ( + ) 0 writebacks);
+  Obs.add c_stalls !stalls;
   {
     cycles = !cycles;
     busy_pe_cycles = !busy;
@@ -306,3 +320,31 @@ let to_string r =
        (List.map
           (fun t -> Printf.sprintf "%s r%d w%d" t.tensor t.fetches t.writebacks)
           r.traffic))
+
+let to_json (r : result) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      ("cycles", Int r.cycles);
+      ("busy_pe_cycles", Int r.busy_pe_cycles);
+      ("n_instances", Int r.n_instances);
+      ("pe_size", Int r.pe_size);
+      ("utilization", Float r.utilization);
+      ("stalled_cycles", Int r.stalled_cycles);
+      ( "traffic",
+        List
+          (List.map
+             (fun t ->
+               Obj
+                 [
+                   ("tensor", String t.tensor);
+                   ( "direction",
+                     String
+                       (match t.direction with
+                       | Ir.Tensor_op.Read -> "in"
+                       | Ir.Tensor_op.Write -> "out") );
+                   ("fetches", Int t.fetches);
+                   ("writebacks", Int t.writebacks);
+                 ])
+             r.traffic) );
+    ]

@@ -39,3 +39,6 @@ val run :
     feeding {!Reuse_distance}. *)
 
 val to_string : result -> string
+
+val to_json : result -> Tenet_obs.Json.t
+(** Machine-readable form with stable keys (CLI [--json]). *)

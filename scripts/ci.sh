@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 verification: format check (when ocamlformat is available),
+# full build, full test suite.  Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt =="
+  dune build @fmt
+else
+  echo "== dune fmt == (skipped: ocamlformat not installed)"
+fi
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "CI OK"

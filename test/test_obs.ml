@@ -1,0 +1,272 @@
+(* Tests for the telemetry library (lib/obs): span nesting and ordering,
+   counter aggregation, disabled-mode no-op behavior, deterministic JSON
+   shape under an injected clock, and JSON round-trips for the CLI's
+   machine-readable outputs.  No wall-clock values are asserted: every
+   timed test installs a fake clock that advances 1s per read. *)
+
+module Obs = Tenet.Obs
+module Json = Tenet.Obs.Json
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module M = Tenet.Model
+module Dse = Tenet.Dse.Dse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Each read of the fake clock advances time by exactly 1s. *)
+let install_fake_clock () =
+  let t = ref 0. in
+  Obs.set_clock (fun () ->
+      let v = !t in
+      t := v +. 1.;
+      v)
+
+let fresh () =
+  Obs.disable ();
+  install_fake_clock ();
+  Obs.reset ();
+  Obs.enable ()
+
+let teardown () = Obs.disable ()
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  fresh ();
+  let r =
+    Obs.with_span "outer" (fun () ->
+        Obs.with_span ~args:[ ("k", "v") ] "inner" (fun () -> 42))
+  in
+  check_int "with_span returns the thunk's value" 42 r;
+  (match Obs.spans () with
+  | [ inner; outer ] ->
+      check_string "inner completes first" "inner" inner.Obs.sp_name;
+      check_string "outer completes last" "outer" outer.Obs.sp_name;
+      check_int "inner depth" 1 inner.Obs.sp_depth;
+      check_int "outer depth" 0 outer.Obs.sp_depth;
+      check_int "inner seq" 0 inner.Obs.sp_seq;
+      check_int "outer seq" 1 outer.Obs.sp_seq;
+      check_bool "inner starts after outer" true
+        (inner.Obs.sp_start > outer.Obs.sp_start);
+      check_bool "inner nests inside outer" true
+        (inner.Obs.sp_start +. inner.Obs.sp_dur
+        <= outer.Obs.sp_start +. outer.Obs.sp_dur);
+      check_bool "inner args kept" true (inner.Obs.sp_args = [ ("k", "v") ])
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  teardown ()
+
+let test_span_exception_safety () =
+  fresh ();
+  (try
+     Obs.with_span "outer" (fun () ->
+         Obs.with_span "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  check_int "both spans recorded despite the exception" 2
+    (List.length (Obs.spans ()));
+  (* depth restored: a new span opens at depth 0 again *)
+  Obs.with_span "after" (fun () -> ());
+  (match List.rev (Obs.spans ()) with
+  | after :: _ -> check_int "depth restored after exception" 0 after.Obs.sp_depth
+  | [] -> Alcotest.fail "no spans");
+  teardown ()
+
+(* --- counters & histograms --- *)
+
+let test_counter_aggregation () =
+  fresh ();
+  let c1 = Obs.counter "test.c" in
+  let c2 = Obs.counter "test.c" in
+  check_bool "same name, same cell" true (c1 == c2);
+  Obs.incr c1;
+  Obs.add c2 4;
+  Obs.count ~by:5 "test.c";
+  check_int "all bumps aggregate" 10 (Obs.value c1);
+  Obs.count "test.other";
+  let cs = List.filter (fun (n, _) -> n = "test.c" || n = "test.other")
+      (Obs.counters ())
+  in
+  check_bool "counters listed sorted by name" true
+    (List.map fst cs = [ "test.c"; "test.other" ]);
+  check_bool "values correct" true (List.map snd cs = [ 10; 1 ]);
+  Obs.reset ();
+  check_int "reset zeroes values" 0 (Obs.value c1);
+  teardown ()
+
+let test_histograms () =
+  fresh ();
+  Obs.observe "test.h" 2.;
+  Obs.observe "test.h" 4.;
+  Obs.observe "test.h" 6.;
+  (match Obs.histograms () with
+  | [ h ] ->
+      check_int "count" 3 h.Obs.h_count;
+      check_bool "sum" true (h.Obs.h_sum = 12.);
+      check_bool "min" true (h.Obs.h_min = 2.);
+      check_bool "max" true (h.Obs.h_max = 6.)
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l));
+  teardown ()
+
+let test_disabled_noop () =
+  Obs.disable ();
+  install_fake_clock ();
+  Obs.reset ();
+  (* reset leaves telemetry disabled; nothing below may record *)
+  let c = Obs.counter "test.disabled" in
+  Obs.incr c;
+  Obs.add c 100;
+  Obs.count ~by:7 "test.disabled";
+  Obs.observe "test.disabled.h" 1.;
+  let calls = ref 0 in
+  let r =
+    Obs.with_span "test.disabled.span" (fun () ->
+        incr calls;
+        "ok")
+  in
+  check_string "thunk still runs and returns" "ok" r;
+  check_int "thunk runs exactly once" 1 !calls;
+  check_int "counter untouched" 0 (Obs.value c);
+  check_int "no spans recorded" 0 (List.length (Obs.spans ()));
+  check_int "no histograms recorded" 0 (List.length (Obs.histograms ()))
+
+(* --- JSON exporters --- *)
+
+let test_trace_shape () =
+  fresh ();
+  Obs.with_span "a" (fun () -> ());
+  Obs.count ~by:3 "test.trace.c";
+  let j = Obs.chrome_trace () in
+  (* the whole document parses back identically: valid JSON *)
+  let s = Json.to_string j in
+  check_bool "trace round-trips through the parser" true (Json.parse s = j);
+  let events = Option.get (Json.to_list (Option.get (Json.member "traceEvents" j))) in
+  check_int "one X event + one C event" 2 (List.length events);
+  let x = List.nth events 0 and c = List.nth events 1 in
+  check_bool "X event" true (Json.member "ph" x = Some (Json.String "X"));
+  check_bool "X named" true (Json.member "name" x = Some (Json.String "a"));
+  (* fake clock: span opens at 1s after epoch, lasts 1s -> microseconds *)
+  check_bool "deterministic ts" true
+    (Json.member "ts" x = Some (Json.Float 1_000_000.));
+  check_bool "deterministic dur" true
+    (Json.member "dur" x = Some (Json.Float 1_000_000.));
+  check_bool "C event carries the counter" true
+    (Json.member "args" c = Some (Json.Obj [ ("value", Json.Int 3) ]));
+  teardown ()
+
+let test_stats_shape () =
+  fresh ();
+  Obs.with_span "a" (fun () -> Obs.with_span "b" (fun () -> ()));
+  Obs.count ~by:2 "test.stats.c";
+  let j = Obs.stats () in
+  let counters = Option.get (Json.member "counters" j) in
+  check_bool "counter exported" true
+    (Json.member "test.stats.c" counters = Some (Json.Int 2));
+  let spans = Option.get (Json.member "spans" j) in
+  (match Json.member "a" spans with
+  | Some sa ->
+      check_bool "span call count" true (Json.member "calls" sa = Some (Json.Int 1));
+      (* a wraps b; fake clock gives it 3 ticks *)
+      check_bool "span total deterministic" true
+        (Json.member "total_s" sa = Some (Json.Float 3.))
+  | None -> Alcotest.fail "span 'a' missing from stats");
+  check_bool "stats round-trip" true
+    (Json.parse (Json.to_string ~pretty:true j) = j);
+  teardown ()
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a \"quoted\"\n\ttab\\slash");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 0.5);
+        ("whole", Json.Float 3.0);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  check_bool "compact round-trip" true (Json.parse (Json.to_string v) = v);
+  check_bool "pretty round-trip" true
+    (Json.parse (Json.to_string ~pretty:true v) = v);
+  check_bool "non-finite floats print as null" true
+    (Json.to_string (Json.Float infinity) = "null");
+  check_bool "unicode escape" true
+    (Json.parse {|"a\u0041"|} = Json.String "aA")
+
+let test_metrics_json_roundtrip () =
+  (* the CLI --json path: metrics serialize to JSON that parses back and
+     re-serializes identically (stable machine-readable output) *)
+  let op = Ir.Kernels.gemm ~ni:4 ~nj:4 ~nk:4 in
+  let spec = Arch.Repository.tpu_like ~n:2 ~bandwidth:4 () in
+  let df = Df.Zoo.gemm_ij_p_ijk_t ~p:2 () in
+  let m = M.Concrete.analyze spec op df in
+  let j = M.Metrics.to_json m in
+  let s = Json.to_string ~pretty:true j in
+  let reparsed = Json.parse s in
+  check_bool "parse(print(j)) = j" true (reparsed = j);
+  check_string "print is stable across a round-trip" s
+    (Json.to_string ~pretty:true reparsed);
+  (* a few load-bearing fields *)
+  check_bool "n_instances" true
+    (Json.member "n_instances" j = Some (Json.Int 64));
+  check_bool "per_tensor present" true
+    (match Json.member "per_tensor" j with
+    | Some (Json.List (_ :: _)) -> true
+    | _ -> false)
+
+(* --- end-to-end: instrumented engines actually record --- *)
+
+let test_engines_record () =
+  fresh ();
+  let op = Ir.Kernels.gemm ~ni:4 ~nj:4 ~nk:4 in
+  let spec = Arch.Repository.tpu_like ~n:2 ~bandwidth:4 () in
+  let df = Df.Zoo.gemm_ij_p_ijk_t ~p:2 () in
+  (* concrete engine: its PE-relation iteration hits the counting engine *)
+  ignore (M.Concrete.analyze spec op df);
+  check_bool "count.bset_calls > 0" true
+    (Obs.value (Obs.counter "count.bset_calls") > 0);
+  check_int "concrete.analyses" 1 (Obs.value (Obs.counter "concrete.analyses"));
+  (* relational engine: counts every volume relation *)
+  ignore (M.Model.analyze ~validate:false spec op df);
+  check_int "model.relational_analyses" 1
+    (Obs.value (Obs.counter "model.relational_analyses"));
+  check_bool "count.points_enumerated > 0" true
+    (Obs.value (Obs.counter "count.points_enumerated") > 0);
+  check_bool "volumes span recorded" true
+    (List.exists (fun sp -> sp.Obs.sp_name = "model.volumes") (Obs.spans ()));
+  (* dse: per-candidate counters *)
+  let cands = Dse.candidates_2d op ~p:2 in
+  ignore (Dse.evaluate_all ~objective:Dse.Latency spec op cands);
+  check_int "dse.candidates_evaluated" (List.length cands)
+    (Obs.value (Obs.counter "dse.candidates_evaluated"));
+  teardown ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting & ordering" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "aggregation" `Quick test_counter_aggregation;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "chrome trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "stats shape" `Quick test_stats_shape;
+          Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "metrics round-trip" `Quick
+            test_metrics_json_roundtrip;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "engines record" `Quick test_engines_record ] );
+    ]
