@@ -1,6 +1,7 @@
 (* Shared helpers for the per-figure benchmark sections. *)
 
 module M = Tenet.Model
+module Obs = Tenet.Obs
 module Json = Tenet.Obs.Json
 
 let section title =
@@ -54,6 +55,16 @@ let timings_dir () =
   | Some dir -> Some dir
   | None -> Some "bench-timings"
 
+(* Engine work counters (from Tenet.Obs, when the harness armed telemetry)
+   included in the per-section JSON so perf baselines capture both time and
+   the amount of counting work behind it. *)
+let counter_fields () =
+  if not (Obs.enabled ()) then []
+  else
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+      (Obs.counters ())
+
 let write_phases ~name ~total_s : string option =
   match timings_dir () with
   | None -> None
@@ -72,6 +83,7 @@ let write_phases ~name ~total_s : string option =
                      Json.Obj
                        [ ("name", Json.String n); ("seconds", Json.Float s) ])
                    !phases) );
+            ("counters", Json.Obj (counter_fields ()));
           ]
       in
       let oc = open_out path in

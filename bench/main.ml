@@ -19,6 +19,36 @@ let sections : (string * string * (unit -> unit)) list =
     ("buffer", "Buffer-capacity & compute-centric ablations", Exp_buffer.run);
   ]
 
+module Obs = Tenet.Obs
+module Json = Tenet.Obs.Json
+
+(* One-line-per-section roll-up ({section, total_s, points_enumerated})
+   written next to the per-section phase files; scripts/bench_compare.sh
+   diffs it against the committed BENCH_seed.json baseline. *)
+let write_summary dir rows =
+  let path = Filename.concat dir "summary.json" in
+  let j =
+    Json.Obj
+      [
+        ( "sections",
+          Json.List
+            (List.rev_map
+               (fun (name, total_s, points) ->
+                 Json.Obj
+                   [
+                     ("section", Json.String name);
+                     ("total_s", Json.Float total_s);
+                     ("points_enumerated", Json.Int points);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  path
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -26,18 +56,26 @@ let () =
     | _ -> List.map (fun (n, _, _) -> n) sections
   in
   let t0 = Unix.gettimeofday () in
+  let telemetry = Bench_util.timings_dir () <> None in
+  let c_points = Obs.counter "count.points_enumerated" in
   let timing_files = ref [] in
+  let summary_rows = ref [] in
   List.iter
     (fun name ->
       match List.find_opt (fun (n, _, _) -> String.equal n name) sections with
       | Some (_, _, run) -> begin
           Bench_util.reset_phases ();
+          if telemetry then begin
+            Obs.reset ();
+            Obs.enable ()
+          end;
           let s0 = Unix.gettimeofday () in
           (try run ()
            with e ->
              Printf.printf "!! section %s failed: %s\n" name
                (Printexc.to_string e));
           let total_s = Unix.gettimeofday () -. s0 in
+          summary_rows := (name, total_s, Obs.value c_points) :: !summary_rows;
           match Bench_util.write_phases ~name ~total_s with
           | Some path -> timing_files := path :: !timing_files
           | None -> ()
@@ -47,6 +85,12 @@ let () =
             (String.concat ", " (List.map (fun (n, _, _) -> n) sections)))
     requested;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
-  if !timing_files <> [] then
-    Printf.printf "per-phase timing JSON: %s\n"
-      (String.concat ", " (List.rev !timing_files))
+  if !timing_files <> [] then begin
+    match Bench_util.timings_dir () with
+    | Some dir ->
+        let summary = write_summary dir !summary_rows in
+        Printf.printf "per-phase timing JSON: %s\nsummary JSON: %s\n"
+          (String.concat ", " (List.rev !timing_files))
+          summary
+    | None -> ()
+  end

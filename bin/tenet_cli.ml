@@ -179,6 +179,29 @@ let json_t =
          ~doc:"Print one machine-readable JSON object on stdout instead of \
                the human-readable report.")
 
+let jobs_t =
+  (* strict: reject 0, negatives and garbage with a named error instead of
+     silently falling back to sequential *)
+  let jobs_conv =
+    Arg.conv'
+      ( (fun s ->
+          match T.Util.Parallel.parse_jobs ~what:"--jobs" s with
+          | n -> Ok n
+          | exception Failure msg -> Error msg),
+        Format.pp_print_int )
+  in
+  Arg.(value & opt (some jobs_conv) None & info [ "jobs" ] ~docv:"N"
+         ~doc:"Run on $(docv) parallel domains (DSE candidate evaluation \
+               and union counting).  Defaults to \\$TENET_JOBS, or 1 \
+               (sequential).  Results are identical at any job count.")
+
+let apply_jobs = function
+  | Some n -> T.Util.Parallel.set_jobs n
+  | None ->
+      (* force TENET_JOBS resolution now: a malformed value should fail
+         the command up front, not at the first parallel region *)
+      ignore (T.Util.Parallel.jobs ())
+
 (* --- commands --- *)
 
 let wrap f = try `Ok (f ()) with
@@ -193,8 +216,9 @@ let wrap f = try `Ok (f ()) with
 
 let analyze_cmd =
   let run kernel sizes c_file arch bandwidth space time window lex scale_dims
-      trace stats json =
+      jobs trace stats json =
     wrap (fun () ->
+        apply_jobs jobs;
         with_telemetry ~trace ~stats ~span:"cli.analyze" (fun () ->
             let op = op_of ~kernel ~sizes ~c_file in
             let spec = arch_of arch ~bandwidth in
@@ -223,12 +247,13 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ space_t $ time_t $ window_t $ lex_t $ scaled_t $ trace_t $ stats_t
-       $ json_t))
+       $ space_t $ time_t $ window_t $ lex_t $ scaled_t $ jobs_t $ trace_t
+       $ stats_t $ json_t))
 
 let simulate_cmd =
-  let run kernel sizes c_file arch bandwidth space time trace stats json =
+  let run kernel sizes c_file arch bandwidth space time jobs trace stats json =
     wrap (fun () ->
+        apply_jobs jobs;
         with_telemetry ~trace ~stats ~span:"cli.simulate" (fun () ->
             let op = op_of ~kernel ~sizes ~c_file in
             let spec = arch_of arch ~bandwidth in
@@ -251,11 +276,12 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ space_t $ time_t $ trace_t $ stats_t $ json_t))
+       $ space_t $ time_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let dse_cmd =
-  let run kernel sizes c_file arch bandwidth top trace stats json =
+  let run kernel sizes c_file arch bandwidth top jobs trace stats json =
     wrap (fun () ->
+        apply_jobs jobs;
         with_telemetry ~trace ~stats ~span:"cli.dse" (fun () ->
             let op = op_of ~kernel ~sizes ~c_file in
             let spec = arch_of arch ~bandwidth in
@@ -325,7 +351,7 @@ let dse_cmd =
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ top_t $ trace_t $ stats_t $ json_t))
+       $ top_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let archs_cmd =
   let run () =

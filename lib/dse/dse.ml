@@ -147,27 +147,36 @@ type outcome = {
 }
 
 (* Evaluate all candidates, silently dropping invalid ones (out-of-array
-   or conflicting dataflows), sorted best-first by [objective]. *)
+   or conflicting dataflows), sorted best-first by [objective].
+
+   Candidates are independent, so they are scored on the parallel work
+   pool (TENET_JOBS / --jobs).  The result is deterministic at any job
+   count: [Parallel.map] preserves input order and the final sort is
+   stable, so ties keep the generator's candidate order. *)
 let evaluate_all ?(adjacency = `Inner_step) ~objective (spec : Arch.Spec.t)
     (op : Ir.Tensor_op.t) (cands : Df.Dataflow.t list) : outcome list =
   let outcomes =
     Obs.with_span "dse.evaluate_all" @@ fun () ->
-    List.filter_map
-      (fun df ->
-        Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ]
-          "dse.candidate"
-        @@ fun () ->
-        Obs.incr c_evaluated;
-        match M.Concrete.analyze ~adjacency spec op df with
-        | m ->
-            Obs.incr c_valid;
-            Some
-              { dataflow = df; metrics = m;
-                expressible = data_centric_expressible df }
-        | exception M.Concrete.Invalid_dataflow _ ->
-            Obs.incr c_invalid;
-            None)
-      cands
+    (* warm the per-architecture predecessor memo once, outside the
+       workers, so candidates don't race to build it *)
+    ignore (M.Concrete.pred_pe_keys spec);
+    List.filter_map Fun.id
+      (Tenet_util.Parallel.map
+         (fun df ->
+           Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ]
+             "dse.candidate"
+           @@ fun () ->
+           Obs.incr c_evaluated;
+           match M.Concrete.analyze ~adjacency spec op df with
+           | m ->
+               Obs.incr c_valid;
+               Some
+                 { dataflow = df; metrics = m;
+                   expressible = data_centric_expressible df }
+           | exception M.Concrete.Invalid_dataflow _ ->
+               Obs.incr c_invalid;
+               None)
+         cands)
   in
   List.sort
     (fun a b -> compare (score objective a.metrics) (score objective b.metrics))

@@ -66,6 +66,40 @@ let rec eval env = function
   | Mod (a, d) -> Tenet_util.Int_math.fmod (eval env a) d
   | Abs a -> abs (eval env a)
 
+(* Staged evaluator: name resolution and shape dispatch happen once, at
+   compile time, so the hot path is closure calls over an int array — no
+   string lookups, no AST walk.  Used by the concrete engine, which
+   evaluates the same handful of expressions millions of times. *)
+let compile_eval ~(lookup : string -> int) (e : t) : int array -> int =
+  let rec go = function
+    | Var s ->
+        let i = lookup s in
+        fun v -> v.(i)
+    | Int n -> fun _ -> n
+    | Neg a ->
+        let f = go a in
+        fun v -> -f v
+    | Add (a, b) ->
+        let fa = go a and fb = go b in
+        fun v -> Stdlib.( + ) (fa v) (fb v)
+    | Sub (a, b) ->
+        let fa = go a and fb = go b in
+        fun v -> Stdlib.( - ) (fa v) (fb v)
+    | Mul (a, b) ->
+        let fa = go a and fb = go b in
+        fun v -> Stdlib.( * ) (fa v) (fb v)
+    | Fdiv (a, d) ->
+        let f = go a in
+        fun v -> Tenet_util.Int_math.fdiv (f v) d
+    | Mod (a, d) ->
+        let f = go a in
+        fun v -> Tenet_util.Int_math.fmod (f v) d
+    | Abs a ->
+        let f = go a in
+        fun v -> abs (f v)
+  in
+  go e
+
 (* ------------------------------------------------------------------ *)
 (* Lowering context: accumulates floor-division definitions as extra    *)
 (* existential dimensions appended after [nbase] visible dimensions.    *)

@@ -41,6 +41,13 @@ val free_vars : t -> string list
 val eval : (string -> int) -> t -> int
 (** Evaluate under an environment. *)
 
+val compile_eval : lookup:(string -> int) -> t -> int array -> int
+(** [compile_eval ~lookup e] stages [e] into a closure over an array of
+    variable values indexed by [lookup] (applied once per variable, at
+    compile time).  Semantically [eval (fun s -> v.(lookup s)) e], but
+    with no name resolution or AST walk per call — for hot loops that
+    evaluate the same expression many times. *)
+
 val to_string : t -> string
 
 (** {2 Lowering to linear constraint form}

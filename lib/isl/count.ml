@@ -12,27 +12,44 @@
       alone, which keeps the count invariant);
    3. order variables greedily so every variable is bounded by its
       predecessors, preferring visible variables first;
-   4. recursively enumerate with per-level bound propagation.  A variable
-      not referenced by any later constraint contributes a closed-form
-      width factor instead of being enumerated, so boxes and box-like sets
-      are counted in O(dims).  When all visible variables are assigned,
-      the existential suffix is checked by a first-witness search.
+   4. recursively enumerate with per-level bound propagation, with three
+      closed-form escapes:
+      - a variable not referenced by any later constraint contributes a
+        width factor instead of being enumerated (boxes cost O(dims));
+      - once the remaining visible suffix is past every variable the
+        existential constraints mention, satisfiability is checked once
+        and the suffix is counted arithmetically: the innermost level is
+        [max 0 (ub - lb + 1)] (no loop), and when the innermost level has
+        a single affine lower and upper bound the level above sums the
+        resulting linear width symbolically (Faulhaber for degree 1,
+        which covers the trapezoid/simplex shapes TENET produces);
+      - the per-level loops only remain for coupled middle dimensions.
    5. If the greedy order is forced to place an existential before a
       visible variable (e.g. a range projection where a visible dim is
       only defined through existentials), enumeration falls back to
-      collecting distinct visible tuples in a hash table. *)
+      collecting distinct visible tuples in a hash table.
+
+   On top of the enumeration engine sits a bounded, domain-safe memo
+   cache keyed by the canonicalized compiled constraint system: DSE
+   sweeps re-count structurally identical sets hundreds of times, and a
+   cache hit skips enumeration entirely (see docs/performance.md). *)
 
 module IM = Tenet_util.Int_math
 module Obs = Tenet_obs
 
-(* Telemetry cells, resolved once so enabled-mode bumps are field writes
-   and disabled-mode bumps are a single bool check (see docs/observability.md
+(* Telemetry cells, resolved once so enabled-mode bumps are atomic adds
+   and disabled-mode bumps are a single bool check (see docs/performance.md
    for the counter glossary). *)
 let c_bset_calls = Obs.counter "count.bset_calls"
 let c_points = Obs.counter "count.points_enumerated"
 let c_closed = Obs.counter "count.closed_form_hits"
+let c_closed_tail = Obs.counter "count.closed_tail_hits"
+let c_faulhaber = Obs.counter "count.faulhaber_hits"
 let c_fm = Obs.counter "count.fm_derivations"
 let c_dedup = Obs.counter "count.dedup_fallbacks"
+let c_cache_hits = Obs.counter "count.cache_hits"
+let c_cache_misses = Obs.counter "count.cache_misses"
+let c_cache_evictions = Obs.counter "count.cache_evictions"
 
 exception Unbounded of string
 
@@ -168,6 +185,17 @@ type plan = {
   dedup : bool; (* some existential precedes a visible var *)
   level_cons : level_con list array; (* constraints whose last var is here *)
   independent : bool array; (* var at pos unreferenced after pos *)
+  vis_tail : int;
+      (* first visible position past every visible variable the
+         existential levels reference: from here on, existential
+         satisfiability is already decided and the suffix counts in
+         closed form.  [nvis_positions] when no such tail exists
+         (including all dedup plans). *)
+  sym_inner : (level_con * level_con) option;
+      (* the innermost visible level's (lower, upper) bound pair when it
+         is exactly one of each with unit self-coefficients — the shape
+         whose width is affine in the surrounding variables, enabling
+         the Faulhaber sum one level up *)
 }
 
 let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
@@ -338,7 +366,46 @@ let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
           :: level_cons.(!lastpos)
       end)
     cons;
-  { order; pos_of; nvis_positions; dedup = !dedup; level_cons; independent }
+  (* Closed-form tail metadata (meaningless under dedup: positions are not
+     visible-first there). *)
+  let vis_tail =
+    if !dedup then nvis_positions
+    else begin
+      let max_ref = ref (-1) in
+      for p = nvis_positions to n - 1 do
+        List.iter
+          (fun lc ->
+            Array.iter
+              (fun (q, _) ->
+                if q < nvis_positions && q > !max_ref then max_ref := q)
+              lc.lc_terms)
+          level_cons.(p)
+      done;
+      !max_ref + 1
+    end
+  in
+  let sym_inner =
+    if !dedup || nvis_positions < 2 then None
+    else
+      match level_cons.(nvis_positions - 1) with
+      | [ c1; c2 ] when (not c1.lc_eq) && not c2.lc_eq -> begin
+          match (c1.lc_self, c2.lc_self) with
+          | 1, -1 -> Some (c1, c2)
+          | -1, 1 -> Some (c2, c1)
+          | _ -> None
+        end
+      | _ -> None
+  in
+  {
+    order;
+    pos_of;
+    nvis_positions;
+    dedup = !dedup;
+    level_cons;
+    independent;
+    vis_tail;
+    sym_inner;
+  }
 
 (* Compute [lb, ub] for the variable at [pos] given the assignment of all
    earlier positions; lb > ub means the level is infeasible. *)
@@ -398,9 +465,85 @@ let rec exists_from plan value pos =
     end
   end
 
-(* Exact-mode counting: positions [0, nvis_positions) hold visible vars. *)
+(* Count the pure visible suffix [pos, nvis_positions): no existential
+   level references these positions (guaranteed by [vis_tail]), so no
+   witness search appears below and the innermost levels collapse to
+   arithmetic. *)
+let rec count_tail plan value pos =
+  let last = plan.nvis_positions - 1 in
+  if pos > last then 1
+  else begin
+    let lb, ub = level_bounds plan value pos in
+    if lb > ub then 0
+    else if pos = last then begin
+      (* deepest level: the loop is an interval width *)
+      Obs.incr c_closed_tail;
+      ub - lb + 1
+    end
+    else if pos = last - 1 && plan.sym_inner <> None then begin
+      (* the innermost width is affine in this variable: sum it
+         symbolically (arithmetic series; Faulhaber degree 1) *)
+      Obs.incr c_faulhaber;
+      let lbc, ubc = Option.get plan.sym_inner in
+      let eval_parts lc =
+        let rest = ref lc.lc_k and cpos = ref 0 in
+        Array.iter
+          (fun (p, c) ->
+            if p = pos then cpos := !cpos + c else rest := !rest + (c * value.(p)))
+          lc.lc_terms;
+        (!rest, !cpos)
+      in
+      (* lbc is [lrest + lcoef*v + x >= 0]: x >= -(lrest + lcoef*v);
+         ubc is [urest + ucoef*v - x >= 0]: x <= urest + ucoef*v.  Width
+         as a function of v is w0 + w1*v, clamped at 0. *)
+      let lrest, lcoef = eval_parts lbc in
+      let urest, ucoef = eval_parts ubc in
+      let w0 = urest + lrest + 1 in
+      let w1 = ucoef + lcoef in
+      if w1 = 0 then (ub - lb + 1) * max 0 w0
+      else begin
+        (* subrange of [lb, ub] where w0 + w1*v >= 1 *)
+        let s, t =
+          if w1 > 0 then (max lb (IM.cdiv (1 - w0) w1), ub)
+          else (lb, min ub (IM.fdiv (w0 - 1) (-w1)))
+        in
+        if s > t then 0
+        else begin
+          let tri x = x * (x + 1) / 2 in
+          (w0 * (t - s + 1)) + (w1 * (tri t - tri (s - 1)))
+        end
+      end
+    end
+    else if plan.independent.(pos) then begin
+      Obs.incr c_closed;
+      value.(pos) <- lb;
+      (ub - lb + 1) * count_tail plan value (pos + 1)
+    end
+    else begin
+      let acc = ref 0 in
+      for v = lb to ub do
+        value.(pos) <- v;
+        acc := !acc + count_tail plan value (pos + 1)
+      done;
+      !acc
+    end
+  end
+
+(* Exact-mode counting: positions [0, nvis_positions) hold visible vars.
+   Reaching [vis_tail] decides existential satisfiability once (the
+   remaining visible variables cannot affect it) and hands the suffix to
+   the arithmetic counter above. *)
 let rec count_from plan value pos =
-  if pos = plan.nvis_positions then begin
+  if pos = plan.vis_tail && pos < plan.nvis_positions then begin
+    if plan.nvis_positions < n_positions plan then begin
+      Obs.incr c_points;
+      if exists_from plan value plan.nvis_positions then
+        count_tail plan value pos
+      else 0
+    end
+    else count_tail plan value pos
+  end
+  else if pos = plan.nvis_positions then begin
     Obs.incr c_points;
     if exists_from plan value pos then 1 else 0
   end
@@ -469,51 +612,182 @@ let count_with_plan cp plan =
     count_from plan value 0
   end
 
+(* ------------------------------------------------------------------ *)
+(* Memoized cardinalities.                                             *)
+(*                                                                     *)
+(* Keyed by the canonicalized compiled form (constraints sorted, dead   *)
+(* variables recorded), so any two basic sets that normalize to the     *)
+(* same constraint system share one entry regardless of how they were   *)
+(* built.  The cache is global, bounded (TENET_COUNT_CACHE entries;     *)
+(* 0/off disables) and mutex-guarded: it is shared by all domains of    *)
+(* the parallel work pool.  On overflow the whole table is dropped —    *)
+(* the working sets here are tiny compared to the bound, so an epoch    *)
+(* flush is simpler than LRU and near-free in practice.                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ckey = struct
+  type t = {
+    k_nvis : int;
+    k_nvars : int;
+    k_alive : bool array;
+    k_cons : (bool * int * int array) array; (* sorted for canonicity *)
+  }
+
+  let equal (a : t) (b : t) = a = b
+
+  let hash (k : t) =
+    let h = ref ((k.k_nvis * 131) + k.k_nvars) in
+    let mix v = h := (!h * 131) + v in
+    Array.iter (fun b -> mix (Bool.to_int b)) k.k_alive;
+    Array.iter
+      (fun (eq, c, a) ->
+        mix (Bool.to_int eq);
+        mix c;
+        Array.iter mix a)
+      k.k_cons;
+    !h land max_int
+end
+
+module Ctbl = Hashtbl.Make (Ckey)
+
+module Ukey = struct
+  type t = Ckey.t array (* sorted: unions are order-insensitive *)
+
+  let equal (a : t) (b : t) = a = b
+  let hash (u : t) = Array.fold_left (fun h k -> (h * 131) + Ckey.hash k) 17 u
+end
+
+module Utbl = Hashtbl.Make (Ukey)
+
+type cache_entry = { mutable e_card : int option; mutable e_empty : bool option }
+
+let cache_bound =
+  match Sys.getenv_opt "TENET_COUNT_CACHE" with
+  | None | Some "" -> 65536
+  | Some ("0" | "off" | "none") -> 0
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 65536)
+
+let cache_mutex = Mutex.create ()
+let bset_cache : cache_entry Ctbl.t = Ctbl.create 1024
+let union_cache : int Utbl.t = Utbl.create 256
+
+let key_of_compiled (cp : compiled) : Ckey.t =
+  let cons = Array.map (fun c -> (c.eq, c.k, c.a)) cp.cons in
+  Array.sort compare cons;
+  {
+    Ckey.k_nvis = cp.nvis;
+    k_nvars = cp.nvars;
+    k_alive = cp.alive;
+    k_cons = cons;
+  }
+
+(* Room check shared by both tables; called with [cache_mutex] held. *)
+let make_room () =
+  if Ctbl.length bset_cache + Utbl.length union_cache >= cache_bound then begin
+    Obs.incr c_cache_evictions;
+    Ctbl.reset bset_cache;
+    Utbl.reset union_cache
+  end
+
+(* [probe ~get ~set cp compute]: consult the per-bset cache for the field
+   selected by [get]/[set], computing and filling on a miss.  [compute]
+   runs outside the lock (a racing duplicate computation is benign). *)
+let probe ~get ~set (cp : compiled) (compute : unit -> 'a) : 'a =
+  if cache_bound = 0 then compute ()
+  else begin
+    let key = key_of_compiled cp in
+    Mutex.lock cache_mutex;
+    let cached =
+      match Ctbl.find_opt bset_cache key with
+      | Some e -> get e
+      | None -> None
+    in
+    Mutex.unlock cache_mutex;
+    match cached with
+    | Some v ->
+        Obs.incr c_cache_hits;
+        v
+    | None ->
+        Obs.incr c_cache_misses;
+        let v = compute () in
+        Mutex.lock cache_mutex;
+        (match Ctbl.find_opt bset_cache key with
+        | Some e -> set e v
+        | None ->
+            make_room ();
+            let e = { e_card = None; e_empty = None } in
+            set e v;
+            Ctbl.add bset_cache key e);
+        Mutex.unlock cache_mutex;
+        v
+  end
+
+let cache_clear () =
+  Mutex.lock cache_mutex;
+  Ctbl.reset bset_cache;
+  Utbl.reset union_cache;
+  Mutex.unlock cache_mutex
+
 let count_bset (b : Bset.t) : int =
   match compile b with
   | None -> 0
-  | Some cp -> (
-      match make_plan cp with
-      | plan -> count_with_plan cp plan
-      | exception Empty_set -> 0)
+  | Some cp ->
+      probe cp
+        ~get:(fun e -> e.e_card)
+        ~set:(fun e v -> e.e_card <- Some v)
+        (fun () ->
+          match make_plan cp with
+          | plan -> count_with_plan cp plan
+          | exception Empty_set -> 0)
+
+(* Satisfiability without caching, for the per-query [mem_bset] path
+   (every query would otherwise insert a single-use cache entry). *)
+let is_empty_compiled (cp : compiled) ~(b : Bset.t) : bool =
+  (* Pure satisfiability: treat every position as existential. *)
+  match make_plan cp with
+  | plan ->
+      let n = n_positions plan in
+      if n = 0 then false
+      else begin
+        let value = Array.make n 0 in
+        let sat_plan = { plan with nvis_positions = 0 } in
+        not (exists_from sat_plan value 0)
+      end
+  | exception Empty_set -> true
+  | exception Unbounded _ ->
+      (* Some visible dim is unconstrained: the set is nonempty iff the
+         rest is satisfiable.  Project everything out and retry. *)
+      let all_ex = Bset.project ~keep:(Array.make b.Bset.nvis false) b in
+      let cp' = Option.get (compile all_ex) in
+      (match make_plan cp' with
+      | exception Empty_set -> true
+      | plan' ->
+          let n = n_positions plan' in
+          if n = 0 then false
+          else begin
+            let value = Array.make n 0 in
+            not (exists_from { plan' with nvis_positions = 0 } value 0)
+          end)
 
 let is_empty_bset (b : Bset.t) : bool =
   match compile b with
   | None -> true
-  | Some cp -> (
-      (* Pure satisfiability: treat every position as existential. *)
-      match make_plan cp with
-      | plan ->
-          let n = n_positions plan in
-          if n = 0 then false
-          else begin
-            let value = Array.make n 0 in
-            let sat_plan = { plan with nvis_positions = 0 } in
-            not (exists_from sat_plan value 0)
-          end
-      | exception Empty_set -> true
-      | exception Unbounded _ ->
-          (* Some visible dim is unconstrained: the set is nonempty iff the
-             rest is satisfiable.  Project everything out and retry. *)
-          let all_ex =
-            Bset.project ~keep:(Array.make b.Bset.nvis false) b
-          in
-          let cp' = Option.get (compile all_ex) in
-          (match make_plan cp' with
-          | exception Empty_set -> true
-          | plan' ->
-              let n = n_positions plan' in
-              if n = 0 then false
-              else begin
-                let value = Array.make n 0 in
-                not (exists_from { plan' with nvis_positions = 0 } value 0)
-              end))
+  | Some cp ->
+      probe cp
+        ~get:(fun e -> e.e_empty)
+        ~set:(fun e v -> e.e_empty <- Some v)
+        (fun () -> is_empty_compiled cp ~b)
 
 let mem_bset (b : Bset.t) (point : int array) : bool =
   assert (Array.length point = b.Bset.nvis);
   let fixed = ref b in
   Array.iteri (fun dim v -> fixed := Bset.fix !fixed ~dim v) point;
-  not (is_empty_bset !fixed)
+  match compile !fixed with
+  | None -> false
+  | Some cp -> not (is_empty_compiled cp ~b:!fixed)
 
 (* Iterate distinct visible tuples.  Uses [elim_vis:false] so that every
    visible variable has a position and full tuples can be reported. *)
@@ -586,10 +860,12 @@ let sample_bset (b : Bset.t) : int array option =
   !result
 
 (* A precompiled membership tester: compiles and plans once, then answers
-   [mem] queries without per-query allocation of the constraint system.
-   Falls back to [mem_bset] when the plan needs hash-based deduplication
-   (which cannot happen for the fixed-visible queries we run, but keeps
-   the function total). *)
+   [mem] queries without per-query recompilation.  The query scratch is
+   domain-local (one buffer per domain, reused across queries), which
+   keeps testers shareable across the parallel work pool.  Falls back to
+   [mem_bset] when the plan needs hash-based deduplication (which cannot
+   happen for the fixed-visible queries we run, but keeps the function
+   total). *)
 let make_mem_bset (b : Bset.t) : int array -> bool =
   match compile ~elim_vis:false b with
   | None -> fun _ -> false
@@ -602,9 +878,11 @@ let make_mem_bset (b : Bset.t) : int array -> bool =
           else begin
             let n = n_positions plan in
             let nvisp = plan.nvis_positions in
+            let scratch =
+              Domain.DLS.new_key (fun () -> Array.make (max n 1) 0)
+            in
             fun point ->
-              (* fresh scratch per call keeps the tester reentrant *)
-              let value = Array.make (max n 1) 0 in
+              let value = Domain.DLS.get scratch in
               let ok = ref true in
               let pos = ref 0 in
               while !ok && !pos < nvisp do
@@ -620,41 +898,93 @@ let make_mem_bset (b : Bset.t) : int array -> bool =
           end)
 
 let make_mem_union (bs : Bset.t list) : int array -> bool =
-  let testers = List.map make_mem_bset bs in
-  fun p -> List.exists (fun t -> t p) testers
+  let testers = Array.of_list (List.map make_mem_bset bs) in
+  let n = Array.length testers in
+  fun p ->
+    let rec go j = j < n && (testers.(j) p || go (j + 1)) in
+    go 0
+
+(* Shared by union counting and iteration: tester for membership in any
+   of the first [upto] disjuncts, scanning a flat array (no closure-list
+   walk per point). *)
+let seen_in_earlier (testers : (int array -> bool) array) ~upto p =
+  let rec go j = j < upto && (testers.(j) p || go (j + 1)) in
+  go 0
 
 (* Disjoint counting of a union of basic sets: count each disjunct's points
-   that do not belong to any earlier disjunct. *)
+   that do not belong to any earlier disjunct.  The per-disjunct passes are
+   independent given the testers, so they run on the parallel pool; the
+   result is their (order-insensitive) sum, so parallelism cannot change
+   the answer.  Union cardinalities are memoized like single counts, keyed
+   by the multiset of disjunct keys. *)
 let count_union (bs : Bset.t list) : int =
   match bs with
   | [] -> 0
   | [ b ] -> count_bset b
   | _ ->
-      let earlier = ref [] in
-      let total = ref 0 in
-      List.iter
-        (fun b ->
-          let seen_before p = List.exists (fun test -> test p) !earlier in
-          iter_bset b (fun p -> if not (seen_before p) then incr total);
-          earlier := make_mem_bset b :: !earlier)
-        bs;
-      !total
+      (* drop disjuncts that are syntactically empty; they contribute
+         neither points nor cache-key information *)
+      let live =
+        List.filter_map
+          (fun b -> Option.map (fun cp -> (b, cp)) (compile b))
+          bs
+      in
+      let compute () =
+        let arr = Array.of_list (List.map fst live) in
+        let n = Array.length arr in
+        let testers = Array.map make_mem_bset arr in
+        let count_one i =
+          let total = ref 0 in
+          iter_bset arr.(i) (fun p ->
+              if not (seen_in_earlier testers ~upto:i p) then incr total);
+          !total
+        in
+        Array.fold_left ( + ) 0 (Tenet_util.Parallel.init n count_one)
+      in
+      (match live with
+      | [] -> 0
+      | [ (b, _) ] -> count_bset b
+      | _ ->
+          if cache_bound = 0 then compute ()
+          else begin
+            let ukey =
+              Array.of_list (List.map (fun (_, cp) -> key_of_compiled cp) live)
+            in
+            Array.sort compare ukey;
+            Mutex.lock cache_mutex;
+            let cached = Utbl.find_opt union_cache ukey in
+            Mutex.unlock cache_mutex;
+            match cached with
+            | Some v ->
+                Obs.incr c_cache_hits;
+                v
+            | None ->
+                Obs.incr c_cache_misses;
+                let v = compute () in
+                Mutex.lock cache_mutex;
+                if not (Utbl.mem union_cache ukey) then begin
+                  make_room ();
+                  Utbl.add union_cache ukey v
+                end;
+                Mutex.unlock cache_mutex;
+                v
+          end)
 
 let iter_union (bs : Bset.t list) (f : int array -> unit) : unit =
   match bs with
   | [] -> ()
   | [ b ] -> iter_bset b f
   | _ ->
-      let earlier = ref [] in
-      List.iter
-        (fun b ->
-          let seen_before p = List.exists (fun test -> test p) !earlier in
-          iter_bset b (fun p -> if not (seen_before p) then f p);
-          earlier := make_mem_bset b :: !earlier)
-        bs
+      let arr = Array.of_list bs in
+      let n = Array.length arr in
+      let testers = Array.make n (fun _ -> false) in
+      for i = 0 to n - 1 do
+        iter_bset arr.(i) (fun p ->
+            if not (seen_in_earlier testers ~upto:i p) then f p);
+        if i < n - 1 then testers.(i) <- make_mem_bset arr.(i)
+      done
 
 let mem_union (bs : Bset.t list) (p : int array) : bool =
   List.exists (fun b -> mem_bset b p) bs
 
 let is_empty_union (bs : Bset.t list) : bool = List.for_all is_empty_bset bs
-

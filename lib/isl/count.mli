@@ -30,3 +30,8 @@ val make_mem_bset : Bset.t -> int array -> bool
     time proportional to the constraint count. *)
 
 val make_mem_union : Bset.t list -> int array -> bool
+
+val cache_clear : unit -> unit
+(** Drop every memoized cardinality/emptiness result.  Counting results
+    are deterministic, so this only matters for benchmarks and tests that
+    want cold-cache timings or counter values. *)

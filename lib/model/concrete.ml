@@ -27,8 +27,13 @@ type compiled = {
   n_iters : int;
   vals : int array; (* current iterator values (mutable scratch) *)
   env : string -> int;
+  lookup : string -> int; (* iterator name -> index in [vals] *)
   space_exprs : Isl.Aff.t array;
   time_exprs : Isl.Aff.t array;
+  (* staged evaluators of the same expressions over [vals] (no name
+     resolution or AST walk per instance — the walk is the hot loop) *)
+  space_evals : (int array -> int) array;
+  time_evals : (int array -> int) array;
   (* mixed-radix encodings *)
   space_base : (int * int) array; (* (lo, extent) per space dim *)
   time_base : (int * int) array;
@@ -45,12 +50,14 @@ let compile (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : compiled =
   List.iteri
     (fun i it -> Hashtbl.replace index it.Ir.Tensor_op.iname i)
     op.Ir.Tensor_op.iters;
-  let env name = vals.(Hashtbl.find index name) in
+  let lookup name = Hashtbl.find index name in
+  let env name = vals.(lookup name) in
   let ienv name = Ir.Tensor_op.iter_bounds op name in
   let to_base e =
     let lo, hi = Isl.Aff.interval ienv e in
     (lo, hi - lo + 1)
   in
+  let stage e = Isl.Aff.compile_eval ~lookup e in
   {
     op;
     df;
@@ -58,8 +65,11 @@ let compile (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : compiled =
     n_iters;
     vals;
     env;
+    lookup;
     space_exprs = Array.of_list df.Df.Dataflow.space;
     time_exprs = Array.of_list df.Df.Dataflow.time;
+    space_evals = Array.of_list (List.map stage df.Df.Dataflow.space);
+    time_evals = Array.of_list (List.map stage df.Df.Dataflow.time);
     space_base = Array.of_list (List.map to_base df.Df.Dataflow.space);
     time_base = Array.of_list (List.map to_base df.Df.Dataflow.time);
   }
@@ -119,6 +129,13 @@ let eval_tuple (c : compiled) (exprs : Isl.Aff.t array) (out : int array) :
     unit =
   for i = 0 to Array.length exprs - 1 do
     out.(i) <- Isl.Aff.eval c.env exprs.(i)
+  done
+
+(* Staged variant of [eval_tuple] for the walk loops. *)
+let eval_staged (c : compiled) (evals : (int array -> int) array)
+    (out : int array) : unit =
+  for i = 0 to Array.length evals - 1 do
+    out.(i) <- evals.(i) c.vals
   done
 
 (* Predecessor time-stamps under the chosen adjacency, written into
@@ -196,20 +213,46 @@ let temporal_preds ~(adjacency : Df.Spacetime.adjacency) (c : compiled)
         end
   end
 
-(* Spatial predecessor PEs per destination PE, from the (already
-   lex-filtered when interval = 0) interconnect relation. *)
-let pred_pes (spec : Arch.Spec.t) : (int, int array list) Hashtbl.t =
+(* Spatial predecessor PEs (mixed-radix-encoded) per destination PE, from
+   the (already lex-filtered when interval = 0) interconnect relation.
+   Memoized per (topology, PE-array dims): a DSE sweep calls [analyze]
+   once per candidate against the same architecture, and re-enumerating
+   the interconnect relation dominated small-layer analyses.  The memo
+   table is mutex-guarded (analyses run on the parallel work pool); the
+   cached arrays are never mutated after construction. *)
+let pred_cache : (Arch.Interconnect.t * int array, int list array) Hashtbl.t =
+  Hashtbl.create 16
+
+let pred_cache_mutex = Mutex.create ()
+
+let pred_pe_keys (spec : Arch.Spec.t) : int list array =
   let pe = spec.Arch.Spec.pe in
-  let rel = Df.Spacetime.reuse_pe_relation pe spec.Arch.Spec.topology in
-  let base = Array.map (fun d -> (0, d)) (Arch.Pe_array.dims pe) in
-  let tbl = Hashtbl.create 256 in
-  Isl.Map.iter_pairs
-    (fun src dst ->
-      let key = encode base dst in
-      let prev = try Hashtbl.find tbl key with Not_found -> [] in
-      Hashtbl.replace tbl key (Array.copy src :: prev))
-    rel;
-  tbl
+  let dims = Arch.Pe_array.dims pe in
+  let key = (spec.Arch.Spec.topology, dims) in
+  Mutex.lock pred_cache_mutex;
+  let cached = Hashtbl.find_opt pred_cache key in
+  Mutex.unlock pred_cache_mutex;
+  match cached with
+  | Some a -> a
+  | None ->
+      let rel = Df.Spacetime.reuse_pe_relation pe spec.Arch.Spec.topology in
+      let base = Array.map (fun d -> (0, d)) dims in
+      let out = Array.make (max 1 (Arch.Pe_array.size pe)) [] in
+      Isl.Map.iter_pairs
+        (fun src dst ->
+          let k = encode base dst in
+          if k >= 0 then out.(k) <- encode base src :: out.(k))
+        rel;
+      Mutex.lock pred_cache_mutex;
+      if not (Hashtbl.mem pred_cache key) then Hashtbl.add pred_cache key out;
+      Mutex.unlock pred_cache_mutex;
+      out
+
+(* For tests and cold-cache measurements. *)
+let clear_pred_cache () =
+  Mutex.lock pred_cache_mutex;
+  Hashtbl.reset pred_cache;
+  Mutex.unlock pred_cache_mutex
 
 type analysis = {
   metrics : Metrics.t;
@@ -276,8 +319,8 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
   let tcodes = ref [] in
   Obs.with_span "concrete.bucket" (fun () ->
       iter_instances c (fun () ->
-          eval_tuple c c.space_exprs p_scratch;
-          eval_tuple c c.time_exprs t_scratch;
+          eval_staged c c.space_evals p_scratch;
+          eval_staged c c.time_evals t_scratch;
           let tcode = encode c.time_base t_scratch in
           let pkey = encode pe_base p_scratch in
           let inst = encode_iters c in
@@ -288,13 +331,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
               tcodes := tcode :: !tcodes));
   Obs.add c_instances (Ir.Tensor_op.n_instances op);
   let order = List.sort compare !tcodes in
-  let preds = pred_pes spec in
-  let preds_enc : (int, int list) Hashtbl.t = Hashtbl.create 256 in
-  Hashtbl.iter
-    (fun pkey plist ->
-      Hashtbl.replace preds_enc pkey
-        (List.map (fun p' -> encode pe_base p') plist))
-    preds;
+  let preds_enc = pred_pe_keys spec in
   let dt_spatial = Arch.Interconnect.interval spec.Arch.Spec.topology in
   let tensors = Array.of_list (Ir.Tensor_op.tensors op) in
   let n_tensors = Array.length tensors in
@@ -309,30 +346,74 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
   in
   (* pe/tensor/element key for the last-touch table *)
   let key ~pkey ~ti fenc = (((pkey * n_tensors) + ti) * fspace) + fenc in
-  let last_touch : (int, int) Hashtbl.t =
-    Hashtbl.create (max 1024 (Ir.Tensor_op.n_instances op))
+  (* Staged access evaluators: one closure per access computing the
+     mixed-radix element encoding straight from [c.vals]. *)
+  let fenc_evals =
+    Array.mapi
+      (fun ti accs_ti ->
+        let b = bases.(ti) in
+        let arity = Array.length b in
+        Array.map
+          (fun (a : Ir.Tensor_op.access) ->
+            let subs =
+              Array.of_list
+                (List.map
+                   (Isl.Aff.compile_eval ~lookup:c.lookup)
+                   a.Ir.Tensor_op.subscripts)
+            in
+            fun vals ->
+              let acc = ref 0 in
+              for i = 0 to arity - 1 do
+                let lo, ext = b.(i) in
+                acc := (!acc * ext) + (subs.(i) vals - lo)
+              done;
+              !acc)
+          accs_ti)
+      accs
   in
   (* element encodings of the instance currently in c.vals, deduplicated *)
-  let f_scratch = Array.make 16 0 in
   let eval_fenc ti : int list =
-    let b = bases.(ti) in
-    let arity = Array.length b in
-    let encs =
-      Array.to_list
-        (Array.map
-           (fun (a : Ir.Tensor_op.access) ->
-             List.iteri
-               (fun i e -> f_scratch.(i) <- Isl.Aff.eval c.env e)
-               a.Ir.Tensor_op.subscripts;
-             let acc = ref 0 in
-             for i = 0 to arity - 1 do
-               let lo, ext = b.(i) in
-               acc := (!acc * ext) + (f_scratch.(i) - lo)
-             done;
-             !acc)
-           accs.(ti))
-    in
-    List.sort_uniq compare encs
+    match fenc_evals.(ti) with
+    | [| f |] -> [ f c.vals ]
+    | fs ->
+        List.sort_uniq compare
+          (Array.to_list (Array.map (fun f -> f c.vals) fs))
+  in
+  (* The last-touch / same-stamp-needs / footprint tables are the inner
+     loop's only lookups.  When the (PE, tensor, element) key space is
+     small enough they are flat arrays (direct addressing, no hashing);
+     otherwise hash tables.  Direct addressing also requires validated
+     space bounds: only validation guarantees every pkey is in range. *)
+  let pe_size = Arch.Pe_array.size pe in
+  let kspace = pe_size * n_tensors * fspace in
+  let use_direct = validate && kspace > 0 && kspace <= 50_000_000 in
+  let lt_get, lt_set =
+    if use_direct then begin
+      let a = Array.make kspace min_int in
+      ((fun k -> a.(k)), fun k t -> a.(k) <- t)
+    end
+    else begin
+      let h : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+      ( (fun k -> match Hashtbl.find_opt h k with Some t -> t | None -> min_int),
+        fun k t -> Hashtbl.replace h k t )
+    end
+  in
+  (* same-stamp needs (interval-0 wire sharing), generation-stamped so one
+     allocation serves every stamp *)
+  let sn_next, sn_mark, sn_mem =
+    if use_direct then begin
+      let a = Array.make (if dt_spatial = 0 then kspace else 0) 0 in
+      let gen = ref 0 in
+      ( (fun () -> incr gen),
+        (fun k -> a.(k) <- !gen),
+        fun k -> a.(k) = !gen )
+    end
+    else begin
+      let h : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      ( (fun () -> Hashtbl.reset h),
+        (fun k -> Hashtbl.replace h k ()),
+        fun k -> Hashtbl.mem h k )
+    end
   in
   let inner_ext = if m = 0 then 1 else snd c.time_base.(m - 1) in
   let same_outer a b =
@@ -344,7 +425,26 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
   let reuse_t = Array.make n_tensors 0 in
   let reuse_s = Array.make n_tensors 0 in
   (* distinct elements per tensor (footprints), collected on the fly *)
-  let touched = Array.init n_tensors (fun _ -> Hashtbl.create 1024) in
+  let touch, footprint =
+    if use_direct then begin
+      let marks = Array.init n_tensors (fun _ -> Bytes.make fspace '\000') in
+      let counts = Array.make n_tensors 0 in
+      ( (fun ti fenc ->
+          let m = marks.(ti) in
+          if Bytes.get m fenc = '\000' then begin
+            Bytes.set m fenc '\001';
+            counts.(ti) <- counts.(ti) + 1
+          end),
+        fun ti -> counts.(ti) )
+    end
+    else begin
+      let tbls : (int, unit) Hashtbl.t array =
+        Array.init n_tensors (fun _ -> Hashtbl.create 1024)
+      in
+      ( (fun ti fenc -> Hashtbl.replace tbls.(ti) fenc ()),
+        fun ti -> Hashtbl.length tbls.(ti) )
+    end
+  in
   let busiest = ref 0 in
   let conflict = ref false in
   let stamped_cycles = ref 0 in
@@ -374,54 +474,50 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
           insts
       in
       (* same-stamp needs, for interval-0 wire sharing *)
-      let stamp_needs : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-      if dt_spatial = 0 then
+      if dt_spatial = 0 then begin
+        sn_next ();
         List.iter
           (fun (pkey, per_tensor) ->
             Array.iteri
               (fun ti fencs ->
-                List.iter
-                  (fun fenc -> Hashtbl.replace stamp_needs (key ~pkey ~ti fenc) ())
-                  fencs)
+                List.iter (fun fenc -> sn_mark (key ~pkey ~ti fenc)) fencs)
               per_tensor)
-          needs;
+          needs
+      end;
       List.iter
         (fun (pkey, per_tensor) ->
           let plist =
-            Option.value ~default:[] (Hashtbl.find_opt preds_enc pkey)
+            if pkey >= 0 && pkey < Array.length preds_enc then preds_enc.(pkey)
+            else []
           in
           Array.iteri
             (fun ti fencs ->
               List.iter
                 (fun fenc ->
                   totals.(ti) <- totals.(ti) + 1;
-                  Hashtbl.replace touched.(ti) fenc ();
+                  touch ti fenc;
                   let temporal =
                     m > 0
                     &&
-                    match Hashtbl.find_opt last_touch (key ~pkey ~ti fenc) with
-                    | Some last ->
-                        tcode - last <= window && same_outer tcode last
-                    | None -> false
+                    let last = lt_get (key ~pkey ~ti fenc) in
+                    last <> min_int
+                    && tcode - last <= window
+                    && same_outer tcode last
                   in
                   if temporal then reuse_t.(ti) <- reuse_t.(ti) + 1
                   else begin
                     let spatial =
                       if dt_spatial = 0 then
                         List.exists
-                          (fun p' ->
-                            Hashtbl.mem stamp_needs (key ~pkey:p' ~ti fenc))
+                          (fun p' -> sn_mem (key ~pkey:p' ~ti fenc))
                           plist
                       else
                         List.exists
                           (fun p' ->
-                            match
-                              Hashtbl.find_opt last_touch (key ~pkey:p' ~ti fenc)
-                            with
-                            | Some last ->
-                                tcode - last = dt_spatial
-                                && same_outer tcode last
-                            | None -> false)
+                            let last = lt_get (key ~pkey:p' ~ti fenc) in
+                            last <> min_int
+                            && tcode - last = dt_spatial
+                            && same_outer tcode last)
                           plist
                     in
                     if spatial then reuse_s.(ti) <- reuse_s.(ti) + 1
@@ -440,9 +536,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
         (fun (pkey, per_tensor) ->
           Array.iteri
             (fun ti fencs ->
-              List.iter
-                (fun fenc -> Hashtbl.replace last_touch (key ~pkey ~ti fenc) tcode)
-                fencs)
+              List.iter (fun fenc -> lt_set (key ~pkey ~ti fenc) tcode) fencs)
             per_tensor)
         needs)
     order);
@@ -472,7 +566,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
               spatial_reuse;
               unique = total - temporal_reuse - spatial_reuse;
             };
-          footprint = Hashtbl.length touched.(ti);
+          footprint = footprint ti;
         })
       (Array.to_list tensors)
   in

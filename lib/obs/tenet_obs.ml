@@ -15,7 +15,13 @@
    Spans nest by dynamic scope: [with_span] pushes a depth, times the
    thunk (exception-safe), and records a completed-span row.  The Chrome
    trace exporter emits them as "X" (complete) events on one pid/tid;
-   chrome://tracing and Perfetto reconstruct the nesting from ts/dur. *)
+   chrome://tracing and Perfetto reconstruct the nesting from ts/dur.
+
+   Domain-safety: the counting engine and the DSE evaluator run on
+   multiple domains (Tenet_util.Parallel), so counter cells are
+   [Atomic.t]-backed, span depth is domain-local, and every cold-path
+   structure (registry, histogram cells, completed-span list) is guarded
+   by one mutex.  The disabled path is still a single bool check. *)
 
 module Json = Json
 
@@ -23,7 +29,7 @@ module Json = Json
 (* State.                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_cell : int Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -49,7 +55,18 @@ let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let completed : span list ref = ref [] (* newest first *)
 let seq = ref 0
-let depth = ref 0
+
+(* Span nesting depth is per-domain: concurrent spans on worker domains
+   nest against their own domain's stack, not each other's. *)
+let depth_key = Domain.DLS.new_key (fun () -> 0)
+
+(* One lock for every cold-path structure above (registry, histograms,
+   completed spans).  Counter bumps never take it. *)
+let state_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_mutex) f
 
 let enabled () = !enabled_flag
 
@@ -60,11 +77,12 @@ let enable () =
 let disable () = enabled_flag := false
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
-  Hashtbl.reset histograms_tbl;
-  completed := [];
-  seq := 0;
-  depth := 0;
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) counters_tbl;
+      Hashtbl.reset histograms_tbl;
+      completed := [];
+      seq := 0);
+  Domain.DLS.set depth_key 0;
   epoch := !clock ()
 
 let set_clock f =
@@ -78,25 +96,29 @@ let set_clock f =
 (* Find-or-create: instrumentation sites call this once at module init,
    so the cell exists (at value 0) even when telemetry never runs. *)
 let counter (name : string) : counter =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.add counters_tbl name c;
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_cell = Atomic.make 0 } in
+          Hashtbl.add counters_tbl name c;
+          c)
 
 let add (c : counter) (by : int) : unit =
-  if !enabled_flag then c.c_value <- c.c_value + by
+  if !enabled_flag then ignore (Atomic.fetch_and_add c.c_cell by)
 
-let incr (c : counter) : unit = if !enabled_flag then c.c_value <- c.c_value + 1
-let value (c : counter) : int = c.c_value
+let incr (c : counter) : unit = if !enabled_flag then Atomic.incr c.c_cell
+let value (c : counter) : int = Atomic.get c.c_cell
 
 (* By-name convenience for cold paths. *)
 let count ?(by = 1) (name : string) : unit =
   if !enabled_flag then add (counter name) by
 
 let counters () : (string * int) list =
-  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters_tbl []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> (name, Atomic.get c.c_cell) :: acc)
+        counters_tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
@@ -104,26 +126,26 @@ let counters () : (string * int) list =
 (* ------------------------------------------------------------------ *)
 
 let observe (name : string) (v : float) : unit =
-  if !enabled_flag then begin
-    let h =
-      match Hashtbl.find_opt histograms_tbl name with
-      | Some h -> h
-      | None ->
-          let h =
-            { h_name = name; h_count = 0; h_sum = 0.; h_min = infinity;
-              h_max = neg_infinity }
-          in
-          Hashtbl.add histograms_tbl name h;
-          h
-    in
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
-  end
+  if !enabled_flag then
+    locked (fun () ->
+        let h =
+          match Hashtbl.find_opt histograms_tbl name with
+          | Some h -> h
+          | None ->
+              let h =
+                { h_name = name; h_count = 0; h_sum = 0.; h_min = infinity;
+                  h_max = neg_infinity }
+              in
+              Hashtbl.add histograms_tbl name h;
+              h
+        in
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v)
 
 let histograms () : histogram list =
-  Hashtbl.fold (fun _ h acc -> h :: acc) histograms_tbl []
+  locked (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) histograms_tbl [])
   |> List.sort (fun a b -> String.compare a.h_name b.h_name)
 
 (* ------------------------------------------------------------------ *)
@@ -134,24 +156,25 @@ let with_span ?(args : (string * string) list = []) (name : string)
     (f : unit -> 'a) : 'a =
   if not !enabled_flag then f ()
   else begin
-    let d = !depth in
-    depth := d + 1;
+    let d = Domain.DLS.get depth_key in
+    Domain.DLS.set depth_key (d + 1);
     let t0 = !clock () in
     let finish () =
       let t1 = !clock () in
-      depth := d;
-      let sp =
-        {
-          sp_name = name;
-          sp_args = args;
-          sp_start = t0 -. !epoch;
-          sp_dur = t1 -. t0;
-          sp_depth = d;
-          sp_seq = !seq;
-        }
-      in
-      seq := !seq + 1;
-      completed := sp :: !completed
+      Domain.DLS.set depth_key d;
+      locked (fun () ->
+          let sp =
+            {
+              sp_name = name;
+              sp_args = args;
+              sp_start = t0 -. !epoch;
+              sp_dur = t1 -. t0;
+              sp_depth = d;
+              sp_seq = !seq;
+            }
+          in
+          seq := !seq + 1;
+          completed := sp :: !completed)
     in
     match f () with
     | r ->
@@ -164,7 +187,7 @@ let with_span ?(args : (string * string) list = []) (name : string)
 
 (* Completed spans in completion order (inner spans before the parents
    that enclose them). *)
-let spans () : span list = List.rev !completed
+let spans () : span list = List.rev (locked (fun () -> !completed))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation & exporters.                                            *)

@@ -1,0 +1,180 @@
+(* A small Domain-based work pool: chunked, order-preserving parallel map.
+
+   Design:
+   - The pool holds [jobs () - 1] worker domains, spawned lazily on the
+     first parallel call and kept alive for the life of the process (one
+     spawn per worker, not per call — [map] is called from hot paths such
+     as per-disjunct union counting).
+   - Each [map] call self-schedules: indices are handed out in chunks
+     through an [Atomic.t] cursor, results land in a preallocated array
+     at their input index (order preservation is structural, not sorted
+     after the fact).  The calling domain participates, so a pool of
+     size [jobs - 1] saturates [jobs] cores and [map] works even before
+     any worker has been spawned.
+   - Nested calls run sequentially: a task that itself calls [map] would
+     otherwise deadlock-prone-ly enqueue work the pool may not drain
+     promptly, and the outer call already owns all the parallelism.
+   - Exceptions raised by [f] are re-raised in the caller, for the
+     smallest input index that failed (deterministic regardless of
+     scheduling).
+
+   The parallelism degree comes from [set_jobs] (the CLI's [--jobs]) or
+   the [TENET_JOBS] environment variable, defaulting to 1 (fully
+   sequential — no domain is ever spawned, no behavior change). *)
+
+let env_var = "TENET_JOBS"
+
+let parse_jobs ~what s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> n
+  | Some n ->
+      failwith
+        (Printf.sprintf "bad %s %S: %d is not a positive job count" what s n)
+  | None ->
+      failwith
+        (Printf.sprintf
+           "bad %s %S: expected a positive integer number of jobs" what s)
+
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> 1
+  | Some s -> parse_jobs ~what:env_var s
+
+let jobs_ref : int option ref = ref None
+
+let jobs () =
+  match !jobs_ref with
+  | Some n -> n
+  | None ->
+      let n = default_jobs () in
+      jobs_ref := Some n;
+      n
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Parallel.set_jobs: job count must be >= 1";
+  jobs_ref := Some n
+
+(* ------------------------------------------------------------------ *)
+(* The pool.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* True inside a worker domain or inside the caller's own participation
+   in a [map]; used to force nested maps sequential. *)
+let in_task_key = Domain.DLS.new_key (fun () -> false)
+
+let pool_mutex = Mutex.create ()
+let pool_cv = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let shutting_down = ref false
+let workers : unit Domain.t list ref = ref []
+let n_spawned = ref 0
+
+let rec worker_loop () =
+  Mutex.lock pool_mutex;
+  while Queue.is_empty queue && not !shutting_down do
+    Condition.wait pool_cv pool_mutex
+  done;
+  if Queue.is_empty queue then Mutex.unlock pool_mutex (* shutdown *)
+  else begin
+    let task = Queue.pop queue in
+    Mutex.unlock pool_mutex;
+    task ();
+    worker_loop ()
+  end
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock pool_mutex;
+      shutting_down := true;
+      Condition.broadcast pool_cv;
+      let ws = !workers in
+      workers := [];
+      Mutex.unlock pool_mutex;
+      List.iter Domain.join ws)
+
+(* Grow the pool to [n] workers; called outside [pool_mutex]. *)
+let ensure_workers n =
+  if !n_spawned < n then begin
+    Mutex.lock pool_mutex;
+    while !n_spawned < n && not !shutting_down do
+      incr n_spawned;
+      workers :=
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_task_key true;
+            worker_loop ())
+        :: !workers
+    done;
+    Mutex.unlock pool_mutex
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Order-preserving map.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let map_array (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  let j = jobs () in
+  if n <= 1 || j <= 1 || Domain.DLS.get in_task_key then Array.map f arr
+  else begin
+    ensure_workers (j - 1);
+    let results : 'b option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let finished = Atomic.make 0 in
+    let done_mutex = Mutex.create () in
+    let done_cv = Condition.create () in
+    (* Small chunks keep the tail balanced; 4 chunks per job amortizes the
+       atomic traffic without starving fast workers. *)
+    let chunk = max 1 (n / (4 * j)) in
+    let participate () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= n then continue := false
+        else begin
+          let hi = min n (lo + chunk) in
+          for i = lo to hi - 1 do
+            match f arr.(i) with
+            | r -> results.(i) <- Some r
+            | exception e -> errors.(i) <- Some e
+          done;
+          let total = Atomic.fetch_and_add finished (hi - lo) + (hi - lo) in
+          if total = n then begin
+            Mutex.lock done_mutex;
+            Condition.broadcast done_cv;
+            Mutex.unlock done_mutex
+          end
+        end
+      done
+    in
+    Mutex.lock pool_mutex;
+    for _ = 1 to min (j - 1) (1 + ((n - 1) / chunk)) do
+      Queue.push participate queue
+    done;
+    Condition.broadcast pool_cv;
+    Mutex.unlock pool_mutex;
+    Domain.DLS.set in_task_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_task_key false)
+      participate;
+    Mutex.lock done_mutex;
+    while Atomic.get finished < n do
+      Condition.wait done_cv done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every index finished without error *))
+      results
+  end
+
+let map (f : 'a -> 'b) (l : 'a list) : 'b list =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ -> Array.to_list (map_array f (Array.of_list l))
+
+let init (n : int) (f : int -> 'b) : 'b array =
+  map_array f (Array.init n (fun i -> i))

@@ -1,0 +1,31 @@
+(** Chunked, order-preserving parallel map on a persistent pool of OCaml 5
+    domains.
+
+    The parallelism degree defaults to the [TENET_JOBS] environment
+    variable (1 when unset, i.e. fully sequential with no domain ever
+    spawned); the CLI's [--jobs] overrides it via {!set_jobs}.  Results
+    are written at their input index, so [map f l] equals [List.map f l]
+    element-for-element at any job count; an exception raised by [f] is
+    re-raised in the caller for the smallest failing index.  Nested calls
+    (an [f] that itself maps) run sequentially — the outer call already
+    owns the pool. *)
+
+val jobs : unit -> int
+(** Current parallelism degree (>= 1).  Resolved from [TENET_JOBS] on
+    first use; raises [Failure] on a malformed or non-positive value. *)
+
+val set_jobs : int -> unit
+(** Override the parallelism degree.  Raises [Invalid_argument] on
+    [n < 1].  Call before the first parallel [map] (the pool is sized on
+    first use). *)
+
+val parse_jobs : what:string -> string -> int
+(** Strict job-count parsing shared with the CLI: positive integer or
+    [Failure] with a message naming [what] was being parsed. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+val map_array : ('a -> 'b) -> 'a array -> 'b array
+
+val init : int -> (int -> 'b) -> 'b array
+(** [init n f] is [Array.init n f] with the calls distributed over the
+    pool. *)

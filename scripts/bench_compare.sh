@@ -1,0 +1,72 @@
+#!/bin/sh
+# Compare a bench summary.json against the committed seed baseline and
+# flag regressions.
+#
+#   usage: scripts/bench_compare.sh [CURRENT [BASELINE]]
+#
+# CURRENT defaults to the most natural workflow's output:
+#
+#   TENET_BENCH_TIMINGS=/tmp/bench dune exec --profile release bench/main.exe
+#   scripts/bench_compare.sh /tmp/bench/summary.json
+#
+# BASELINE defaults to BENCH_seed.json at the repository root (the pre-
+# optimization seed measurement; see docs/performance.md).
+#
+# A section regresses when its wall-clock grows by more than 10% over the
+# baseline (sections faster than 100ms are skipped — they are noise) or
+# when its count.points_enumerated grows at all beyond 10% (the counter is
+# deterministic, so growth means the engine lost a closed form).  Exits 1
+# if any section regressed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+current="${1:-/tmp/bench/summary.json}"
+baseline="${2:-BENCH_seed.json}"
+
+[ -f "$current" ] || { echo "no current summary: $current" >&2; exit 2; }
+[ -f "$baseline" ] || { echo "no baseline summary: $baseline" >&2; exit 2; }
+
+# Flatten {"sections":[{"section":s,"total_s":t,"points_enumerated":p}]}
+# into "s t p" lines.  The JSON shape is fixed (bench/main.ml writes it),
+# so a line-oriented parse is dependable.
+flatten() {
+  { tr -d ' \n' < "$1"; echo; } \
+    | sed 's/},{/}\n{/g' \
+    | sed -n 's/.*"section":"\([^"]*\)","total_s":\([0-9.eE+-]*\),"points_enumerated":\([0-9]*\).*/\1 \2 \3/p'
+}
+
+flatten "$current" > /tmp/bench_compare_cur.$$
+flatten "$baseline" > /tmp/bench_compare_base.$$
+trap 'rm -f /tmp/bench_compare_cur.$$ /tmp/bench_compare_base.$$' EXIT
+
+status=0
+printf '%-22s %12s %12s %8s   %s\n' section base_s cur_s ratio points
+while read -r name base_t base_p; do
+  line=$(grep "^$name " /tmp/bench_compare_cur.$$ || true)
+  if [ -z "$line" ]; then
+    echo "MISSING  $name (in baseline, not in current run)"
+    status=1
+    continue
+  fi
+  cur_t=$(echo "$line" | cut -d' ' -f2)
+  cur_p=$(echo "$line" | cut -d' ' -f3)
+  awk -v n="$name" -v bt="$base_t" -v ct="$cur_t" -v bp="$base_p" -v cp="$cur_p" '
+    BEGIN {
+      ratio = (bt > 0) ? ct / bt : 1
+      flag = ""
+      # wall-clock: >10% slower on a section big enough to measure
+      if (bt >= 0.1 && ratio > 1.10) flag = flag " TIME-REGRESSION"
+      # enumerated points are deterministic; >10% growth means lost closed forms
+      if (bp > 0 && cp > bp * 1.10) flag = flag " POINTS-REGRESSION"
+      printf "%-22s %12.3f %12.3f %8.2f   %d -> %d%s\n", n, bt, ct, ratio, bp, cp, flag
+      exit (flag == "") ? 0 : 1
+    }' || status=1
+done < /tmp/bench_compare_base.$$
+
+if [ "$status" -eq 0 ]; then
+  echo "bench_compare: OK (no section regressed >10% vs $baseline)"
+else
+  echo "bench_compare: REGRESSIONS FOUND vs $baseline" >&2
+fi
+exit "$status"

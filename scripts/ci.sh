@@ -18,4 +18,10 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== release build =="
+dune build --profile release
+
+echo "== bench smoke (fig8, release) =="
+dune exec --profile release bench/main.exe -- fig8 >/dev/null
+
 echo "CI OK"

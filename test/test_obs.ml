@@ -224,7 +224,9 @@ let test_engines_record () =
   let op = Ir.Kernels.gemm ~ni:4 ~nj:4 ~nk:4 in
   let spec = Arch.Repository.tpu_like ~n:2 ~bandwidth:4 () in
   let df = Df.Zoo.gemm_ij_p_ijk_t ~p:2 () in
-  (* concrete engine: its PE-relation iteration hits the counting engine *)
+  (* concrete engine: its PE-relation iteration hits the counting engine
+     (drop the memoized relation so this analyze recomputes it) *)
+  M.Concrete.clear_pred_cache ();
   ignore (M.Concrete.analyze spec op df);
   check_bool "count.bset_calls > 0" true
     (Obs.value (Obs.counter "count.bset_calls") > 0);

@@ -1,0 +1,158 @@
+(* The Domain work pool ({!Tenet_util.Parallel}) and the determinism
+   guarantee that rides on it: results are written at their input index
+   and the DSE sort is stable, so any job count produces bit-identical
+   output.  These tests run the pool at jobs=4 even on a single-core
+   host — correctness must not depend on the machine shape. *)
+
+module Parallel = Tenet_util.Parallel
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module M = Tenet_model
+module Dse = Tenet_dse.Dse
+
+let with_jobs n f =
+  Parallel.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs 1) f
+
+(* --- parse_jobs ----------------------------------------------------- *)
+
+let test_parse_jobs () =
+  Alcotest.(check int) "plain" 4 (Parallel.parse_jobs ~what:"t" "4");
+  Alcotest.(check int) "trimmed" 2 (Parallel.parse_jobs ~what:"t" " 2 ");
+  let rejects s =
+    match Parallel.parse_jobs ~what:"t" s with
+    | n -> Alcotest.failf "parse_jobs %S: expected failure, got %d" s n
+    | exception Failure _ -> ()
+  in
+  rejects "0";
+  rejects "-3";
+  rejects "abc";
+  rejects "";
+  rejects "2.5"
+
+let test_set_jobs_rejects () =
+  match Parallel.set_jobs 0 with
+  | () -> Alcotest.fail "set_jobs 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- map semantics -------------------------------------------------- *)
+
+let test_map_order () =
+  with_jobs 4 (fun () ->
+      let input = List.init 257 (fun i -> i) in
+      let expect = List.map (fun i -> (i * i) + 1) input in
+      Alcotest.(check (list int))
+        "map == List.map" expect
+        (Parallel.map (fun i -> (i * i) + 1) input);
+      let arr = Array.init 100 (fun i -> 100 - i) in
+      Alcotest.(check (array int))
+        "map_array == Array.map" (Array.map succ arr)
+        (Parallel.map_array succ arr);
+      Alcotest.(check (array int))
+        "init == Array.init" (Array.init 64 (fun i -> i * 3))
+        (Parallel.init 64 (fun i -> i * 3)))
+
+let test_map_small_and_empty () =
+  with_jobs 4 (fun () ->
+      Alcotest.(check (list int)) "empty" [] (Parallel.map succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Parallel.map succ [ 7 ]))
+
+exception Boom of int
+
+let test_map_exception () =
+  with_jobs 4 (fun () ->
+      match
+        Parallel.map
+          (fun i -> if i mod 10 = 7 then raise (Boom i) else i)
+          (List.init 50 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+          (* smallest failing index, regardless of scheduling *)
+          Alcotest.(check int) "first failure wins" 7 i)
+
+let test_nested_map () =
+  with_jobs 4 (fun () ->
+      let got =
+        Parallel.map
+          (fun i -> List.fold_left ( + ) 0 (Parallel.map (( * ) i) [ 1; 2; 3 ]))
+          (List.init 20 (fun i -> i))
+      in
+      Alcotest.(check (list int))
+        "nested maps stay correct"
+        (List.init 20 (fun i -> 6 * i))
+        got)
+
+(* --- determinism of parallel counting and DSE ----------------------- *)
+
+let test_dse_deterministic () =
+  let op = Ir.Kernels.conv2d ~nk:4 ~nc:4 ~nox:6 ~noy:6 ~nrx:3 ~nry:3 in
+  let spec = Arch.Repository.tpu_like ~n:4 ~bandwidth:4 () in
+  let cands = Dse.candidates_2d op ~p:4 in
+  let digest outcomes =
+    List.map
+      (fun (o : Dse.outcome) ->
+        ( o.Dse.dataflow.Tenet_dataflow.Dataflow.name,
+          o.Dse.metrics.M.Metrics.latency,
+          o.Dse.metrics.M.Metrics.energy,
+          o.Dse.metrics.M.Metrics.sbw,
+          o.Dse.expressible ))
+      outcomes
+  in
+  let seq =
+    digest (Dse.evaluate_all ~objective:Dse.Latency spec op cands)
+  in
+  let par =
+    with_jobs 4 (fun () ->
+        digest (Dse.evaluate_all ~objective:Dse.Latency spec op cands))
+  in
+  if seq <> par then Alcotest.fail "DSE outcomes differ between jobs=1 and jobs=4";
+  Alcotest.(check bool) "nonempty" true (seq <> [])
+
+let test_count_union_parallel_matches () =
+  (* the per-disjunct union counting path must not depend on jobs *)
+  let mk lo hi =
+    let a1 = [| 1; 0 |] and a2 = [| -1; 0 |] in
+    let b1 = [| 0; 1 |] and b2 = [| 0; -1 |] in
+    {
+      Tenet_isl.Bset.nvis = 2;
+      defs = [||];
+      cons =
+        [
+          { Tenet_isl.Bset.a = a1; k = -lo; eq = false };
+          { Tenet_isl.Bset.a = a2; k = hi; eq = false };
+          { Tenet_isl.Bset.a = b1; k = -lo; eq = false };
+          { Tenet_isl.Bset.a = b2; k = hi; eq = false };
+        ];
+    }
+  in
+  let bs = [ mk 0 5; mk 3 9; mk (-2) 1; mk 7 12 ] in
+  let seq = Tenet_isl.Count.count_union bs in
+  Tenet_isl.Count.cache_clear ();
+  let par = with_jobs 4 (fun () -> Tenet_isl.Count.count_union bs) in
+  Alcotest.(check int) "union count independent of jobs" seq par
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "parse_jobs strictness" `Quick test_parse_jobs;
+          Alcotest.test_case "set_jobs rejects < 1" `Quick
+            test_set_jobs_rejects;
+        ] );
+      ( "map",
+        [
+          Alcotest.test_case "order preservation" `Quick test_map_order;
+          Alcotest.test_case "empty & singleton" `Quick test_map_small_and_empty;
+          Alcotest.test_case "exception propagation" `Quick test_map_exception;
+          Alcotest.test_case "nested maps" `Quick test_nested_map;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "dse jobs=4 == jobs=1" `Quick
+            test_dse_deterministic;
+          Alcotest.test_case "count_union jobs=4 == jobs=1" `Quick
+            test_count_union_parallel_matches;
+        ] );
+    ]
