@@ -22,9 +22,11 @@ let sections : (string * string * (unit -> unit)) list =
 module Obs = Tenet.Obs
 module Json = Tenet.Obs.Json
 
-(* One-line-per-section roll-up ({section, total_s, points_enumerated})
-   written next to the per-section phase files; scripts/bench_compare.sh
-   diffs it against the committed BENCH_seed.json baseline. *)
+(* One-line-per-section roll-up ({section, total_s, points_enumerated,
+   qpoly_hits, qpoly_fallbacks}) written next to the per-section phase
+   files; scripts/bench_compare.sh diffs it against the committed
+   BENCH_seed.json baseline (which predates the fast-path fields — the
+   script treats them as optional). *)
 let write_summary dir rows =
   let path = Filename.concat dir "summary.json" in
   let j =
@@ -33,12 +35,14 @@ let write_summary dir rows =
         ( "sections",
           Json.List
             (List.rev_map
-               (fun (name, total_s, points) ->
+               (fun (name, total_s, points, qpoly, qpoly_fb) ->
                  Json.Obj
                    [
                      ("section", Json.String name);
                      ("total_s", Json.Float total_s);
                      ("points_enumerated", Json.Int points);
+                     ("qpoly_hits", Json.Int qpoly);
+                     ("qpoly_fallbacks", Json.Int qpoly_fb);
                    ])
                rows) );
       ]
@@ -58,6 +62,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   let telemetry = Bench_util.timings_dir () <> None in
   let c_points = Obs.counter "count.points_enumerated" in
+  let c_qpoly = Obs.counter "count.qpoly_hits" in
+  let c_qpoly_fb = Obs.counter "count.qpoly_fallbacks" in
   let timing_files = ref [] in
   let summary_rows = ref [] in
   List.iter
@@ -75,7 +81,13 @@ let () =
              Printf.printf "!! section %s failed: %s\n" name
                (Printexc.to_string e));
           let total_s = Unix.gettimeofday () -. s0 in
-          summary_rows := (name, total_s, Obs.value c_points) :: !summary_rows;
+          summary_rows :=
+            ( name,
+              total_s,
+              Obs.value c_points,
+              Obs.value c_qpoly,
+              Obs.value c_qpoly_fb )
+            :: !summary_rows;
           match Bench_util.write_phases ~name ~total_s with
           | Some path -> timing_files := path :: !timing_files
           | None -> ()

@@ -179,7 +179,8 @@ let evaluate_all ?(adjacency = `Inner_step) ~objective (spec : Arch.Spec.t)
          cands)
   in
   List.sort
-    (fun a b -> compare (score objective a.metrics) (score objective b.metrics))
+    (fun a b ->
+      Float.compare (score objective a.metrics) (score objective b.metrics))
     outcomes
 
 let best ?(adjacency = `Inner_step) ?(objective = Latency) spec op cands =

@@ -7,27 +7,39 @@
 
    Algorithm (replaces Barvinok counting in the original TENET):
    1. materialize div definitions as inequality pairs and normalize;
-   2. Gaussian-substitute unit-coefficient equalities (existentials freely;
-      visible dims only when their defining expression uses visible dims
-      alone, which keeps the count invariant);
+   2. Gaussian-substitute unit-coefficient equalities (existentials
+      freely; visible dims whenever every other variable in the equality
+      is functionally determined by the remaining dimensions — an alive
+      visible, or a div-defined existential whose definition bottoms out
+      in alive visibles — which keeps the count invariant);
    3. order variables greedily so every variable is bounded by its
       predecessors, preferring visible variables first;
-   4. recursively enumerate with per-level bound propagation, with three
-      closed-form escapes:
+   4. count symbolically, level by level, with a quasi-polynomial
+      summation engine ({!Qpoly}, "Barvinok-lite"): working from the
+      innermost visible level outward, the partial count below each
+      level is kept as a quasi-polynomial in the outer variables, and
+      each level integrates it in closed form between its (dominant)
+      lower and upper bound via Faulhaber antidifferences, with floor
+      atoms canonicalized so mod/fdiv bounds cancel exactly.  The
+      existential suffix is discharged symbolically too when every
+      existential level provably has a nonempty value interval.  Each
+      level certifies its own side conditions (bound dominance,
+      nonnegative width, polynomial integrand) with exact interval
+      arithmetic; a level that fails falls back to the pre-existing
+      enumeration for that level only, keeping the older escapes:
       - a variable not referenced by any later constraint contributes a
         width factor instead of being enumerated (boxes cost O(dims));
       - once the remaining visible suffix is past every variable the
         existential constraints mention, satisfiability is checked once
-        and the suffix is counted arithmetically: the innermost level is
-        [max 0 (ub - lb + 1)] (no loop), and when the innermost level has
-        a single affine lower and upper bound the level above sums the
-        resulting linear width symbolically (Faulhaber for degree 1,
-        which covers the trapezoid/simplex shapes TENET produces);
-      - the per-level loops only remain for coupled middle dimensions.
+        and the suffix is counted arithmetically (interval-width tail,
+        degree-1 Faulhaber with exact clamps);
+      - the per-level loops only remain for levels outside the
+        supported fragment.
    5. If the greedy order is forced to place an existential before a
       visible variable (e.g. a range projection where a visible dim is
-      only defined through existentials), enumeration falls back to
-      collecting distinct visible tuples in a hash table.
+      only defined through existentials — rare now that step 2 usually
+      eliminates such dims), enumeration falls back to collecting
+      distinct visible tuples in a hash table.
 
    On top of the enumeration engine sits a bounded, domain-safe memo
    cache keyed by the canonicalized compiled constraint system: DSE
@@ -45,6 +57,8 @@ let c_points = Obs.counter "count.points_enumerated"
 let c_closed = Obs.counter "count.closed_form_hits"
 let c_closed_tail = Obs.counter "count.closed_tail_hits"
 let c_faulhaber = Obs.counter "count.faulhaber_hits"
+let c_qpoly = Obs.counter "count.qpoly_hits"
+let c_qpoly_fb = Obs.counter "count.qpoly_fallbacks"
 let c_fm = Obs.counter "count.fm_derivations"
 let c_dedup = Obs.counter "count.dedup_fallbacks"
 let c_cache_hits = Obs.counter "count.cache_hits"
@@ -124,38 +138,100 @@ let compile ?(elim_vis = true) (b : Bset.t) : compiled option =
   let nvis = b.Bset.nvis in
   try
     let cons0 = List.filter_map normalize (materialize_defs b @ b.Bset.cons) in
-    let cons = ref cons0 in
+    (* Unify structurally identical div definitions: two existentials
+       with the same numerator, offset and denominator denote the same
+       value, so an equality between them is sound.  Meets and theta
+       compositions routinely introduce such duplicates (e.g. three
+       copies of [floor(i/8)]), and without the link each copy blocks a
+       different visible variable from being determined.  The equalities
+       have unit coefficients, so the Gaussian pass below absorbs them. *)
+    let unif = ref [] in
+    let ndivs = Array.length b.Bset.defs in
+    for i = 0 to ndivs - 1 do
+      match b.Bset.defs.(i) with
+      | None -> ()
+      | Some (di : Bset.def) ->
+          for j = i + 1 to ndivs - 1 do
+            match b.Bset.defs.(j) with
+            | Some (dj : Bset.def)
+              when di.Bset.den = dj.Bset.den
+                   && di.Bset.dk = dj.Bset.dk
+                   && di.Bset.num = dj.Bset.num ->
+                let a = Array.make nvars 0 in
+                a.(nvis + i) <- 1;
+                a.(nvis + j) <- -1;
+                unif := { a; k = 0; eq = true } :: !unif
+            | _ -> ()
+          done
+    done;
+    let cons = ref (!unif @ cons0) in
     let alive = Array.make nvars true in
     let is_vis = Array.init nvars (fun i -> i < nvis) in
-    let visible_only_expr (c : con) ~except =
+    (* A visible dim [v] may be eliminated through an equality only when
+       its defining expression is a function of the dimensions that
+       remain, so that distinct reduced tuples correspond to distinct
+       full tuples.  [determined ~except w] certifies that: an alive
+       visible other than [except] is determined (it is enumerated); a
+       div-defined existential is determined when its definition's
+       support is, transitively (div defs reference earlier variables
+       only, so this terminates).  Existentials without a definition,
+       and definitions reaching [except] or an already-eliminated
+       visible, are conservatively not determined. *)
+    let rec determined ~except w =
+      if w < nvis then w <> except && alive.(w)
+      else
+        match b.Bset.defs.(w - nvis) with
+        | None -> false
+        | Some (d : Bset.def) ->
+            let ok = ref true in
+            Array.iteri
+              (fun u c -> if c <> 0 && not (determined ~except u) then ok := false)
+              d.Bset.num;
+            !ok
+    in
+    let determined_expr (c : con) ~except =
       let ok = ref true in
       Array.iteri
         (fun i coeff ->
-          if i <> except && coeff <> 0 && i >= nvis then ok := false)
+          if i <> except && coeff <> 0 && not (determined ~except i) then
+            ok := false)
         c.a;
       !ok
     in
+    (* Among the eliminable variables, take the one occurring in the
+       fewest *other* constraints.  This is what routes elimination to
+       defined outputs (a Θ stamp appears only in its defining equality)
+       rather than to an iterator: substituting an iterator away would
+       spread the equality's div existentials into its box constraints,
+       leaving the stamp bounded only through existentials — and that
+       forces the hash-dedup fallback downstream. *)
+    let occurrences v ~(excl : con) =
+      List.fold_left
+        (fun acc c -> if c != excl && c.a.(v) <> 0 then acc + 1 else acc)
+        0 !cons
+    in
     let rec pass () =
-      let pick =
-        List.find_map
-          (fun c ->
-            if not c.eq then None
-            else begin
-              let found = ref None in
-              Array.iteri
-                (fun v coeff ->
-                  if !found = None && alive.(v) && abs coeff = 1 then
-                    if v >= nvis then found := Some (v, c)
-                    else if elim_vis && visible_only_expr c ~except:v then
-                      found := Some (v, c))
-                c.a;
-              !found
-            end)
-          !cons
-      in
-      match pick with
+      let best = ref None in
+      List.iter
+        (fun c ->
+          if c.eq then
+            Array.iteri
+              (fun v coeff ->
+                if
+                  alive.(v)
+                  && abs coeff = 1
+                  && (v >= nvis || (elim_vis && determined_expr c ~except:v))
+                then begin
+                  let occ = occurrences v ~excl:c in
+                  match !best with
+                  | Some (o, _, _) when o <= occ -> ()
+                  | _ -> best := Some (occ, v, c)
+                end)
+              c.a)
+        !cons;
+      match !best with
       | None -> ()
-      | Some (v, eqc) ->
+      | Some (_, v, eqc) ->
           alive.(v) <- false;
           cons :=
             List.filter_map
@@ -196,9 +272,24 @@ type plan = {
          is exactly one of each with unit self-coefficients — the shape
          whose width is affine in the surrounding variables, enabling
          the Faulhaber sum one level up *)
+  sym : Qpoly.t option array;
+      (* [sym.(pos)], when present, is the exact count of the visible
+         suffix [pos, nvis_positions) as a quasi-polynomial in the
+         positions before [pos] — built innermost-out by symbolic
+         summation, [Some one] at [nvis_positions].  Valid for any
+         assignment of the earlier positions that satisfies their level
+         constraints (side conditions are certified over conservative
+         per-position intervals at plan time).  All [None] on
+         non-symbolic or dedup plans. *)
+  sat_proven : bool;
+      (* the existential suffix is satisfiable for *every* assignment
+         in the certified region: each existential level provably has a
+         nonempty value interval.  When set, no witness search runs and
+         [sym] alone answers the count. *)
 }
 
-let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
+let make_plan ?(allow_unbounded_vis = false) ?(symbolic = false)
+    (cp : compiled) : plan =
   (* Alive variables that appear in at least one constraint participate in
      enumeration.  An unconstrained existential is trivially satisfiable
      and dropped; an unconstrained visible variable makes the set
@@ -295,12 +386,25 @@ let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
           end
         end)
       vars;
-    if !candidate = -1 then begin
-      (* deadlock: derive implied bounds by eliminating one blocker *)
+    (* Accepting an existential while visible variables remain would
+       force the hash-dedup fallback (distinct visible tuples can repeat
+       across existential values).  Before conceding that, try to unlock
+       a visible variable by Fourier–Motzkin-eliminating a blocking
+       existential: the derived (implied, redundant) constraints often
+       bound the visible variable directly — e.g. a range projection
+       where a stamp is only pinned through a div existential. *)
+    let visible_remains () =
+      Array.exists (fun v -> (not in_order.(v)) && cp.is_vis.(v)) vars
+    in
+    let pick_blocker ~existential_only =
       let blocker = ref (-1) and best_uses = ref 0 in
       Array.iter
         (fun v ->
-          if (not in_order.(v)) && not fm_done.(v) then begin
+          if
+            (not in_order.(v))
+            && (not fm_done.(v))
+            && ((not existential_only) || not cp.is_vis.(v))
+          then begin
             let uses =
               Array.fold_left
                 (fun acc c -> if c.a.(v) <> 0 then acc + 1 else acc)
@@ -312,14 +416,32 @@ let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
             end
           end)
         vars;
-      if !blocker = -1 then
+      !blocker
+    in
+    let run_fm blocker =
+      fm_done.(blocker) <- true;
+      Obs.incr c_fm;
+      cons := Array.append !cons (Array.of_list (fm_derive blocker))
+      (* the same position is retried with the enriched constraint set *)
+    in
+    if !candidate = -1 then begin
+      (* deadlock: derive implied bounds by eliminating one blocker *)
+      let blocker = pick_blocker ~existential_only:false in
+      if blocker = -1 then
         raise
           (Unbounded
              (Printf.sprintf "no bounded variable at position %d of %d" !pos n));
-      fm_done.(!blocker) <- true;
-      Obs.incr c_fm;
-      cons := Array.append !cons (Array.of_list (fm_derive !blocker))
-      (* the same position is retried with the enriched constraint set *)
+      run_fm blocker
+    end
+    else if (not !candidate_vis) && visible_remains () then begin
+      match pick_blocker ~existential_only:true with
+      | -1 ->
+          (* every existential already eliminated once: concede dedup *)
+          order.(!pos) <- !candidate;
+          in_order.(!candidate) <- true;
+          dedup := true;
+          incr pos
+      | blocker -> run_fm blocker
     end
     else begin
       order.(!pos) <- !candidate;
@@ -396,6 +518,150 @@ let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
         end
       | _ -> None
   in
+  (* --- quasi-polynomial summation chain (the primary counting path) ---
+     Innermost-out, [sym.(pos)] integrates [sym.(pos+1)] over position
+     [pos]'s value interval in closed form.  Every step certifies its
+     side conditions over conservative per-position intervals; a level
+     that cannot be certified leaves [sym.(pos)] (and everything outer)
+     as [None], so enumeration handles exactly the unsupported prefix. *)
+  let sym = Array.make (nvis_positions + 1) None in
+  let sat_proven = ref false in
+  (if symbolic && not !dedup && n > 0 then
+     try
+       (* Conservative per-position value intervals: [ivals.(p)] contains
+          every value position [p] can take in a feasible assignment
+          (bounds of each level constraint evaluated over the intervals
+          of the earlier positions, rounded outward). *)
+       let ivals = Array.make n (0, 0) in
+       let rest_iv (lc : level_con) =
+         Array.fold_left
+           (fun (lo, hi) (p, c) ->
+             let plo, phi = ivals.(p) in
+             if c >= 0 then (lo + (c * plo), hi + (c * phi))
+             else (lo + (c * phi), hi + (c * plo)))
+           (lc.lc_k, lc.lc_k) lc.lc_terms
+       in
+       for pos = 0 to n - 1 do
+         let lo = ref None and hi = ref None in
+         let upd_lo v = match !lo with Some l when l >= v -> () | _ -> lo := Some v in
+         let upd_hi v = match !hi with Some h when h <= v -> () | _ -> hi := Some v in
+         List.iter
+           (fun lc ->
+             let rlo, rhi = rest_iv lc in
+             let s = lc.lc_self in
+             if lc.lc_eq then begin
+               (* v = -rest/s exactly; round outward *)
+               let l, h =
+                 if s > 0 then (IM.fdiv (-rhi) s, IM.cdiv (-rlo) s)
+                 else (IM.fdiv rlo (-s), IM.cdiv rhi (-s))
+               in
+               upd_lo l;
+               upd_hi h
+             end
+             else if s > 0 then upd_lo (IM.cdiv (-rhi) s)
+             else upd_hi (IM.fdiv rhi (-s)))
+           level_cons.(pos);
+         match (!lo, !hi) with
+         | Some l, Some h when l <= h -> ivals.(pos) <- (l, h)
+         | _ -> raise Exit
+       done;
+       let env p = ivals.(p) in
+       let rest_lin (lc : level_con) =
+         Qpoly.lin (Array.to_list lc.lc_terms) lc.lc_k
+       in
+       (* lc with lc_self > 0 is [self*v + rest >= 0]: v >= ceil(-rest/self);
+          lc_self < 0 is an upper bound: v <= floor(rest/(-self)). *)
+       let lower_qp lc = Qpoly.ceil_lin (Qpoly.lin_scale (-1) (rest_lin lc)) lc.lc_self in
+       let upper_qp lc = Qpoly.floor_lin (rest_lin lc) (-lc.lc_self) in
+       (* Among several bounds, find one that provably dominates (is the
+          effective bound) everywhere in the certified region. *)
+       let dominant ~wanted cands qp_of =
+         match cands with
+         | [ c ] -> Some (qp_of c)
+         | _ ->
+             List.find_map
+               (fun c1 ->
+                 let q1 = qp_of c1 in
+                 if
+                   List.for_all
+                     (fun c2 ->
+                       c2 == c1
+                       ||
+                       let q2 = qp_of c2 in
+                       let d =
+                         match wanted with
+                         | `Hi -> Qpoly.sub q1 q2
+                         | `Lo -> Qpoly.sub q2 q1
+                       in
+                       Qpoly.prove_ge env d 0)
+                     cands
+                 then Some q1
+                 else None)
+               cands
+       in
+       (* Existential-suffix satisfiability: every existential level has
+          a provably nonempty interval (width >= 1 for every lower/upper
+          pair), for any values of the earlier positions in the region.
+          Then no witness search is ever needed. *)
+       let suffix_ok = ref true in
+       for pos = nvis_positions to n - 1 do
+         if !suffix_ok then begin
+           let lcs = level_cons.(pos) in
+           match List.partition (fun lc -> lc.lc_eq) lcs with
+           | [ e ], [] when abs e.lc_self = 1 ->
+               () (* exactly one value, always an integer *)
+           | [], ineqs ->
+               let lowers = List.filter (fun lc -> lc.lc_self > 0) ineqs in
+               let uppers = List.filter (fun lc -> lc.lc_self < 0) ineqs in
+               if
+                 lowers = [] || uppers = []
+                 || not
+                      (List.for_all
+                         (fun l ->
+                           let ql = lower_qp l in
+                           List.for_all
+                             (fun u ->
+                               let w =
+                                 Qpoly.add (Qpoly.sub (upper_qp u) ql) Qpoly.one
+                               in
+                               Qpoly.prove_ge env w 1)
+                             uppers)
+                         lowers)
+               then suffix_ok := false
+           | _ -> suffix_ok := false
+         end
+       done;
+       sat_proven := !suffix_ok;
+       (* Visible chain, innermost-out. *)
+       sym.(nvis_positions) <- Some Qpoly.one;
+       for pos = nvis_positions - 1 downto 0 do
+         match sym.(pos + 1) with
+         | None -> ()
+         | Some inner ->
+             sym.(pos) <-
+               (match List.partition (fun lc -> lc.lc_eq) level_cons.(pos) with
+               | [ e ], [] when abs e.lc_self = 1 ->
+                   (* v is pinned to -self*rest: substitute, width 1 *)
+                   let by = Qpoly.lin_scale (-e.lc_self) (rest_lin e) in
+                   Some (Qpoly.subst pos ~by inner)
+               | [], (_ :: _ as ineqs) -> (
+                   let lowers = List.filter (fun lc -> lc.lc_self > 0) ineqs in
+                   let uppers = List.filter (fun lc -> lc.lc_self < 0) ineqs in
+                   match
+                     ( dominant ~wanted:`Hi lowers lower_qp,
+                       dominant ~wanted:`Lo uppers upper_qp )
+                   with
+                   | Some qa, Some qb ->
+                       (* Faulhaber telescoping needs ub >= lb - 1 *)
+                       let w = Qpoly.add (Qpoly.sub qb qa) Qpoly.one in
+                       if Qpoly.prove_ge env w 0 then
+                         Qpoly.sum_var ~v:pos ~lb:qa ~ub:qb inner
+                       else None
+                   | _ -> None)
+               | _ -> None)
+       done
+     with Exit -> ());
+  if symbolic && ((not !sat_proven) || sym.(0) = None) then Obs.incr c_qpoly_fb;
   {
     order;
     pos_of;
@@ -405,6 +671,8 @@ let make_plan ?(allow_unbounded_vis = false) (cp : compiled) : plan =
     independent;
     vis_tail;
     sym_inner;
+    sym;
+    sat_proven = !sat_proven;
   }
 
 (* Compute [lb, ub] for the variable at [pos] given the assignment of all
@@ -472,7 +740,14 @@ let rec exists_from plan value pos =
 let rec count_tail plan value pos =
   let last = plan.nvis_positions - 1 in
   if pos > last then 1
-  else begin
+  else
+    match plan.sym.(pos) with
+    | Some q ->
+        (* the whole remaining visible suffix in one evaluation *)
+        Obs.incr c_qpoly;
+        Qpoly.eval (fun p -> value.(p)) q
+    | None ->
+  begin
     let lb, ub = level_bounds plan value pos in
     if lb > ub then 0
     else if pos = last then begin
@@ -534,8 +809,14 @@ let rec count_tail plan value pos =
    remaining visible variables cannot affect it) and hands the suffix to
    the arithmetic counter above. *)
 let rec count_from plan value pos =
-  if pos = plan.vis_tail && pos < plan.nvis_positions then begin
-    if plan.nvis_positions < n_positions plan then begin
+  if plan.sat_proven && plan.sym.(pos) <> None then begin
+    (* existential suffix certified nonempty and the visible suffix is
+       in closed form: the count is one evaluation, no loops *)
+    Obs.incr c_qpoly;
+    Qpoly.eval (fun p -> value.(p)) (Option.get plan.sym.(pos))
+  end
+  else if pos = plan.vis_tail && pos < plan.nvis_positions then begin
+    if plan.nvis_positions < n_positions plan && not plan.sat_proven then begin
       Obs.incr c_points;
       if exists_from plan value plan.nvis_positions then
         count_tail plan value pos
@@ -544,8 +825,11 @@ let rec count_from plan value pos =
     else count_tail plan value pos
   end
   else if pos = plan.nvis_positions then begin
-    Obs.incr c_points;
-    if exists_from plan value pos then 1 else 0
+    if plan.sat_proven then 1
+    else begin
+      Obs.incr c_points;
+      if exists_from plan value pos then 1 else 0
+    end
   end
   else begin
     let lb, ub = level_bounds plan value pos in
@@ -739,7 +1023,7 @@ let count_bset (b : Bset.t) : int =
         ~get:(fun e -> e.e_card)
         ~set:(fun e v -> e.e_card <- Some v)
         (fun () ->
-          match make_plan cp with
+          match make_plan ~symbolic:true cp with
           | plan -> count_with_plan cp plan
           | exception Empty_set -> 0)
 
@@ -932,14 +1216,47 @@ let count_union (bs : Bset.t list) : int =
       let compute () =
         let arr = Array.of_list (List.map fst live) in
         let n = Array.length arr in
-        let testers = Array.map make_mem_bset arr in
-        let count_one i =
-          let total = ref 0 in
-          iter_bset arr.(i) (fun p ->
-              if not (seen_in_earlier testers ~upto:i p) then incr total);
-          !total
+        let same_arity =
+          let nv = arr.(0).Bset.nvis in
+          Array.for_all (fun (b : Bset.t) -> b.Bset.nvis = nv) arr
         in
-        Array.fold_left ( + ) 0 (Tenet_util.Parallel.init n count_one)
+        if n <= 4 && same_arity then begin
+          (* Inclusion–exclusion: 2^n - 1 intersection counts, each of
+             which hits the closed-form path (and the cache) — no point
+             of the union is ever visited.  Bounded at 4 disjuncts so
+             the term count stays below the disjunct count's square;
+             TENET's unions (spatial-neighbor reuse, halo overlaps) have
+             2-4 disjuncts. *)
+          let count_mask i =
+            let m = i + 1 in
+            let parts = ref [] and bits = ref 0 in
+            for j = n - 1 downto 0 do
+              if m land (1 lsl j) <> 0 then begin
+                parts := arr.(j) :: !parts;
+                incr bits
+              end
+            done;
+            let inter =
+              match !parts with
+              | b :: rest -> List.fold_left Bset.meet b rest
+              | [] -> assert false
+            in
+            let c = count_bset inter in
+            if !bits land 1 = 1 then c else -c
+          in
+          Array.fold_left ( + ) 0
+            (Tenet_util.Parallel.init ((1 lsl n) - 1) count_mask)
+        end
+        else begin
+          let testers = Array.map make_mem_bset arr in
+          let count_one i =
+            let total = ref 0 in
+            iter_bset arr.(i) (fun p ->
+                if not (seen_in_earlier testers ~upto:i p) then incr total);
+            !total
+          in
+          Array.fold_left ( + ) 0 (Tenet_util.Parallel.init n count_one)
+        end
       in
       (match live with
       | [] -> 0

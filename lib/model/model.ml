@@ -14,15 +14,26 @@ exception Invalid_dataflow of string
 
 (* Per-time-stamp occupancy, shared by utilization and timestamp count:
    walk Θ's pairs once, bucketing instances by time-stamp.  Injectivity
-   (validated separately) makes instances-per-stamp equal active PEs. *)
-let stamp_histogram (th : Isl.Map.t) ~n_space ~n_time =
-  let tbl : (int array, int ref) Hashtbl.t = Hashtbl.create 4096 in
+   (validated separately) makes instances-per-stamp equal active PEs.
+   Stamps are mixed-radix-encoded into a single int against the
+   dataflow's time bounds (every Θ range point evaluates the time
+   expressions over the iteration domain, so it lies inside them) —
+   hashing a boxed int instead of allocating an [Array.sub] per pair. *)
+let stamp_histogram (th : Isl.Map.t) ~n_space
+    ~(time_bounds : (int * int) list) =
+  let lo = Array.of_list (List.map fst time_bounds) in
+  let width = Array.of_list (List.map (fun (l, h) -> h - l + 1) time_bounds) in
+  let n_time = Array.length lo in
+  let tbl : (int, int ref) Hashtbl.t = Hashtbl.create 4096 in
   Isl.Map.iter_pairs
     (fun _src dst ->
-      let t = Array.sub dst n_space n_time in
-      match Hashtbl.find_opt tbl t with
+      let key = ref 0 in
+      for i = 0 to n_time - 1 do
+        key := (!key * width.(i)) + (dst.(n_space + i) - lo.(i))
+      done;
+      match Hashtbl.find_opt tbl !key with
       | Some r -> incr r
-      | None -> Hashtbl.add tbl t (ref 1))
+      | None -> Hashtbl.add tbl !key (ref 1))
     th;
   tbl
 
@@ -68,7 +79,7 @@ let analyze ?(adjacency = `Inner_step) ?(validate = true)
   let hist =
     Obs.with_span "model.stamp_histogram" (fun () ->
         stamp_histogram th ~n_space:(Df.Dataflow.n_space df)
-          ~n_time:(Df.Dataflow.n_time df))
+          ~time_bounds:(Df.Dataflow.time_bounds op df))
   in
   let n_timestamps = max 1 (Hashtbl.length hist) in
   let busiest = Hashtbl.fold (fun _ r acc -> max acc !r) hist 0 in

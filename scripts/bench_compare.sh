@@ -2,7 +2,8 @@
 # Compare a bench summary.json against the committed seed baseline and
 # flag regressions.
 #
-#   usage: scripts/bench_compare.sh [CURRENT [BASELINE]]
+#   usage: scripts/bench_compare.sh [--points-only] [--sections a,b,...]
+#                                   [CURRENT [BASELINE]]
 #
 # CURRENT defaults to the most natural workflow's output:
 #
@@ -17,9 +18,33 @@
 # when its count.points_enumerated grows at all beyond 10% (the counter is
 # deterministic, so growth means the engine lost a closed form).  Exits 1
 # if any section regressed.
+#
+#   --points-only    skip the wall-clock check: only the deterministic
+#                    points_enumerated comparison can fail.  This is what
+#                    CI uses, so a loaded runner never flakes the build.
+#   --sections a,b   compare only the named sections (for partial runs:
+#                    `bench/main.exe -- fig6 fig8` writes a two-section
+#                    summary, and unrestricted comparison would report
+#                    every other baseline section as missing).
+#
+# Besides the per-section table (with points ratio), prints the fast-path
+# counter totals (qpoly_hits / qpoly_fallbacks) summed over the compared
+# sections when the summary carries them; the seed baseline predates
+# those fields and reports "-".
 set -eu
 
 cd "$(dirname "$0")/.."
+
+points_only=0
+sections=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --points-only) points_only=1; shift ;;
+    --sections) sections="$2"; shift 2 ;;
+    --sections=*) sections="${1#--sections=}"; shift ;;
+    *) break ;;
+  esac
+done
 
 current="${1:-/tmp/bench/summary.json}"
 baseline="${2:-BENCH_seed.json}"
@@ -27,13 +52,22 @@ baseline="${2:-BENCH_seed.json}"
 [ -f "$current" ] || { echo "no current summary: $current" >&2; exit 2; }
 [ -f "$baseline" ] || { echo "no baseline summary: $baseline" >&2; exit 2; }
 
-# Flatten {"sections":[{"section":s,"total_s":t,"points_enumerated":p}]}
-# into "s t p" lines.  The JSON shape is fixed (bench/main.ml writes it),
-# so a line-oriented parse is dependable.
+# Flatten {"sections":[{"section":s,"total_s":t,"points_enumerated":p,
+# "qpoly_hits":q,"qpoly_fallbacks":f}]} into "s t p q f" lines, with
+# "- -" when the fast-path fields are absent (the seed baseline).  The
+# JSON shape is fixed (bench/main.ml writes it), so a line-oriented
+# parse is dependable.
 flatten() {
   { tr -d ' \n' < "$1"; echo; } \
     | sed 's/},{/}\n{/g' \
-    | sed -n 's/.*"section":"\([^"]*\)","total_s":\([0-9.eE+-]*\),"points_enumerated":\([0-9]*\).*/\1 \2 \3/p'
+    | sed -n \
+        -e 's/.*"section":"\([^"]*\)","total_s":\([0-9.eE+-]*\),"points_enumerated":\([0-9]*\),"qpoly_hits":\([0-9]*\),"qpoly_fallbacks":\([0-9]*\).*/\1 \2 \3 \4 \5/p' \
+        -e 's/.*"section":"\([^"]*\)","total_s":\([0-9.eE+-]*\),"points_enumerated":\([0-9]*\).*/\1 \2 \3 - -/p'
+}
+
+in_sections() {
+  [ -z "$sections" ] && return 0
+  case ",$sections," in *",$1,"*) return 0 ;; *) return 1 ;; esac
 }
 
 flatten "$current" > /tmp/bench_compare_cur.$$
@@ -41,8 +75,11 @@ flatten "$baseline" > /tmp/bench_compare_base.$$
 trap 'rm -f /tmp/bench_compare_cur.$$ /tmp/bench_compare_base.$$' EXIT
 
 status=0
-printf '%-22s %12s %12s %8s   %s\n' section base_s cur_s ratio points
-while read -r name base_t base_p; do
+cur_q_total=0; cur_f_total=0; base_q_total="-"; base_f_total="-"
+printf '%-22s %12s %12s %8s %22s %8s\n' \
+  section base_s cur_s t_ratio points p_ratio
+while read -r name base_t base_p base_q base_f; do
+  in_sections "$name" || continue
   line=$(grep "^$name " /tmp/bench_compare_cur.$$ || true)
   if [ -z "$line" ]; then
     echo "MISSING  $name (in baseline, not in current run)"
@@ -51,18 +88,39 @@ while read -r name base_t base_p; do
   fi
   cur_t=$(echo "$line" | cut -d' ' -f2)
   cur_p=$(echo "$line" | cut -d' ' -f3)
-  awk -v n="$name" -v bt="$base_t" -v ct="$cur_t" -v bp="$base_p" -v cp="$cur_p" '
+  cur_q=$(echo "$line" | cut -d' ' -f4)
+  cur_f=$(echo "$line" | cut -d' ' -f5)
+  [ "$cur_q" != "-" ] && cur_q_total=$((cur_q_total + cur_q))
+  [ "$cur_f" != "-" ] && cur_f_total=$((cur_f_total + cur_f))
+  if [ "$base_q" != "-" ]; then
+    [ "$base_q_total" = "-" ] && base_q_total=0
+    base_q_total=$((base_q_total + base_q))
+  fi
+  if [ "$base_f" != "-" ]; then
+    [ "$base_f_total" = "-" ] && base_f_total=0
+    base_f_total=$((base_f_total + base_f))
+  fi
+  awk -v n="$name" -v bt="$base_t" -v ct="$cur_t" -v bp="$base_p" \
+      -v cp="$cur_p" -v ponly="$points_only" '
     BEGIN {
-      ratio = (bt > 0) ? ct / bt : 1
+      t_ratio = (bt > 0) ? ct / bt : 1
+      p_ratio = (bp > 0) ? cp / bp : (cp > 0 ? -1 : 1)
       flag = ""
       # wall-clock: >10% slower on a section big enough to measure
-      if (bt >= 0.1 && ratio > 1.10) flag = flag " TIME-REGRESSION"
+      if (!ponly && bt >= 0.1 && t_ratio > 1.10) flag = flag " TIME-REGRESSION"
       # enumerated points are deterministic; >10% growth means lost closed forms
       if (bp > 0 && cp > bp * 1.10) flag = flag " POINTS-REGRESSION"
-      printf "%-22s %12.3f %12.3f %8.2f   %d -> %d%s\n", n, bt, ct, ratio, bp, cp, flag
+      if (bp == 0 && cp > 0) flag = flag " POINTS-REGRESSION"
+      p_str = (p_ratio < 0) ? "new" : sprintf("%.4f", p_ratio)
+      printf "%-22s %12.3f %12.3f %8.2f %12d -> %7d %8s%s\n", \
+        n, bt, ct, t_ratio, bp, cp, p_str, flag
       exit (flag == "") ? 0 : 1
     }' || status=1
 done < /tmp/bench_compare_base.$$
+
+echo "fast-path totals over compared sections:"
+echo "  qpoly_hits:      base=$base_q_total cur=$cur_q_total"
+echo "  qpoly_fallbacks: base=$base_f_total cur=$cur_f_total"
 
 if [ "$status" -eq 0 ]; then
   echo "bench_compare: OK (no section regressed >10% vs $baseline)"

@@ -21,7 +21,14 @@ dune runtest
 echo "== release build =="
 dune build --profile release
 
-echo "== bench smoke (fig8, release) =="
-dune exec --profile release bench/main.exe -- fig8 >/dev/null
+echo "== bench smoke (fig6+fig8, release, vs BENCH_seed.json) =="
+bench_dir=$(mktemp -d)
+trap 'rm -rf "$bench_dir"' EXIT
+TENET_BENCH_TIMINGS="$bench_dir" \
+  dune exec --profile release bench/main.exe -- fig6 fig8 >/dev/null
+# Points-only: the enumerated-point counters are deterministic, so this
+# cannot flake on a loaded runner the way wall-clock comparison would.
+scripts/bench_compare.sh --points-only --sections fig6,fig8 \
+  "$bench_dir/summary.json" BENCH_seed.json
 
 echo "CI OK"

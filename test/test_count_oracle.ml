@@ -61,6 +61,108 @@ let gen_bset ?(nvis = 0) st : Bset.t * (int * int) array =
   done;
   ({ Bset.nvis; defs; cons = !cons }, box)
 
+(* A mod/fdiv-heavy random set shaped like the systems `Dataflow.theta`
+   produces: loop dims tiled by floor divisions, plus "stamp" dims pinned
+   by equalities to mod/fdiv/skew combinations of the loops.  This is the
+   fragment the qpoly engine must sum in closed form — stamp equalities
+   eliminate through div-defined existentials, div bound pairs cancel to
+   width 1, and the loop box sums by Faulhaber. *)
+let gen_bset_modheavy st : Bset.t * (int * int) array =
+  let nloop = rand_int st 1 2 in
+  let nstamp = rand_int st 1 2 in
+  let nvis = nloop + nstamp in
+  let ndivs = rand_int st 1 2 in
+  let nvars = nvis + ndivs in
+  let loop_box =
+    Array.init nloop (fun _ ->
+        let lo = rand_int st (-2) 1 in
+        (lo, lo + rand_int st 3 12))
+  in
+  let cons = ref [] in
+  Array.iteri
+    (fun i (lo, hi) ->
+      let a = Array.make nvars 0 in
+      a.(i) <- 1;
+      cons := { Bset.a; k = -lo; eq = false } :: !cons;
+      let a = Array.make nvars 0 in
+      a.(i) <- -1;
+      cons := { Bset.a; k = hi; eq = false } :: !cons)
+    loop_box;
+  (* divs: e = floor((c*loop + k) / den) *)
+  let divs =
+    Array.init ndivs (fun _ ->
+        let v = rand_int st 0 (nloop - 1) in
+        let c = if rand_int st 0 3 = 0 then -1 else 1 in
+        let k = rand_int st (-2) 2 in
+        let den = rand_int st 2 4 in
+        (v, c, k, den))
+  in
+  let defs =
+    Array.map
+      (fun (v, c, k, den) ->
+        let num = Array.make nvars 0 in
+        num.(v) <- c;
+        Some { Bset.num; dk = k; den })
+      divs
+  in
+  (* interval of the div value and of the mod remainder (c*v + k - den*e) *)
+  let div_iv e =
+    let v, c, k, den = divs.(e) in
+    let lo, hi = loop_box.(v) in
+    let a = (c * lo) + k and b = (c * hi) + k in
+    (IM.fdiv (min a b) den, IM.fdiv (max a b) den)
+  in
+  (* stamp s = pattern over loops/divs, pinned by an equality; the box
+     entry for s is the pattern's value interval *)
+  let stamp_box =
+    Array.init nstamp (fun _ ->
+        let a = Array.make nvars 0 in
+        let lo = ref 0 and hi = ref 0 in
+        let n_terms = rand_int st 1 2 in
+        for _ = 1 to n_terms do
+          match rand_int st 0 2 with
+          | 0 ->
+              (* mod term: the emitted c*v - den*e equals
+                 ((c*v + k) mod den) - k, so its value is in
+                 [-k, den - 1 - k] exactly *)
+              let e = rand_int st 0 (ndivs - 1) in
+              let v, c, k, den = divs.(e) in
+              a.(v) <- a.(v) + c;
+              a.(nvis + e) <- a.(nvis + e) - den;
+              lo := !lo - k;
+              hi := !hi + den - 1 - k
+          | 1 ->
+              (* fdiv term: the div value itself *)
+              let e = rand_int st 0 (ndivs - 1) in
+              a.(nvis + e) <- a.(nvis + e) + 1;
+              let dlo, dhi = div_iv e in
+              lo := !lo + dlo;
+              hi := !hi + dhi
+          | _ ->
+              (* skew term: a plain loop dim *)
+              let v = rand_int st 0 (nloop - 1) in
+              a.(v) <- a.(v) + 1;
+              let vlo, vhi = loop_box.(v) in
+              lo := !lo + vlo;
+              hi := !hi + vhi
+        done;
+        (a, !lo, !hi))
+  in
+  Array.iteri
+    (fun s (a, _, _) ->
+      let eqa = Array.copy a in
+      eqa.(nloop + s) <- -1;
+      cons := { Bset.a = eqa; k = 0; eq = true } :: !cons)
+    stamp_box;
+  let box =
+    Array.init nvis (fun i ->
+        if i < nloop then loop_box.(i)
+        else
+          let _, lo, hi = stamp_box.(i - nloop) in
+          (lo, hi))
+  in
+  ({ Bset.nvis; defs; cons = !cons }, box)
+
 (* --- oracle --------------------------------------------------------- *)
 
 let oracle_mem (b : Bset.t) (vis : int array) : bool =
@@ -227,6 +329,53 @@ let test_count_union () =
         !expect (Hashtbl.length seen)
   done
 
+(* The mod/fdiv-heavy population vs the oracle, and proof (via telemetry)
+   that these shapes actually take the symbolic qpoly path. *)
+let test_count_modheavy () =
+  Count.cache_clear ();
+  Obs.reset ();
+  Obs.enable ();
+  let st = Random.State.make [| 0x30d4 |] in
+  for i = 1 to 400 do
+    let b, box = gen_bset_modheavy st in
+    let expect = oracle_count b box in
+    let got = Count.count_bset b in
+    if got <> expect then
+      Alcotest.failf
+        "modheavy count_bset mismatch at case %d: oracle %d, engine %d\n%s" i
+        expect got (show_bset b)
+  done;
+  Obs.disable ();
+  let v name = Obs.value (Obs.counter name) in
+  Alcotest.(check bool) "qpoly fires on mod/fdiv shapes" true
+    (v "count.qpoly_hits" > 0)
+
+(* The fig8/table3 shape: Θ of a 16^3 GEMM on an 8x8 PE array.  Both the
+   pair count and the distinct-stamp count (a range projection whose
+   stamps are defined through mod/fdiv existentials) must come out in
+   closed form — near-zero enumerated points — and bit-identical to the
+   known cardinalities. *)
+let test_fig8_closed_form () =
+  let module Ir = Tenet_ir in
+  let module Df = Tenet_dataflow in
+  Count.cache_clear ();
+  Obs.reset ();
+  Obs.enable ();
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let th = Df.Dataflow.theta op df in
+  let pairs = Isl.Map.card th in
+  let stamps = Isl.Set.card (Isl.Map.range th) in
+  Obs.disable ();
+  Alcotest.(check int) "theta pairs" (16 * 16 * 16) pairs;
+  Alcotest.(check int) "theta stamps" (16 * 16 * 16) stamps;
+  let v name = Obs.value (Obs.counter name) in
+  Alcotest.(check bool) "qpoly fires on theta" true (v "count.qpoly_hits" > 0);
+  let points = v "count.points_enumerated" in
+  if points > 64 then
+    Alcotest.failf
+      "theta counting should be closed form; enumerated %d points" points
+
 (* The random sets must actually exercise the closed-form machinery —
    otherwise this file would happily pass while testing only the slow
    path.  Telemetry proves coverage. *)
@@ -240,8 +389,11 @@ let test_fast_paths_exercised () =
   done;
   Obs.disable ();
   let v name = Obs.value (Obs.counter name) in
-  Alcotest.(check bool) "closed_tail fires" true (v "count.closed_tail_hits" > 0);
-  Alcotest.(check bool) "faulhaber fires" true (v "count.faulhaber_hits" > 0);
+  Alcotest.(check bool) "qpoly fires" true (v "count.qpoly_hits" > 0);
+  Alcotest.(check bool) "enumeration-side escapes fire" true
+    (v "count.closed_tail_hits" + v "count.faulhaber_hits"
+     + v "count.closed_form_hits"
+     > 0);
   Alcotest.(check bool) "cache consulted" true
     (v "count.cache_hits" + v "count.cache_misses" > 0)
 
@@ -255,6 +407,10 @@ let () =
           Alcotest.test_case "membership vs brute force" `Quick test_mem_bset;
           Alcotest.test_case "count_union vs brute force" `Quick
             test_count_union;
+          Alcotest.test_case "mod/fdiv-heavy vs brute force" `Quick
+            test_count_modheavy;
+          Alcotest.test_case "fig8 shapes are closed form" `Quick
+            test_fig8_closed_form;
           Alcotest.test_case "fast paths exercised" `Quick
             test_fast_paths_exercised;
         ] );
