@@ -21,6 +21,7 @@ module M = Tenet.Model
 module Dse = Tenet.Dse.Dse
 module Obs = Tenet.Obs
 module Json = Tenet.Obs.Json
+module An = Tenet.Analysis
 open Cmdliner
 
 let parse_sizes s =
@@ -45,7 +46,11 @@ let parse_sizes s =
       | Some n -> n)
     (String.split_on_char ',' s)
 
+let known_kernels = [ "gemm"; "conv"; "conv1d"; "mttkrp"; "mmc"; "jacobi2d" ]
+
 let kernel_of ~kernel ~sizes =
+  if not (List.mem kernel known_kernels) then
+    failwith (T.Util.Text.unknown ~what:"kernel" kernel known_kernels);
   match (kernel, parse_sizes sizes) with
   | "gemm", [ ni; nj; nk ] -> Ir.Kernels.gemm ~ni ~nj ~nk
   | "conv", [ nk; nc; nox; noy; nrx; nry ] ->
@@ -57,7 +62,7 @@ let kernel_of ~kernel ~sizes =
   | k, sz ->
       failwith
         (Printf.sprintf
-           "unknown kernel %s with %d sizes (known: gemm i,j,k | conv \
+           "kernel %s got %d sizes (expected: gemm i,j,k | conv \
             k,c,ox,oy,rx,ry | conv1d o,r | mttkrp i,j,k,l | mmc i,j,k,l | \
             jacobi2d n)"
            k (List.length sz))
@@ -78,11 +83,14 @@ let arch_of name ~bandwidth =
   | Some bw -> Arch.Spec.with_bandwidth bw spec
   | None -> spec
 
-let dataflow_of op ~space ~time =
-  let dims = Ir.Tensor_op.iter_names op in
-  Df.Dataflow.make ~name:"(cli)"
-    ~space:(T.Isl.Parser.exprs ~dims space)
-    ~time:(T.Isl.Parser.exprs ~dims time)
+let dataflow_of ?(dataflow = None) op ~space ~time =
+  match dataflow with
+  | Some name -> Df.Zoo.find name
+  | None ->
+      let dims = Ir.Tensor_op.iter_names op in
+      Df.Dataflow.make ~name:"(cli)"
+        ~space:(T.Isl.Parser.exprs ~dims space)
+        ~time:(T.Isl.Parser.exprs ~dims time)
 
 (* --- telemetry plumbing --- *)
 
@@ -152,6 +160,17 @@ let time_t =
   Arg.(value & opt string "i/8,j/8,i%8+j%8+k" & info [ "time" ] ~docv:"EXPRS"
          ~doc:"Time-stamp coordinates, e.g. 'i/8,j/8,i%8+j%8+k'.")
 
+let dataflow_t =
+  Arg.(value & opt (some string) None & info [ "dataflow" ] ~docv:"NAME"
+         ~doc:"Take the dataflow from the Table III zoo by name (e.g. \
+               'gemm/(IJ-P | J,IJK-T)', or an unambiguous bare name) \
+               instead of --space/--time.")
+
+let strict_t =
+  Arg.(value & flag & info [ "strict" ]
+         ~doc:"Run the static model checker first and fail on any error \
+               diagnostic (see the check command).")
+
 let window_t =
   Arg.(value & opt int 1 & info [ "window" ] ~docv:"W"
          ~doc:"Per-PE register window (stamps of temporal reuse history).")
@@ -210,20 +229,37 @@ let wrap f = try `Ok (f ()) with
   | T.Isl.Parser.Parse_error msg -> `Error (false, "parse error: " ^ msg)
   | Ir.Cfront.Syntax_error msg -> `Error (false, "C syntax error: " ^ msg)
   | Sys_error msg -> `Error (false, msg)
+  (* TENET_COUNT_VERIFY=1: the counting sanitizer caught the symbolic
+     fast path disagreeing with enumeration *)
+  | T.Isl.Count.Verify_mismatch _ as e ->
+      `Error
+        ( false,
+          An.Diagnostic.to_string
+            (Option.get (An.Checker.diagnostic_of_exn e)) )
   (* a telemetry file that fails to write surfaces from Fun.protect's
      cleanup as Finally_raised *)
   | Fun.Finally_raised (Sys_error msg) -> `Error (false, msg)
 
 let analyze_cmd =
-  let run kernel sizes c_file arch bandwidth space time window lex scale_dims
-      jobs trace stats json =
+  let run kernel sizes c_file arch bandwidth space time dataflow strict window
+      lex scale_dims jobs trace stats json =
     wrap (fun () ->
         apply_jobs jobs;
         with_telemetry ~trace ~stats ~span:"cli.analyze" (fun () ->
             let op = op_of ~kernel ~sizes ~c_file in
             let spec = arch_of arch ~bandwidth in
-            let df = dataflow_of op ~space ~time in
+            let df = dataflow_of ~dataflow op ~space ~time in
             let adjacency = if lex then `Lex_step else `Inner_step in
+            (if strict then
+               match
+                 An.Diagnostic.errors (An.Checker.check ~adjacency spec op df)
+               with
+               | [] -> ()
+               | errs ->
+                   failwith
+                     ("the model checker rejected the dataflow:\n"
+                     ^ String.concat "\n"
+                         (List.map An.Diagnostic.to_string errs)));
             let m =
               match scale_dims with
               | Some dims ->
@@ -247,8 +283,8 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ space_t $ time_t $ window_t $ lex_t $ scaled_t $ jobs_t $ trace_t
-       $ stats_t $ json_t))
+       $ space_t $ time_t $ dataflow_t $ strict_t $ window_t $ lex_t
+       $ scaled_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let simulate_cmd =
   let run kernel sizes c_file arch bandwidth space time jobs trace stats json =
@@ -279,7 +315,7 @@ let simulate_cmd =
        $ space_t $ time_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let dse_cmd =
-  let run kernel sizes c_file arch bandwidth top jobs trace stats json =
+  let run kernel sizes c_file arch bandwidth strict top jobs trace stats json =
     wrap (fun () ->
         apply_jobs jobs;
         with_telemetry ~trace ~stats ~span:"cli.dse" (fun () ->
@@ -294,8 +330,25 @@ let dse_cmd =
                 Dse.candidates_2d op ~p
               else Dse.candidates_1d op ~p
             in
+            (* under --strict, candidates failing the checker's cheap
+               battery are pruned before scoring (each pruned candidate
+               bumps dse.candidates_pruned and its analysis.TNxxx
+               counters) *)
+            let n_pruned = ref 0 in
+            let prefilter =
+              if strict then
+                Some
+                  (fun df ->
+                    let ok =
+                      An.Diagnostic.errors (An.Checker.precheck spec op df)
+                      = []
+                    in
+                    if not ok then incr n_pruned;
+                    ok)
+              else None
+            in
             let outcomes =
-              Dse.evaluate_all ~objective:Dse.Latency spec op cands
+              Dse.evaluate_all ?prefilter ~objective:Dse.Latency spec op cands
             in
             if json then begin
               let outcome_json (o : Dse.outcome) =
@@ -317,6 +370,7 @@ let dse_cmd =
                    ("arch", Json.String arch);
                    ("objective", Json.String "latency");
                    ("candidates", Json.Int (List.length cands));
+                   ("pruned", Json.Int !n_pruned);
                    ("valid", Json.Int (List.length outcomes));
                    ( "best",
                      match outcomes with
@@ -327,8 +381,14 @@ let dse_cmd =
                 @ telemetry_fields ())
             end
             else begin
-              Printf.printf "%d candidates, %d valid; top %d by latency:\n"
-                (List.length cands) (List.length outcomes) top;
+              if strict then
+                Printf.printf
+                  "%d candidates, %d pruned by --strict, %d valid; top %d \
+                   by latency:\n"
+                  (List.length cands) !n_pruned (List.length outcomes) top
+              else
+                Printf.printf "%d candidates, %d valid; top %d by latency:\n"
+                  (List.length cands) (List.length outcomes) top;
               List.iteri
                 (fun i o ->
                   if i < top then
@@ -351,7 +411,125 @@ let dse_cmd =
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ top_t $ jobs_t $ trace_t $ stats_t $ json_t))
+       $ strict_t $ top_t $ jobs_t $ trace_t $ stats_t $ json_t))
+
+let check_cmd =
+  let diag_lines prefix ds =
+    List.iter
+      (fun d ->
+        String.split_on_char '\n' (An.Diagnostic.to_string d)
+        |> List.iter (fun line -> Printf.printf "%s%s\n" prefix line))
+      ds
+  in
+  let run kernel sizes c_file arch bandwidth space time dataflow all lex jobs
+      trace stats json =
+    wrap (fun () ->
+        apply_jobs jobs;
+        let adjacency = if lex then `Lex_step else `Inner_step in
+        let had_errors =
+          with_telemetry ~trace ~stats ~span:"cli.check" (fun () ->
+              if all then begin
+                let results =
+                  An.Checker.check_subjects ~adjacency
+                    (An.Checker.zoo_subjects ())
+                in
+                let failing =
+                  List.filter
+                    (fun (_, ds) -> An.Diagnostic.errors ds <> [])
+                    results
+                in
+                if json then
+                  print_json
+                    ([
+                       ("command", Json.String "check");
+                       ("subjects", Json.Int (List.length results));
+                       ("failing", Json.Int (List.length failing));
+                       ( "results",
+                         Json.List
+                           (List.map
+                              (fun ((s : An.Checker.subject), ds) ->
+                                Json.Obj
+                                  [
+                                    ("arch", Json.String s.An.Checker.s_arch);
+                                    ( "kernel",
+                                      Json.String s.An.Checker.s_kernel );
+                                    ( "dataflow",
+                                      Json.String
+                                        s.An.Checker.s_df.Df.Dataflow.name );
+                                    ( "diagnostics",
+                                      Json.List
+                                        (List.map An.Diagnostic.to_json ds)
+                                    );
+                                  ])
+                              results) );
+                     ]
+                    @ telemetry_fields ())
+                else begin
+                  List.iter
+                    (fun ((s : An.Checker.subject), ds) ->
+                      let label =
+                        Printf.sprintf "%-18s %-8s %s" s.An.Checker.s_arch
+                          s.An.Checker.s_kernel
+                          s.An.Checker.s_df.Df.Dataflow.name
+                      in
+                      if ds = [] then Printf.printf "ok    %s\n" label
+                      else begin
+                        Printf.printf "%-5s %s\n"
+                          (if An.Diagnostic.errors ds <> [] then "FAIL"
+                           else "warn")
+                          label;
+                        diag_lines "      " ds
+                      end)
+                    results;
+                  Printf.printf "%d subjects checked, %d failing\n"
+                    (List.length results) (List.length failing)
+                end;
+                failing <> []
+              end
+              else begin
+                let op = op_of ~kernel ~sizes ~c_file in
+                let spec = arch_of arch ~bandwidth in
+                let df = dataflow_of ~dataflow op ~space ~time in
+                let ds = An.Checker.check ~adjacency spec op df in
+                let errs = An.Diagnostic.errors ds in
+                if json then
+                  print_json
+                    ([
+                       ("command", Json.String "check");
+                       ("kernel", Json.String kernel);
+                       ("arch", Json.String arch);
+                       ("dataflow", dataflow_json df);
+                       ("errors", Json.Int (List.length errs));
+                       ( "diagnostics",
+                         Json.List (List.map An.Diagnostic.to_json ds) );
+                     ]
+                    @ telemetry_fields ())
+                else if ds = [] then
+                  print_endline "ok: all checks passed"
+                else diag_lines "" ds;
+                errs <> []
+              end)
+        in
+        if had_errors then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically check a (kernel, dataflow, architecture) triple: Θ \
+          validity, causality, interconnect well-formedness, reuse \
+          feasibility.  With --all, sweep the whole Table III zoo across \
+          the architecture repository.  Exits nonzero if any error \
+          diagnostic is found.")
+    Term.(
+      ret
+        (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
+       $ space_t $ time_t $ dataflow_t
+       $ Arg.(
+           value & flag
+           & info [ "all" ]
+               ~doc:"Check every zoo dataflow on every matching-rank \
+                     repository architecture.")
+       $ lex_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let archs_cmd =
   let run () =
@@ -374,7 +552,10 @@ let zoo_cmd =
           | "mttkrp" -> Df.Zoo.mttkrp_all ()
           | "jacobi2d" -> Df.Zoo.jacobi_all ()
           | "mmc" -> Df.Zoo.mmc_all ()
-          | k -> failwith ("unknown kernel " ^ k)
+          | k ->
+              failwith
+                (T.Util.Text.unknown ~what:"kernel" k
+                   [ "gemm"; "conv"; "mttkrp"; "jacobi2d"; "mmc" ])
         in
         List.iter (fun df -> print_endline (Df.Dataflow.to_string df)) dfs)
   in
@@ -391,4 +572,4 @@ let () =
              ~doc:
                "Relation-centric modeling of tensor dataflows on spatial \
                 architectures (TENET, ISCA 2021).")
-          [ analyze_cmd; simulate_cmd; dse_cmd; archs_cmd; zoo_cmd ]))
+          [ analyze_cmd; simulate_cmd; dse_cmd; check_cmd; archs_cmd; zoo_cmd ]))

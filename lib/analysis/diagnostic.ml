@@ -1,0 +1,128 @@
+(* Structured diagnostics for the relation-centric model checker.
+
+   Every finding carries a stable code (TNxxx), a severity, a human
+   message and, when the property is refuted on a concrete point, a
+   machine-readable witness.  Codes are append-only: once published they
+   keep their meaning so scripts can match on them. *)
+
+module Json = Tenet_obs.Json
+
+type severity = Error | Warning
+
+type witness = {
+  wspace : string; (* what the point ranges over, e.g. "S[i,j,k] -> S[i',j',k']" *)
+  wpoint : int array;
+  wnote : string; (* short human gloss, may be empty *)
+}
+
+type t = {
+  code : string;
+  title : string;
+  severity : severity;
+  message : string;
+  witness : witness option;
+}
+
+(* The published code registry; [docs/analysis.md] mirrors this table. *)
+let registry : (string * severity * string * string) list =
+  [
+    ( "TN001", Error, "rank-mismatch",
+      "space-stamp rank differs from the PE-array rank" );
+    ( "TN002", Error, "out-of-array",
+      "an instance's space stamp escapes the PE array" );
+    ( "TN003", Error, "pe-conflict",
+      "theta is not injective: two instances share a spacetime-stamp" );
+    ( "TN004", Error, "causality-violation",
+      "a RAW dependence runs backwards in time (negative lexicographic \
+       time delta)" );
+    ( "TN005", Error, "malformed-interconnect",
+      "interconnect endpoints escape the array, or the relation has the \
+       wrong rank or self-loops" );
+    ( "TN006", Error, "infeasible-reuse",
+      "the model credits spatial reuse that no interconnect wire can \
+       carry" );
+    ( "TN007", Warning, "empty-domain",
+      "the iteration domain is empty; every metric is trivially zero" );
+    ( "TN008", Warning, "unused-iterator",
+      "an iterator with extent > 1 appears in no stamp coordinate" );
+    ( "TN009", Error, "unknown-iterator",
+      "a stamp coordinate references a name that is not an iterator" );
+    ( "TN010", Warning, "degenerate-space-dim",
+      "a space coordinate is constant over the domain while the array \
+       dimension is wider than 1" );
+    ( "TN011", Error, "theta-not-single-valued",
+      "the dataflow relation maps one instance to several \
+       spacetime-stamps" );
+    ( "TN012", Error, "count-verify-mismatch",
+      "the symbolic counting fast path disagrees with enumeration \
+       (TENET_COUNT_VERIFY)" );
+  ]
+
+let severity_of_code code =
+  let rec go = function
+    | [] -> invalid_arg ("Diagnostic: unknown code " ^ code)
+    | (c, sev, _, _) :: rest -> if String.equal c code then sev else go rest
+  in
+  go registry
+
+let title_of_code code =
+  let rec go = function
+    | [] -> invalid_arg ("Diagnostic: unknown code " ^ code)
+    | (c, _, t, _) :: rest -> if String.equal c code then t else go rest
+  in
+  go registry
+
+(* Constructor: severity and title come from the registry, and each
+   emission bumps the per-code telemetry counter (analysis.TNxxx). *)
+let make ?witness code message : t =
+  Tenet_obs.count ("analysis." ^ code);
+  {
+    code;
+    title = title_of_code code;
+    severity = severity_of_code code;
+    message;
+    witness;
+  }
+
+let witness ?(note = "") ~space point : witness =
+  { wspace = space; wpoint = point; wnote = note }
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string (d : t) : string =
+  let w =
+    match d.witness with
+    | None -> ""
+    | Some w ->
+        Printf.sprintf "\n    witness: %s = (%s)%s" w.wspace
+          (String.concat ", " (Array.to_list (Array.map string_of_int w.wpoint)))
+          (if w.wnote = "" then "" else "  -- " ^ w.wnote)
+  in
+  Printf.sprintf "%s [%s] %s: %s%s" d.code
+    (severity_to_string d.severity)
+    d.title d.message w
+
+let to_json (d : t) : Json.t =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("title", Json.String d.title);
+      ("severity", Json.String (severity_to_string d.severity));
+      ("message", Json.String d.message);
+      ( "witness",
+        match d.witness with
+        | None -> Json.Null
+        | Some w ->
+            Json.Obj
+              [
+                ("space", Json.String w.wspace);
+                ( "point",
+                  Json.List
+                    (List.map (fun i -> Json.Int i) (Array.to_list w.wpoint))
+                );
+                ("note", Json.String w.wnote);
+              ] );
+    ]

@@ -1,0 +1,39 @@
+(** Structured diagnostics for the relation-centric model checker.
+
+    Every finding carries a stable code ([TN001]...), a severity, a
+    human-readable message and, when a property was refuted on a
+    concrete point, a machine-readable witness.  The code registry is
+    append-only and mirrored in [docs/analysis.md]. *)
+
+type severity = Error | Warning
+
+type witness = {
+  wspace : string;
+      (** what the point ranges over, e.g. ["S[i,j,k] -> S[i',j',k']"] *)
+  wpoint : int array;
+  wnote : string;  (** short human gloss, possibly empty *)
+}
+
+type t = {
+  code : string;
+  title : string;
+  severity : severity;
+  message : string;
+  witness : witness option;
+}
+
+val registry : (string * severity * string * string) list
+(** [(code, severity, title, summary)] for every published code. *)
+
+val make : ?witness:witness -> string -> string -> t
+(** [make code message]: severity and title are resolved from the
+    registry; each emission bumps the [analysis.<code>] telemetry
+    counter.  Raises [Invalid_argument] on an unregistered code. *)
+
+val witness : ?note:string -> space:string -> int array -> witness
+
+val is_error : t -> bool
+val errors : t list -> t list
+val severity_to_string : severity -> string
+val to_string : t -> string
+val to_json : t -> Tenet_obs.Json.t

@@ -51,6 +51,6 @@ let find name =
   | Some s -> s
   | None ->
       invalid_arg
-        (Printf.sprintf "Repository.find: unknown architecture %s (known: %s)"
-           name
-           (String.concat ", " (List.map fst all)))
+        ("Repository.find: "
+        ^ Tenet_util.Text.unknown ~what:"architecture" name
+            (List.map fst all))

@@ -19,7 +19,10 @@
       GoogLeNet, MobileNet, ALS, Transformer);
     - {!Obs}: telemetry (spans, counters, Chrome-trace/JSON export),
       threaded through the counting engine, models, simulator and DSE
-      (see docs/observability.md). *)
+      (see docs/observability.md);
+    - {!Analysis}: the static model checker — structured diagnostics
+      with witness points for Θ validity, causality, interconnect and
+      reuse feasibility (see docs/analysis.md). *)
 
 module Util = Tenet_util
 module Obs = Tenet_obs
@@ -33,6 +36,7 @@ module Sim = Tenet_sim
 module Compute = Tenet_compute
 module Dse = Tenet_dse
 module Workloads = Tenet_workloads
+module Analysis = Tenet_analysis
 
 (** Analyze one dataflow on one architecture: the TENET flow of Figure 2.
     Raises [Model.Concrete.Invalid_dataflow] if the dataflow escapes the

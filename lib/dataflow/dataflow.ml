@@ -61,6 +61,127 @@ let space_bounds (op : Ir.Tensor_op.t) (df : t) : (int * int) list =
   List.map (Isl.Aff.interval env) df.space
 
 (* ------------------------------------------------------------------ *)
+(* Validity primitives.                                                *)
+(*                                                                     *)
+(* Fine-grained, witness-producing facts about a dataflow.  These are  *)
+(* the single source of truth for both the legacy {!validate} entry    *)
+(* point and the structured checker in [lib/analysis], so the two can  *)
+(* never disagree.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rank_violation (df : t) (pe : Arch.Pe_array.t) : (int * int) option =
+  let r = n_space df and ar = Arch.Pe_array.rank pe in
+  if r <> ar then Some (r, ar) else None
+
+(* First space dimension whose interval escapes [0, extent): (dim,
+   (lo, hi), extent).  Interval analysis, exact for box domains. *)
+let bounds_violation (op : Ir.Tensor_op.t) (df : t) (pe : Arch.Pe_array.t) :
+    (int * (int * int) * int) option =
+  let dims = Arch.Pe_array.dims pe in
+  let rec go i = function
+    | [] -> None
+    | (lo, hi) :: rest ->
+        if lo < 0 || hi >= dims.(i) then Some (i, (lo, hi), dims.(i))
+        else go (i + 1) rest
+  in
+  go 0 (space_bounds op df)
+
+(* A concrete iteration point escaping the array on some space dim, with
+   its space stamp: the witness behind {!bounds_violation}. *)
+let bounds_witness (op : Ir.Tensor_op.t) (df : t) (pe : Arch.Pe_array.t) :
+    (int * int array * int array) option =
+  let dims = Arch.Pe_array.dims pe in
+  let dom = Ir.Tensor_op.domain op in
+  let iters = Ir.Tensor_op.iter_names op in
+  let stamp_of n =
+    let env v =
+      let rec idx i = function
+        | [] -> raise Not_found
+        | x :: _ when String.equal x v -> i
+        | _ :: r -> idx (i + 1) r
+      in
+      n.(idx 0 iters)
+    in
+    Array.of_list (List.map (Isl.Aff.eval env) df.space)
+  in
+  let pieces =
+    List.concat
+      (List.mapi
+         (fun i e ->
+           [
+             (* e <= -1 *)
+             (i, Isl.Aff.Sub (Isl.Aff.Int (-1), e));
+             (* e >= dims.(i) *)
+             (i, Isl.Aff.Sub (e, Isl.Aff.Int dims.(i)));
+           ])
+         df.space)
+  in
+  List.find_map
+    (fun (i, ge) ->
+      match Isl.Set.sample (Isl.Set.constrain dom ~ges:[ ge ]) with
+      | Some n -> Some (i, n, stamp_of n)
+      | None -> None)
+    pieces
+
+(* (instances, stamps) when two instances share a spacetime-stamp. *)
+let conflict_counts (op : Ir.Tensor_op.t) (df : t) : (int * int) option =
+  let th = theta op df in
+  let pairs = Isl.Map.card th in
+  let stamps = Isl.Set.card (Isl.Map.range th) in
+  if stamps <> pairs then Some (pairs, stamps) else None
+
+(* Θ with a primed copy of the iteration space, for same-space relational
+   checks (cf. the primed output tuples of Interconnect). *)
+let prime v = v ^ "'"
+
+let theta_primed (op : Ir.Tensor_op.t) (df : t) : Isl.Map.t =
+  let iters = Ir.Tensor_op.iter_names op in
+  let primed = List.map prime iters in
+  let dom' =
+    Isl.Space.make (Ir.Tensor_op.space op).Isl.Space.tuple primed
+  in
+  let exprs' = List.map (Isl.Aff.rename prime) (df.space @ df.time) in
+  Isl.Map.intersect_domain
+    (Isl.Map.of_exprs dom' (st_space df) exprs')
+    (Isl.Set.rename_dims primed (Ir.Tensor_op.domain op))
+
+(* A concrete conflicting pair: two lex-ordered instances with the same
+   spacetime-stamp, found by sampling Θ ∘ Θ'⁻¹ below the diagonal. *)
+let conflict_witness (op : Ir.Tensor_op.t) (df : t) :
+    (int array * int array * int array) option =
+  let th = theta op df in
+  let conflicts = Isl.Map.apply_range th (Isl.Map.reverse (theta_primed op df)) in
+  let iters = Array.of_list (Ir.Tensor_op.iter_names op) in
+  let d = Array.length iters in
+  let piece j =
+    let eqs =
+      List.init j (fun e ->
+          Isl.Aff.Sub (Isl.Aff.Var iters.(e), Isl.Aff.Var (prime iters.(e))))
+    in
+    let ges =
+      [
+        Isl.Aff.Sub
+          ( Isl.Aff.Sub (Isl.Aff.Var (prime iters.(j)), Isl.Aff.Var iters.(j)),
+            Isl.Aff.Int 1 );
+      ]
+    in
+    Isl.Map.constrain conflicts ~eqs ~ges
+  in
+  let rec go j =
+    if j >= d then None
+    else
+      match Isl.Set.sample (Isl.Map.wrap (piece j)) with
+      | Some p ->
+          let n = Array.sub p 0 d and n' = Array.sub p d d in
+          let stamp =
+            match Isl.Map.eval th n with Some s -> s | None -> [||]
+          in
+          Some (n, n', stamp)
+      | None -> go (j + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
 (* Validation.                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -76,41 +197,32 @@ let violation_to_string = function
    matches the PE array rank, (2) every instance lands inside the array,
    and (3) no two instances share a spacetime-stamp (each PE has one MAC).
 
-   The bounds check uses interval analysis (exact for box domains); the
-   conflict check compares card(range Θ) against card(D_S). *)
+   Thin shim over the validity primitives above; prefer
+   [Analysis.Checker.check], which reports every finding as a structured
+   diagnostic with a concrete witness point. *)
 let validate (op : Ir.Tensor_op.t) (df : t) (pe : Arch.Pe_array.t) :
     (unit, violation) result =
-  if n_space df <> Arch.Pe_array.rank pe then
-    Error
-      (Rank_mismatch
-         (Printf.sprintf "%s: space-stamp rank %d vs PE array rank %d" df.name
-            (n_space df) (Arch.Pe_array.rank pe)))
-  else begin
-    let dims = Arch.Pe_array.dims pe in
-    let bad = ref None in
-    List.iteri
-      (fun i (lo, hi) ->
-        if !bad = None && (lo < 0 || hi >= dims.(i)) then
-          bad :=
-            Some
-              (Printf.sprintf
-                 "%s: space dim %d spans [%d, %d] outside [0, %d)" df.name i
-                 lo hi dims.(i)))
-      (space_bounds op df);
-    match !bad with
-    | Some msg -> Error (Out_of_array msg)
-    | None ->
-        let th = theta op df in
-        let pairs = Isl.Map.card th in
-        let stamps = Isl.Set.card (Isl.Map.range th) in
-        if stamps <> pairs then
+  match rank_violation df pe with
+  | Some (r, ar) ->
+      Error
+        (Rank_mismatch
+           (Printf.sprintf "%s: space-stamp rank %d vs PE array rank %d"
+              df.name r ar))
+  | None -> (
+      match bounds_violation op df pe with
+      | Some (i, (lo, hi), extent) ->
           Error
-            (Pe_conflict
-               (Printf.sprintf
-                  "%s: %d instances map to %d spacetime-stamps" df.name pairs
-                  stamps))
-        else Ok ()
-  end
+            (Out_of_array
+               (Printf.sprintf "%s: space dim %d spans [%d, %d] outside [0, %d)"
+                  df.name i lo hi extent))
+      | None -> (
+          match conflict_counts op df with
+          | Some (pairs, stamps) ->
+              Error
+                (Pe_conflict
+                   (Printf.sprintf "%s: %d instances map to %d spacetime-stamps"
+                      df.name pairs stamps))
+          | None -> Ok ()))
 
 let to_string df =
   let s = String.concat ", " (List.map Isl.Aff.to_string df.space) in

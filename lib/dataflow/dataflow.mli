@@ -34,6 +34,41 @@ val time_bounds : Ir.Tensor_op.t -> t -> (int * int) list
 
 val space_bounds : Ir.Tensor_op.t -> t -> (int * int) list
 
+(** {2 Validity primitives}
+
+    Fine-grained, witness-producing facts about a dataflow on an
+    architecture.  They are the shared foundation of the legacy
+    {!validate} entry point and of the structured checker in
+    [lib/analysis] ([Analysis.Checker]), so the two can never
+    disagree. *)
+
+val rank_violation : t -> Arch.Pe_array.t -> (int * int) option
+(** [(space-stamp rank, PE-array rank)] when they differ. *)
+
+val bounds_violation :
+  Ir.Tensor_op.t -> t -> Arch.Pe_array.t -> (int * (int * int) * int) option
+(** First space dimension whose interval escapes the array:
+    [(dim, (lo, hi), array extent)].  Interval analysis, exact for box
+    domains. *)
+
+val bounds_witness :
+  Ir.Tensor_op.t -> t -> Arch.Pe_array.t -> (int * int array * int array) option
+(** A concrete escaping instance: [(space dim, iteration point, space
+    stamp)], found by sampling the violating set. *)
+
+val conflict_counts : Ir.Tensor_op.t -> t -> (int * int) option
+(** [(instances, stamps)] when Θ is not injective on its domain (two
+    instances share a spacetime-stamp). *)
+
+val theta_primed : Ir.Tensor_op.t -> t -> Isl.Map.t
+(** Θ over a primed copy of the iteration space ([S\[i',j',...\]]), for
+    same-space relational checks. *)
+
+val conflict_witness :
+  Ir.Tensor_op.t -> t -> (int array * int array * int array) option
+(** A concrete conflicting pair: [(n, n', shared stamp)] with [n] lex
+    before [n'], found by sampling [Θ ∘ Θ'⁻¹] off the diagonal. *)
+
 type violation =
   | Out_of_array of string
   | Pe_conflict of string
@@ -45,6 +80,11 @@ val validate :
   Ir.Tensor_op.t -> t -> Arch.Pe_array.t -> (unit, violation) result
 (** A dataflow is valid iff the space-stamp rank matches the array, every
     instance lands inside it, and no two instances share a
-    spacetime-stamp (one MAC per PE per cycle). *)
+    spacetime-stamp (one MAC per PE per cycle).
+
+    @deprecated Thin shim over the validity primitives above, kept for
+    the [violation] API.  Prefer [Analysis.Checker.check], which reports
+    every finding (including causality and reuse-feasibility) as a
+    structured diagnostic with a concrete witness point. *)
 
 val to_string : t -> string

@@ -174,6 +174,20 @@ let spatial ?(adjacency = `Inner_step) (op : Tenet_ir.Tensor_op.t)
     m = lift ~df pe_rel (time_step ~adjacency ~bounds ~dt);
   }
 
+(* A spatial channel over an explicit PE relation (rather than a
+   topology), mirroring [spatial]'s construction exactly.  The analysis
+   checker uses this to lift suspect PE pairs (self-loops, out-of-array
+   endpoints of custom topologies) into the spacetime map the model
+   would credit reuse along. *)
+let spatial_of_rel ?(adjacency = `Inner_step) (op : Tenet_ir.Tensor_op.t)
+    (df : Dataflow.t) ~(rel : Isl.Map.t) ~(dt : int) : channel =
+  let bounds = Dataflow.time_bounds op df in
+  {
+    cname = "custom";
+    kind = `Spatial;
+    m = lift ~df (Isl.Map.disjuncts rel) (time_step ~adjacency ~bounds ~dt);
+  }
+
 let channels ?(adjacency = `Inner_step) (spec : Arch.Spec.t)
     (op : Tenet_ir.Tensor_op.t) (df : Dataflow.t) : channel list =
   [

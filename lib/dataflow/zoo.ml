@@ -229,3 +229,45 @@ let conv_maeri ?(cslices = 7) ?(taps = 3) () =
       ++ v "ry";
     ]
     [ fl (v "c") cslices; v "k"; v "oy"; v "ox" ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-qualified catalog, for name-based lookup from the CLI.       *)
+(* ------------------------------------------------------------------ *)
+
+let catalog ?(p2 = 8) ?(p1 = 64) () : (string * Dataflow.t) list =
+  let tag kernel dfs =
+    List.map
+      (fun (d : Dataflow.t) -> (kernel ^ "/" ^ d.Dataflow.name, d))
+      dfs
+  in
+  tag "gemm" (gemm_all ~p2 ~p1 ())
+  @ tag "conv" (conv_all ~p2 ~p1 () @ [ conv_maeri () ])
+  @ tag "mttkrp" (mttkrp_all ~p:p2 ())
+  @ tag "jacobi2d" (jacobi_all ~p2 ~p1 ())
+  @ tag "mmc" (mmc_all ~p:p2 ())
+
+let all_names () = List.map fst (catalog ())
+
+let find ?(p2 = 8) ?(p1 = 64) (name : string) : Dataflow.t =
+  let cat = catalog ~p2 ~p1 () in
+  match List.assoc_opt name cat with
+  | Some df -> df
+  | None -> (
+      (* accept a bare (unqualified) Table III name when unique *)
+      match
+        List.filter
+          (fun (_, d) -> String.equal d.Dataflow.name name)
+          cat
+      with
+      | [ (_, df) ] -> df
+      | _ :: _ :: _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Zoo.find: dataflow name %s is ambiguous; qualify it as \
+                kernel/name"
+               name)
+      | [] ->
+          invalid_arg
+            ("Zoo.find: "
+            ^ Tenet_util.Text.unknown ~what:"dataflow" name
+                (List.map fst cat)))

@@ -67,3 +67,17 @@ val jacobi_all : ?p2:int -> ?p1:int -> unit -> Dataflow.t list
 val mmc_ij_p_ijl_t : ?p:int -> unit -> Dataflow.t
 val mmc_kj_p_kjl_t : ?p:int -> unit -> Dataflow.t
 val mmc_all : ?p:int -> unit -> Dataflow.t list
+
+(** {2 Catalog} *)
+
+val catalog : ?p2:int -> ?p1:int -> unit -> (string * Dataflow.t) list
+(** Every zoo dataflow under a kernel-qualified name
+    (["gemm/(IJ-P | J,IJK-T)"]), instantiated at 2D width [p2] and 1D
+    width [p1]. *)
+
+val all_names : unit -> string list
+
+val find : ?p2:int -> ?p1:int -> string -> Dataflow.t
+(** Look a dataflow up by qualified name, or by its bare Table III name
+    when unambiguous.  Raises [Invalid_argument] listing the known names
+    (with a nearest-match suggestion) otherwise. *)

@@ -17,6 +17,7 @@ module Obs = Tenet_obs
 let c_evaluated = Obs.counter "dse.candidates_evaluated"
 let c_valid = Obs.counter "dse.candidates_valid"
 let c_invalid = Obs.counter "dse.candidates_invalid"
+let c_pruned = Obs.counter "dse.candidates_pruned"
 
 (* ------------------------------------------------------------------ *)
 (* Design-space sizes (Section IV-A).                                  *)
@@ -153,8 +154,23 @@ type outcome = {
    pool (TENET_JOBS / --jobs).  The result is deterministic at any job
    count: [Parallel.map] preserves input order and the final sort is
    stable, so ties keep the generator's candidate order. *)
-let evaluate_all ?(adjacency = `Inner_step) ~objective (spec : Arch.Spec.t)
-    (op : Ir.Tensor_op.t) (cands : Df.Dataflow.t list) : outcome list =
+let evaluate_all ?(adjacency = `Inner_step) ?prefilter ~objective
+    (spec : Arch.Spec.t) (op : Ir.Tensor_op.t) (cands : Df.Dataflow.t list) :
+    outcome list =
+  (* [prefilter] (e.g. the analysis checker's precheck under --strict)
+     rejects candidates before the expensive scoring; rejections are
+     counted on dse.candidates_pruned. *)
+  let cands =
+    match prefilter with
+    | None -> cands
+    | Some keep ->
+        List.filter
+          (fun df ->
+            let ok = keep df in
+            if not ok then Obs.incr c_pruned;
+            ok)
+          cands
+  in
   let outcomes =
     Obs.with_span "dse.evaluate_all" @@ fun () ->
     (* warm the per-architecture predecessor memo once, outside the

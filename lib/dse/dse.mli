@@ -34,13 +34,16 @@ type outcome = {
 
 val evaluate_all :
   ?adjacency:[ `Inner_step | `Lex_step ] ->
+  ?prefilter:(Df.Dataflow.t -> bool) ->
   objective:objective ->
   Arch.Spec.t ->
   Ir.Tensor_op.t ->
   Df.Dataflow.t list ->
   outcome list
 (** Evaluate every candidate with the concrete engine, dropping invalid
-    dataflows, sorted best-first. *)
+    dataflows, sorted best-first.  [prefilter] rejects candidates before
+    scoring (each rejection bumps [dse.candidates_pruned]); the CLI
+    wires the analysis checker's precheck here under [--strict]. *)
 
 val best :
   ?adjacency:[ `Inner_step | `Lex_step ] ->

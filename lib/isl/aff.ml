@@ -36,6 +36,17 @@ let rec free_vars = function
   | Add (a, b) | Sub (a, b) | Mul (a, b) -> free_vars a @ free_vars b
   | Fdiv (a, _) | Mod (a, _) | Abs a -> free_vars a
 
+let rec rename f = function
+  | Var s -> Var (f s)
+  | Int n -> Int n
+  | Neg a -> Neg (rename f a)
+  | Add (a, b) -> Add (rename f a, rename f b)
+  | Sub (a, b) -> Sub (rename f a, rename f b)
+  | Mul (a, b) -> Mul (rename f a, rename f b)
+  | Fdiv (a, d) -> Fdiv (rename f a, d)
+  | Mod (a, d) -> Mod (rename f a, d)
+  | Abs a -> Abs (rename f a)
+
 let rec to_string = function
   | Var s -> s
   | Int n -> string_of_int n

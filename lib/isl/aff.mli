@@ -38,6 +38,9 @@ val neg : t -> t
 val free_vars : t -> string list
 (** Variable names, with duplicates. *)
 
+val rename : (string -> string) -> t -> t
+(** Apply a renaming to every variable. *)
+
 val eval : (string -> int) -> t -> int
 (** Evaluate under an environment. *)
 

@@ -64,6 +64,46 @@ let c_dedup = Obs.counter "count.dedup_fallbacks"
 let c_cache_hits = Obs.counter "count.cache_hits"
 let c_cache_misses = Obs.counter "count.cache_misses"
 let c_cache_evictions = Obs.counter "count.cache_evictions"
+let c_verify_checks = Obs.counter "count.verify_checks"
+let c_verify_mismatches = Obs.counter "count.verify_mismatches"
+
+(* --- counting sanitizer (TENET_COUNT_VERIFY) ----------------------------
+
+   When armed, every cardinality computed through the symbolic/qpoly fast
+   path is re-derived through the plain enumeration path (closed tails
+   but no symbolic chain) and the two must agree.  This is CI's soundness
+   mode for the Barvinok-lite engine: a disagreement raises
+   [Verify_mismatch] instead of silently propagating a wrong volume.
+   Verification happens at cache-fill time, so each distinct constraint
+   system is cross-checked once per cache epoch. *)
+
+exception Verify_mismatch of { fast : int; reference : int; set : string }
+
+let () =
+  Printexc.register_printer (function
+    | Verify_mismatch { fast; reference; set } ->
+        Some
+          (Printf.sprintf
+             "Count.Verify_mismatch: symbolic count %d <> enumerated %d on %s"
+             fast reference set)
+    | _ -> None)
+
+let verify_forced : bool option ref = ref None
+
+let verify_env =
+  lazy
+    (match Sys.getenv_opt "TENET_COUNT_VERIFY" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let verify_mode () =
+  match !verify_forced with Some b -> b | None -> Lazy.force verify_env
+
+let set_verify_mode b = verify_forced := b
+
+(* Test hook: replaces the enumeration reference with a stub so the
+   mismatch path itself can be exercised. *)
+let verify_oracle_for_tests : (Bset.t -> int) option ref = ref None
 
 exception Unbounded of string
 
@@ -1023,9 +1063,36 @@ let count_bset (b : Bset.t) : int =
         ~get:(fun e -> e.e_card)
         ~set:(fun e v -> e.e_card <- Some v)
         (fun () ->
-          match make_plan ~symbolic:true cp with
-          | plan -> count_with_plan cp plan
-          | exception Empty_set -> 0)
+          let n =
+            match make_plan ~symbolic:true cp with
+            | plan -> count_with_plan cp plan
+            | exception Empty_set -> 0
+          in
+          if verify_mode () then begin
+            Obs.incr c_verify_checks;
+            let reference =
+              match !verify_oracle_for_tests with
+              | Some oracle -> oracle b
+              | None -> (
+                  match make_plan ~symbolic:false cp with
+                  | plan -> count_with_plan cp plan
+                  | exception Empty_set -> 0)
+            in
+            if reference <> n then begin
+              Obs.incr c_verify_mismatches;
+              let names =
+                List.init b.Bset.nvis (Printf.sprintf "x%d")
+              in
+              raise
+                (Verify_mismatch
+                   {
+                     fast = n;
+                     reference;
+                     set = Printer.set_to_string (Space.make "" names) [ b ];
+                   })
+            end
+          end;
+          n)
 
 (* Satisfiability without caching, for the per-query [mem_bset] path
    (every query would otherwise insert a single-use cache entry). *)
@@ -1220,6 +1287,16 @@ let count_union (bs : Bset.t list) : int =
           let nv = arr.(0).Bset.nvis in
           Array.for_all (fun (b : Bset.t) -> b.Bset.nvis = nv) arr
         in
+        let by_dedup () =
+          let testers = Array.map make_mem_bset arr in
+          let count_one i =
+            let total = ref 0 in
+            iter_bset arr.(i) (fun p ->
+                if not (seen_in_earlier testers ~upto:i p) then incr total);
+            !total
+          in
+          Array.fold_left ( + ) 0 (Tenet_util.Parallel.init n count_one)
+        in
         if n <= 4 && same_arity then begin
           (* Inclusion–exclusion: 2^n - 1 intersection counts, each of
              which hits the closed-form path (and the cache) — no point
@@ -1244,19 +1321,31 @@ let count_union (bs : Bset.t list) : int =
             let c = count_bset inter in
             if !bits land 1 = 1 then c else -c
           in
-          Array.fold_left ( + ) 0
-            (Tenet_util.Parallel.init ((1 lsl n) - 1) count_mask)
-        end
-        else begin
-          let testers = Array.map make_mem_bset arr in
-          let count_one i =
-            let total = ref 0 in
-            iter_bset arr.(i) (fun p ->
-                if not (seen_in_earlier testers ~upto:i p) then incr total);
-            !total
+          let fast =
+            Array.fold_left ( + ) 0
+              (Tenet_util.Parallel.init ((1 lsl n) - 1) count_mask)
           in
-          Array.fold_left ( + ) 0 (Tenet_util.Parallel.init n count_one)
+          (* Under TENET_COUNT_VERIFY also certify the inclusion–exclusion
+             combination itself (each term was already checked). *)
+          if verify_mode () then begin
+            Obs.incr c_verify_checks;
+            let reference = by_dedup () in
+            if reference <> fast then begin
+              Obs.incr c_verify_mismatches;
+              raise
+                (Verify_mismatch
+                   {
+                     fast;
+                     reference;
+                     set =
+                       Printf.sprintf
+                         "inclusion-exclusion over a %d-disjunct union" n;
+                   })
+            end
+          end;
+          fast
         end
+        else by_dedup ()
       in
       (match live with
       | [] -> 0

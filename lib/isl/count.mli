@@ -35,3 +35,33 @@ val cache_clear : unit -> unit
 (** Drop every memoized cardinality/emptiness result.  Counting results
     are deterministic, so this only matters for benchmarks and tests that
     want cold-cache timings or counter values. *)
+
+(** {2 Counting sanitizer}
+
+    With [TENET_COUNT_VERIFY=1] in the environment (or
+    [set_verify_mode (Some true)]), every cardinality produced through
+    the symbolic/quasi-polynomial fast path is re-derived through the
+    plain enumeration path and compared; a disagreement raises
+    {!Verify_mismatch} instead of propagating a silently wrong count.
+    Cross-checks happen at cache-fill time, so each distinct constraint
+    system is verified once per cache epoch; the
+    [count.verify_checks] / [count.verify_mismatches] telemetry counters
+    record the coverage. *)
+
+exception
+  Verify_mismatch of { fast : int; reference : int; set : string }
+(** The fast-path count, the enumeration reference, and a rendering of
+    the offending set. *)
+
+val verify_mode : unit -> bool
+(** Whether cross-checking is currently armed. *)
+
+val set_verify_mode : bool option -> unit
+(** [Some b] forces verification on/off regardless of the environment;
+    [None] returns to [TENET_COUNT_VERIFY]. *)
+
+(**/**)
+
+val verify_oracle_for_tests : (Bset.t -> int) option ref
+(* Test hook: replaces the enumeration reference so the mismatch path can
+   be exercised deterministically. *)

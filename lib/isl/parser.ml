@@ -46,15 +46,33 @@ type token =
 
 exception Parse_error of string
 
-let tokenize (s : string) : token list =
+(* "at offset N near \"...\"": a window of the source around the offending
+   position, so errors point at the bad sub-expression instead of echoing
+   the whole string. *)
+let context (src : string) (pos : int) : string =
+  let n = String.length src in
+  let pos = min (max pos 0) n in
+  let lo = max 0 (pos - 12) and hi = min n (pos + 12) in
+  Printf.sprintf "at offset %d near \"%s%s%s\"" pos
+    (if lo > 0 then "…" else "")
+    (String.sub src lo (hi - lo))
+    (if hi < n then "…" else "")
+
+let error_at src pos msg =
+  raise (Parse_error (Printf.sprintf "%s %s" msg (context src pos)))
+
+(* Tokens are paired with their start offset in the source. *)
+let tokenize (s : string) : (token * int) list =
   let n = String.length s in
   let toks = ref [] in
   let i = ref 0 in
-  let emit t = toks := t :: !toks in
+  let start = ref 0 in
+  let emit t = toks := (t, !start) :: !toks in
   let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
   let is_id c = is_id_start c || (c >= '0' && c <= '9') || c = '\'' in
   while !i < n do
     let c = s.[!i] in
+    start := !i;
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
     else if c >= '0' && c <= '9' then begin
       let j = ref !i in
@@ -117,29 +135,38 @@ let tokenize (s : string) : token list =
           | '<' -> emit LT
           | '>' -> emit GT
           | '=' -> emit EQ
-          | c -> raise (Parse_error (Printf.sprintf "unexpected character %c" c)))
+          | c ->
+              error_at s !start
+                (Printf.sprintf "unexpected character '%c'" c))
     end
   done;
-  List.rev (EOF :: !toks)
+  List.rev ((EOF, n) :: !toks)
 
 (* ------------------------------------------------------------------ *)
 (* Recursive descent.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * int) list; src : string }
 
-let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let peek st = match st.toks with [] -> EOF | (t, _) :: _ -> t
+
+(* Offset of the next token (end of input once the stream is drained). *)
+let pos st =
+  match st.toks with [] -> String.length st.src | (_, p) :: _ -> p
 
 let next st =
   match st.toks with
   | [] -> EOF
-  | t :: rest ->
+  | (t, _) :: rest ->
       st.toks <- rest;
       t
 
+let err st msg = error_at st.src (pos st) msg
+
 let expect st t what =
+  let p = pos st in
   let got = next st in
-  if got <> t then raise (Parse_error ("expected " ^ what))
+  if got <> t then error_at st.src p ("expected " ^ what)
 
 let accept st t = if peek st = t then (ignore (next st); true) else false
 
@@ -186,15 +213,18 @@ and parse_term_rest st ~qualify lhs =
   | _ -> lhs
 
 and parse_int_literal st =
+  let p = pos st in
   match next st with
   | INT n -> n
   | MINUS -> (
+      let p = pos st in
       match next st with
       | INT n -> -n
-      | _ -> raise (Parse_error "expected integer literal"))
-  | _ -> raise (Parse_error "expected integer literal")
+      | _ -> error_at st.src p "expected integer literal")
+  | _ -> error_at st.src p "expected integer literal"
 
 and parse_factor st ~qualify =
+  let p = pos st in
   match next st with
   | INT n -> Aff.Int n
   | IDENT v -> Aff.Var (qualify v)
@@ -212,13 +242,13 @@ and parse_factor st ~qualify =
       expect st RPAREN ") after floor";
       (match e with
       | Aff.Fdiv _ -> e
-      | _ -> raise (Parse_error "floor(...) must contain a division"))
+      | _ -> error_at st.src p "floor(...) must contain a division")
   | KABS ->
       expect st LPAREN "( after abs";
       let e = parse_expr st ~qualify in
       expect st RPAREN ") after abs";
       Aff.Abs e
-  | _ -> raise (Parse_error "expected expression")
+  | _ -> error_at st.src p "expected expression"
 
 (* --- constraint formulas --- *)
 
@@ -295,7 +325,7 @@ and parse_chain st ~qualify =
     | _ -> acc
   in
   match go first [] with
-  | [] -> raise (Parse_error "expected comparison")
+  | [] -> err st "expected comparison"
   | [ a ] -> a
   | atoms -> And atoms
 
@@ -346,9 +376,10 @@ let parse_tuple st : string * string list =
   let dims = ref [] in
   if peek st <> RBRACK then begin
     let rec go () =
+      let p = pos st in
       (match next st with
       | IDENT d -> dims := d :: !dims
-      | _ -> raise (Parse_error "expected dimension name"));
+      | _ -> error_at st.src p "expected dimension name");
       if accept st COMMA then go ()
     in
     go ()
@@ -393,7 +424,7 @@ let parse_set_pieces st =
   List.rev !pieces
 
 let set (s : string) : Set.t =
-  let st = { toks = tokenize s } in
+  let st = { toks = tokenize s; src = s } in
   let pieces = parse_set_pieces st in
   match pieces with
   | [] -> raise (Parse_error "empty set expression")
@@ -419,7 +450,11 @@ let parse_out_tuple st ~in_dims : string * string list * (string * Aff.t) list
     =
   let name =
     match peek st with
-    | IDENT n when st.toks <> [] && List.nth_opt st.toks 1 = Some LBRACK ->
+    | IDENT n
+      when st.toks <> []
+           && (match List.nth_opt st.toks 1 with
+              | Some (LBRACK, _) -> true
+              | _ -> false) ->
         ignore (next st);
         n
     | _ -> ""
@@ -468,7 +503,7 @@ let parse_map_pieces st =
   List.rev !pieces
 
 let map (s : string) : Map.t =
-  let st = { toks = tokenize s } in
+  let st = { toks = tokenize s; src = s } in
   let pieces = parse_map_pieces st in
   match pieces with
   | [] -> raise (Parse_error "empty map expression")
@@ -491,11 +526,11 @@ let map (s : string) : Map.t =
 (* Parse one stand-alone quasi-affine expression over the given dims
    (used by the CLI to read space/time stamp coordinates). *)
 let expr ~dims (s : string) : Aff.t =
-  let st = { toks = tokenize s } in
+  let st = { toks = tokenize s; src = s } in
   let e = parse_expr st ~qualify:Fun.id in
   (match peek st with
   | EOF -> ()
-  | _ -> raise (Parse_error ("trailing input in expression: " ^ s)));
+  | _ -> err st "trailing input in expression");
   List.iter
     (fun v ->
       if not (List.mem v dims) then

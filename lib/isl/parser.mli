@@ -16,6 +16,10 @@
     quasi-affine expressions over the input dims. *)
 
 exception Parse_error of string
+(** Parse errors carry the offending offset and a source fragment
+    ("expected ] at offset 12 near \"… i, j) : 0 …\""), so callers can
+    point at the bad sub-expression instead of echoing the whole
+    string. *)
 
 val set : string -> Set.t
 val map : string -> Map.t

@@ -1,0 +1,64 @@
+(* Small string utilities for user-facing diagnostics. *)
+
+(* Damerau-Levenshtein distance (with adjacent transpositions), O(nm). *)
+let edit_distance (a : string) (b : string) : int =
+  let n = String.length a and m = String.length b in
+  if n = 0 then m
+  else if m = 0 then n
+  else begin
+    (* three rolling rows: i-2, i-1, i *)
+    let prev2 = Array.make (m + 1) 0 in
+    let prev = Array.init (m + 1) (fun j -> j) in
+    let cur = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      cur.(0) <- i;
+      for j = 1 to m do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        let d =
+          min
+            (min (prev.(j) + 1) (cur.(j - 1) + 1))
+            (prev.(j - 1) + cost)
+        in
+        let d =
+          if
+            i > 1 && j > 1
+            && a.[i - 1] = b.[j - 2]
+            && a.[i - 2] = b.[j - 1]
+          then min d (prev2.(j - 2) + 1)
+          else d
+        in
+        cur.(j) <- d
+      done;
+      Array.blit prev 0 prev2 0 (m + 1);
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+(* The candidate closest to [name], if it is close enough to plausibly be
+   a typo (distance <= max 2 (len/3)). *)
+let suggest (name : string) (candidates : string list) : string option =
+  let lname = String.lowercase_ascii name in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = edit_distance lname (String.lowercase_ascii c) in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (c, d))
+      None candidates
+  in
+  match best with
+  | Some (c, d) when d <= max 2 (String.length name / 3) -> Some c
+  | _ -> None
+
+(* "unknown K 'name' (known: a, b, c). Did you mean 'x'?" *)
+let unknown ~what (name : string) (candidates : string list) : string =
+  let hint =
+    match suggest name candidates with
+    | Some s -> Printf.sprintf "  Did you mean %s?" s
+    | None -> ""
+  in
+  Printf.sprintf "unknown %s %s (known: %s).%s" what name
+    (String.concat ", " candidates)
+    hint

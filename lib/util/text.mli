@@ -1,0 +1,13 @@
+(** String helpers for user-facing diagnostics. *)
+
+val edit_distance : string -> string -> int
+(** Damerau-Levenshtein distance (insert, delete, substitute, transpose
+    adjacent), case-sensitive. *)
+
+val suggest : string -> string list -> string option
+(** The candidate (case-insensitively) closest to the given name, when
+    close enough to plausibly be a typo. *)
+
+val unknown : what:string -> string -> string list -> string
+(** A standard "unknown <what> <name> (known: ...)" message with a
+    nearest-match suggestion when one exists. *)

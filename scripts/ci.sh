@@ -18,6 +18,18 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== model checker sweep (tenet check --all) =="
+# Every Table III dataflow on every matching-rank repository
+# architecture must check clean; the command exits nonzero on any
+# error-severity diagnostic, and --json keeps the output greppable.
+dune exec -- tenet check --all --json \
+  | grep -q '"failing": 0' || { echo "check sweep failed"; exit 1; }
+
+echo "== counting sanitizer shard (TENET_COUNT_VERIFY=1) =="
+# One oracle-test shard re-runs with every symbolic count cross-checked
+# against enumeration; any disagreement raises Count.Verify_mismatch.
+TENET_COUNT_VERIFY=1 dune exec test/test_count_oracle.exe >/dev/null
+
 echo "== release build =="
 dune build --profile release
 

@@ -1,0 +1,441 @@
+(* Tests for tenet.analysis: the relation-centric model checker.
+
+   Positive: the whole Table III zoo x architecture repository sweep
+   checks clean.  Negative: one test per published diagnostic code,
+   each asserting the code fires with a concrete witness where the
+   checker promises one. *)
+
+module Isl = Tenet.Isl
+module Ir = Tenet.Ir
+module Arch = Tenet.Arch
+module Df = Tenet.Dataflow
+module An = Tenet.Analysis
+module P = Tenet.Isl.Parser
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let codes ds = List.map (fun d -> d.An.Diagnostic.code) ds
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let found = ref false in
+  for i = 0 to nh - nn do
+    if String.sub hay i nn = needle then found := true
+  done;
+  !found
+
+let find_code code ds =
+  match
+    List.find_opt (fun d -> String.equal d.An.Diagnostic.code code) ds
+  with
+  | Some d -> d
+  | None ->
+      Alcotest.fail
+        (Printf.sprintf "expected %s, got [%s]" code
+           (String.concat "; " (codes ds)))
+
+let witness_of d =
+  match d.An.Diagnostic.witness with
+  | Some w -> w
+  | None -> Alcotest.fail (d.An.Diagnostic.code ^ ": expected a witness")
+
+let d1_spec ?(n = 8) () =
+  Arch.Spec.make ~pe:(Arch.Pe_array.d1 n)
+    ~topology:Arch.Interconnect.Systolic_1d ~bandwidth:64 ()
+
+let custom_spec ~n ~rel ~interval =
+  Arch.Spec.make ~pe:(Arch.Pe_array.d1 n)
+    ~topology:(Arch.Interconnect.Custom { rel; interval })
+    ~bandwidth:64 ()
+
+(* --- the positive sweep ------------------------------------------- *)
+
+let test_sweep_clean () =
+  let results = An.Checker.check_subjects (An.Checker.zoo_subjects ()) in
+  check_bool "enough subjects" true (List.length results >= 60);
+  List.iter
+    (fun ((s : An.Checker.subject), ds) ->
+      match ds with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s / %s / %s: %s" s.An.Checker.s_arch
+               s.An.Checker.s_kernel s.An.Checker.s_df.Df.Dataflow.name
+               (An.Diagnostic.to_string d)))
+    results
+
+(* --- TN001: rank mismatch ----------------------------------------- *)
+
+let test_tn001_rank () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let df = Df.Zoo.gemm_k_p_ij_t () in
+  (* rank-1 dataflow on a rank-2 array *)
+  let spec = Arch.Repository.find "tpu-8x8-systolic" in
+  let ds = An.Checker.check spec op df in
+  ignore (find_code "TN001" ds)
+
+(* --- TN002: out-of-array, with witness ----------------------------- *)
+
+let test_tn002_bounds () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let df = Df.Zoo.gemm_ij_p_ijk_t ~p:9 () in
+  let spec = Arch.Repository.find "tpu-8x8-systolic" in
+  let ds = An.Checker.check spec op df in
+  let d = find_code "TN002" ds in
+  let w = witness_of d in
+  (* the witness instance really does land outside the 8x8 array *)
+  let th = Df.Dataflow.theta op df in
+  (match Isl.Map.eval th w.An.Diagnostic.wpoint with
+  | Some st -> check_bool "escapes" true (st.(0) > 7 || st.(1) > 7)
+  | None -> Alcotest.fail "witness not in domain")
+
+(* --- TN003: PE conflict, with witness pair ------------------------- *)
+
+let test_tn003_conflict () =
+  let op = Ir.Kernels.gemm ~ni:4 ~nj:2 ~nk:2 in
+  let df =
+    Df.Dataflow.make ~name:"conflicting"
+      ~space:Isl.Aff.[ Mod (Var "i", 2) ]
+      ~time:Isl.Aff.[ Var "j"; Var "k" ]
+  in
+  let ds = An.Checker.check (d1_spec ~n:2 ()) op df in
+  let d = find_code "TN003" ds in
+  let w = witness_of d in
+  (* the witness is a pair (n, n') of distinct instances sharing a
+     stamp *)
+  check_int "pair arity" 6 (Array.length w.An.Diagnostic.wpoint);
+  let n = Array.sub w.An.Diagnostic.wpoint 0 3 in
+  let n' = Array.sub w.An.Diagnostic.wpoint 3 3 in
+  check_bool "distinct" true (n <> n');
+  let th = Df.Dataflow.theta op df in
+  check_bool "same stamp" true (Isl.Map.eval th n = Isl.Map.eval th n')
+
+(* --- TN004: causality, with witness dependence pair ---------------- *)
+
+let scan_op () =
+  (* Y[i] = Y[i] + Y[i-1]: a loop-carried RAW chain *)
+  Ir.Tensor_op.make ~name:"scan"
+    ~iters:[ ("i", 1, 7) ]
+    ~accesses:
+      Ir.Tensor_op.
+        [
+          { tensor = "Y"; subscripts = [ Isl.Aff.Var "i" ]; direction = Write };
+          {
+            tensor = "Y";
+            subscripts = [ Isl.Aff.Sub (Isl.Aff.Var "i", Isl.Aff.Int 1) ];
+            direction = Read;
+          };
+        ]
+    ()
+
+let test_tn004_causality () =
+  let op = scan_op () in
+  let spec = d1_spec ~n:1 () in
+  (* forward time: causal *)
+  let fwd =
+    Df.Dataflow.make ~name:"fwd" ~space:[ Isl.Aff.Int 0 ]
+      ~time:[ Isl.Aff.Var "i" ]
+  in
+  check_bool "forward is causal" true
+    (not
+       (List.exists
+          (fun d -> String.equal d.An.Diagnostic.code "TN004")
+          (An.Checker.check spec op fwd)));
+  (* reversed time: every dependence runs backwards *)
+  let rev =
+    Df.Dataflow.make ~name:"rev" ~space:[ Isl.Aff.Int 0 ]
+      ~time:[ Isl.Aff.Sub (Isl.Aff.Int 8, Isl.Aff.Var "i") ]
+  in
+  let d = find_code "TN004" (An.Checker.check spec op rev) in
+  let w = witness_of d in
+  check_int "pair arity" 2 (Array.length w.An.Diagnostic.wpoint);
+  (* the witness (i, i') is a real RAW pair: W(i) feeds R(i') with
+     i' = i + 1, yet i executes later under reversed time *)
+  check_int "raw pair" (w.An.Diagnostic.wpoint.(0) + 1)
+    w.An.Diagnostic.wpoint.(1)
+
+(* --- TN005: malformed interconnect --------------------------------- *)
+
+let test_tn005_out_of_array () =
+  let rel = P.map "{ PE[i] -> PE[j] : 0 <= i < 8 and j = i + 4 }" in
+  let spec = custom_spec ~n:8 ~rel ~interval:1 in
+  let d = find_code "TN005" (An.Checker.check_arch spec) in
+  let w = witness_of d in
+  (* the witness wire endpoint escapes the 8-wide array *)
+  check_bool "endpoint escapes" true (w.An.Diagnostic.wpoint.(1) >= 8)
+
+let test_tn005_self_loop () =
+  let rel = P.map "{ PE[i] -> PE[j] : 0 <= i < 8 and j = i }" in
+  let spec = custom_spec ~n:8 ~rel ~interval:1 in
+  ignore (find_code "TN005" (An.Checker.check_arch spec))
+
+let test_tn005_rank () =
+  let rel = P.map "{ PE[i] -> PE[j] : 0 <= i < 8 and j = i + 1 }" in
+  let spec =
+    Arch.Spec.make ~pe:(Arch.Pe_array.d2 8 8)
+      ~topology:(Arch.Interconnect.Custom { rel; interval = 1 })
+      ~bandwidth:64 ()
+  in
+  ignore (find_code "TN005" (An.Checker.check_arch spec))
+
+let test_builtin_archs_clean () =
+  List.iter
+    (fun (name, spec) ->
+      match An.Checker.check_arch spec with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.fail (name ^ ": " ^ An.Diagnostic.to_string d))
+    Arch.Repository.all
+
+(* --- TN006: infeasible reuse --------------------------------------- *)
+
+let test_tn006_phantom_reuse () =
+  (* One PE, a self-loop "wire" at transfer interval 2, and an input
+     whose elements recur with period 2: the volume model would credit
+     spatial reuse along the self-loop for every stamp t >= 2, but no
+     wire exists. *)
+  let op =
+    Ir.Tensor_op.make ~name:"periodic"
+      ~iters:[ ("i", 0, 7) ]
+      ~accesses:
+        Ir.Tensor_op.
+          [
+            {
+              tensor = "Y";
+              subscripts = [ Isl.Aff.Var "i" ];
+              direction = Write;
+            };
+            {
+              tensor = "X";
+              subscripts = [ Isl.Aff.Mod (Isl.Aff.Var "i", 2) ];
+              direction = Read;
+            };
+          ]
+      ()
+  in
+  let rel = P.map "{ PE[p] -> PE[q] : 0 <= p < 1 and q = p }" in
+  let spec = custom_spec ~n:1 ~rel ~interval:2 in
+  let df =
+    Df.Dataflow.make ~name:"seq" ~space:[ Isl.Aff.Int 0 ]
+      ~time:[ Isl.Aff.Var "i" ]
+  in
+  let ds = An.Checker.check spec op df in
+  let d = find_code "TN006" ds in
+  ignore (witness_of d);
+  (* the self-loop is also structurally malformed *)
+  ignore (find_code "TN005" ds)
+
+(* --- TN007 / TN008 / TN009 / TN010: lints -------------------------- *)
+
+let test_tn007_empty_domain () =
+  let op =
+    Ir.Tensor_op.make ~name:"empty"
+      ~iters:[ ("i", 0, -1) ]
+      ~accesses:
+        Ir.Tensor_op.
+          [
+            { tensor = "Y"; subscripts = [ Isl.Aff.Var "i" ]; direction = Write };
+          ]
+      ()
+  in
+  let df =
+    Df.Dataflow.make ~name:"seq" ~space:[ Isl.Aff.Int 0 ]
+      ~time:[ Isl.Aff.Var "i" ]
+  in
+  let d = find_code "TN007" (An.Checker.check (d1_spec ~n:1 ()) op df) in
+  check_bool "warning" true (d.An.Diagnostic.severity = An.Diagnostic.Warning)
+
+let test_tn008_unused_iterator () =
+  let op = Ir.Kernels.gemm ~ni:8 ~nj:8 ~nk:8 in
+  let df =
+    Df.Dataflow.make ~name:"no-k"
+      ~space:Isl.Aff.[ Var "i" ]
+      ~time:Isl.Aff.[ Var "j" ]
+  in
+  let ds = An.Checker.check (d1_spec ()) op df in
+  ignore (find_code "TN008" ds);
+  (* collapsing k also produces PE conflicts *)
+  ignore (find_code "TN003" ds)
+
+let test_tn009_unknown_iterator () =
+  let op = Ir.Kernels.gemm ~ni:8 ~nj:8 ~nk:8 in
+  let df =
+    Df.Dataflow.make ~name:"typo"
+      ~space:Isl.Aff.[ Var "z" ]
+      ~time:Isl.Aff.[ Var "j" ]
+  in
+  let ds = An.Checker.check (d1_spec ()) op df in
+  let d = find_code "TN009" ds in
+  check_bool "mentions z" true (contains d.An.Diagnostic.message "'z'")
+
+let test_tn010_degenerate () =
+  let op = Ir.Kernels.gemm ~ni:8 ~nj:8 ~nk:8 in
+  let df =
+    Df.Dataflow.make ~name:"idle-rows"
+      ~space:Isl.Aff.[ Int 0; Mod (Var "j", 8) ]
+      ~time:Isl.Aff.[ Var "i"; Var "k" ]
+  in
+  let spec = Arch.Repository.find "tpu-8x8-systolic" in
+  let ds = An.Checker.check spec op df in
+  let d = find_code "TN010" ds in
+  check_bool "warning" true (d.An.Diagnostic.severity = An.Diagnostic.Warning);
+  (* warnings only: the dataflow is still valid *)
+  check_int "no errors" 0 (List.length (An.Diagnostic.errors ds))
+
+(* --- TN011: raw relation not single-valued ------------------------- *)
+
+let test_tn011_not_single_valued () =
+  let sp = Isl.Space.make "S" [ "i" ] in
+  let st = Isl.Space.make "ST" [ "t" ] in
+  let dom = P.set "{ S[i] : 0 <= i < 4 }" in
+  let m1 = Isl.Map.intersect_domain (Isl.Map.of_exprs sp st [ Isl.Aff.Var "i" ]) dom in
+  let m2 =
+    Isl.Map.intersect_domain
+      (Isl.Map.of_exprs sp st [ Isl.Aff.Add (Isl.Aff.Var "i", Isl.Aff.Int 1) ])
+      dom
+  in
+  let ds = An.Checker.check_theta_map (Isl.Map.union m1 m2) in
+  let d = find_code "TN011" ds in
+  ignore (witness_of d);
+  (* i -> i+1 and i+1 -> i+1 also collide *)
+  ignore (find_code "TN003" ds);
+  (* a well-formed theta checks clean *)
+  check_int "clean theta" 0
+    (List.length (An.Checker.check_theta_map m1))
+
+(* --- TN012: the counting sanitizer --------------------------------- *)
+
+let test_tn012_count_verify () =
+  (* force a mismatch with a stubbed reference evaluator *)
+  let s = P.set "{ V[i] : 0 <= i < 5 }" in
+  Isl.Count.verify_oracle_for_tests := Some (fun _ -> -1);
+  Isl.Count.cache_clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Isl.Count.verify_oracle_for_tests := None;
+      Isl.Count.set_verify_mode None;
+      Isl.Count.cache_clear ())
+    (fun () ->
+      match An.Checker.with_count_verify (fun () -> Isl.Set.card s) with
+      | Ok n -> Alcotest.fail (Printf.sprintf "mismatch not caught: %d" n)
+      | Error d ->
+          check_bool "code" true (String.equal d.An.Diagnostic.code "TN012"));
+  (* with the real reference evaluator the sanitizer is silent *)
+  Isl.Count.cache_clear ();
+  match An.Checker.with_count_verify (fun () -> Isl.Set.card s) with
+  | Ok n -> check_int "verified count" 5 n
+  | Error d -> Alcotest.fail (An.Diagnostic.to_string d)
+
+(* --- precheck, JSON, registry -------------------------------------- *)
+
+let test_precheck_cheap () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let spec = Arch.Repository.find "tpu-8x8-systolic" in
+  let bad = Df.Zoo.gemm_ij_p_ijk_t ~p:9 () in
+  let good = Df.Zoo.gemm_ij_p_ijk_t () in
+  check_bool "rejects oob" true
+    (An.Diagnostic.errors (An.Checker.precheck spec op bad) <> []);
+  check_int "accepts valid" 0
+    (List.length (An.Checker.precheck spec op good))
+
+let test_diagnostic_json () =
+  let d =
+    An.Diagnostic.make
+      ~witness:(An.Diagnostic.witness ~note:"n" ~space:"S[i]" [| 3 |])
+      "TN002" "msg"
+  in
+  let s = Tenet.Obs.Json.to_string (An.Diagnostic.to_json d) in
+  List.iter
+    (fun frag -> check_bool frag true (contains s frag))
+    [ "TN002"; "out-of-array"; "error"; "S[i]"; "\"note\"" ]
+
+let test_registry_codes_unique () =
+  let cs = List.map (fun (c, _, _, _) -> c) An.Diagnostic.registry in
+  check_int "unique" (List.length cs)
+    (List.length (List.sort_uniq String.compare cs));
+  check_bool "at least 12 codes" true (List.length cs >= 12)
+
+(* --- satellites: parser positions, suggestions --------------------- *)
+
+let test_parser_positions () =
+  let expect_positioned f =
+    match f () with
+    | _ -> Alcotest.fail "expected Parse_error"
+    | exception Isl.Parser.Parse_error msg ->
+        check_bool ("offset in: " ^ msg) true (contains msg "at offset")
+  in
+  expect_positioned (fun () -> P.set "{ S[i] : 0 <= }");
+  expect_positioned (fun () -> P.map "{ S[i] -> }");
+  expect_positioned (fun () -> P.expr ~dims:[ "i" ] "i + ")
+
+let test_suggestions () =
+  Alcotest.(check (option string))
+    "typo" (Some "gemm")
+    (Tenet.Util.Text.suggest "gemmm" [ "gemm"; "conv" ]);
+  Alcotest.(check (option string))
+    "transposition" (Some "conv")
+    (Tenet.Util.Text.suggest "cnov" [ "gemm"; "conv" ]);
+  Alcotest.(check (option string))
+    "far off" None
+    (Tenet.Util.Text.suggest "transformer" [ "gemm"; "conv" ]);
+  check_int "damerau" 1 (Tenet.Util.Text.edit_distance "conv" "cnov")
+
+let test_zoo_find () =
+  let df = Df.Zoo.find "gemm/(IJ-P | J,IJK-T)" in
+  check_bool "qualified" true (String.length df.Df.Dataflow.name > 0);
+  let df2 = Df.Zoo.find "(CRXRY-P | OY,OX-T) maeri" in
+  check_bool "bare unique" true
+    (String.equal df2.Df.Dataflow.name "(CRXRY-P | OY,OX-T) maeri");
+  (match Df.Zoo.find "gemm/(IJ-P | J,IJK-TT)" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      check_bool "suggests" true (contains msg "Did you mean"))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "zoo x repository clean" `Quick test_sweep_clean;
+          Alcotest.test_case "builtin archs clean" `Quick
+            test_builtin_archs_clean;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "TN001 rank" `Quick test_tn001_rank;
+          Alcotest.test_case "TN002 bounds" `Quick test_tn002_bounds;
+          Alcotest.test_case "TN003 conflict" `Quick test_tn003_conflict;
+          Alcotest.test_case "TN004 causality" `Quick test_tn004_causality;
+          Alcotest.test_case "TN005 out of array" `Quick
+            test_tn005_out_of_array;
+          Alcotest.test_case "TN005 self loop" `Quick test_tn005_self_loop;
+          Alcotest.test_case "TN005 rank" `Quick test_tn005_rank;
+          Alcotest.test_case "TN006 phantom reuse" `Quick
+            test_tn006_phantom_reuse;
+          Alcotest.test_case "TN007 empty domain" `Quick
+            test_tn007_empty_domain;
+          Alcotest.test_case "TN008 unused iterator" `Quick
+            test_tn008_unused_iterator;
+          Alcotest.test_case "TN009 unknown iterator" `Quick
+            test_tn009_unknown_iterator;
+          Alcotest.test_case "TN010 degenerate" `Quick test_tn010_degenerate;
+          Alcotest.test_case "TN011 not single-valued" `Quick
+            test_tn011_not_single_valued;
+          Alcotest.test_case "TN012 count verify" `Quick
+            test_tn012_count_verify;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "precheck" `Quick test_precheck_cheap;
+          Alcotest.test_case "diagnostic json" `Quick test_diagnostic_json;
+          Alcotest.test_case "registry codes" `Quick
+            test_registry_codes_unique;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "parser positions" `Quick test_parser_positions;
+          Alcotest.test_case "suggestions" `Quick test_suggestions;
+          Alcotest.test_case "zoo find" `Quick test_zoo_find;
+        ] );
+    ]
