@@ -43,6 +43,16 @@ let phases : (string * float) list ref = ref [] (* newest first *)
 let reset_phases () = phases := []
 let record_phase name seconds = phases := (name, seconds) :: !phases
 
+(* Extra summary fields: sections can attach named scalars (e.g. the
+   serve section's warm/cold batch timings) that the harness merges into
+   their row of summary.json; scripts/bench_compare.sh ignores fields it
+   does not know. *)
+let extras : (string * Json.t) list ref = ref [] (* newest first *)
+
+let reset_extras () = extras := []
+let summary_extra name j = extras := (name, j) :: !extras
+let summary_extras () = List.rev !extras
+
 (* Like [time_it], but also records the measurement as a named phase. *)
 let phase name f =
   let r, dt = time_it f in

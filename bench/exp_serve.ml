@@ -1,0 +1,95 @@
+(* Serve result-cache throughput: a duplicate-heavy batch (every
+   distinct request repeated 5 times — the DSE-client and
+   sweep-over-bandwidths access pattern) run twice through Api.run:
+
+   - cold: the cross-request cache starts empty, so each distinct
+     request is computed once and its four duplicates are hits;
+   - warm: the cache already holds every result, so all requests hit.
+
+   The cold/warm wall-clock and their ratio land in summary.json
+   (serve_cold_s / serve_warm_s / serve_speedup); scripts/ci.sh asserts
+   the warm pass is at least 3x faster. *)
+
+module Api = Tenet.Serve.Api
+module Cache = Tenet.Serve.Cache
+module Json = Tenet.Obs.Json
+
+let distinct_requests () : Api.Request.t list =
+  let analyze ~id ?(sizes = [ 32; 32; 32 ]) ?dataflow ?(arch = "tpu-8x8-systolic")
+      () =
+    {
+      (Api.Request.default Api.Request.Analyze) with
+      Api.Request.id;
+      sizes;
+      dataflow;
+      arch;
+    }
+  in
+  [
+    analyze ~id:"b1" ();
+    analyze ~id:"b2" ~sizes:[ 48; 48; 48 ] ();
+    analyze ~id:"b3" ~dataflow:"gemm/(KJ-P | K,IJK-T)" ();
+    analyze ~id:"b4" ~arch:"mesh-8x8" ();
+    analyze ~id:"b5" ~sizes:[ 32; 48; 32 ] ();
+    {
+      (Api.Request.default Api.Request.Volumes) with
+      Api.Request.id = "b6";
+      sizes = [ 32; 32; 32 ];
+    };
+    {
+      (Api.Request.default Api.Request.Volumes) with
+      Api.Request.id = "b7";
+      sizes = [ 48; 48; 48 ];
+      adjacency = `Lex_step;
+    };
+    {
+      (Api.Request.default Api.Request.Check) with
+      Api.Request.id = "b8";
+      sizes = [ 32; 32; 32 ];
+    };
+    {
+      (Api.Request.default Api.Request.Check) with
+      Api.Request.id = "b9";
+      sizes = [ 48; 48; 48 ];
+      dataflow = Some "gemm/(IK-P | K,IJK-T)";
+    };
+    {
+      (Api.Request.default Api.Request.Dse) with
+      Api.Request.id = "b10";
+      sizes = [ 8; 8; 8 ];
+      top = 3;
+    };
+  ]
+
+let run () =
+  Bench_util.section "Serve result-cache throughput (warm vs cold)";
+  let dup = 5 in
+  let batch =
+    List.concat_map
+      (fun r -> List.init dup (fun _ -> r))
+      (distinct_requests ())
+  in
+  let run_batch () =
+    List.iter
+      (fun r ->
+        let resp = Api.run r in
+        if Api.Response.is_error resp then
+          failwith ("bench request failed: " ^ r.Api.Request.id))
+      batch
+  in
+  Api.clear_cache ();
+  let (), cold_s = Bench_util.phase "cold_batch" run_batch in
+  let (), warm_s = Bench_util.phase "warm_batch" run_batch in
+  let c = Api.cache_stats () in
+  let speedup = cold_s /. Float.max warm_s 1e-9 in
+  Bench_util.row "%d requests (%d distinct x%d)\n" (List.length batch)
+    (List.length batch / dup) dup;
+  Bench_util.row "cold batch: %8.3f s  (%.0f req/s)\n" cold_s
+    (float_of_int (List.length batch) /. cold_s);
+  Bench_util.row "warm batch: %8.3f s  (%.0f req/s)\n" warm_s
+    (float_of_int (List.length batch) /. warm_s);
+  Bench_util.row "speedup:    %8.1fx  (cache: %d entries, %d hits, %d misses)\n"
+    speedup c.Cache.entries c.Cache.hits c.Cache.misses;
+  Bench_util.summary_extra "serve_cold_s" (Json.Float cold_s);
+  Bench_util.summary_extra "serve_warm_s" (Json.Float warm_s);
+  Bench_util.summary_extra "serve_speedup" (Json.Float speedup)

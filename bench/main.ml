@@ -17,6 +17,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("fig11", "Figure 11 model accuracy vs simulator", Exp_fig11.run);
     ("fig12", "Figure 12 reuse comparison", Exp_fig12.run);
     ("buffer", "Buffer-capacity & compute-centric ablations", Exp_buffer.run);
+    ("serve", "Serve result-cache throughput (warm vs cold batch)", Exp_serve.run);
   ]
 
 module Obs = Tenet.Obs
@@ -35,15 +36,16 @@ let write_summary dir rows =
         ( "sections",
           Json.List
             (List.rev_map
-               (fun (name, total_s, points, qpoly, qpoly_fb) ->
+               (fun (name, total_s, points, qpoly, qpoly_fb, extras) ->
                  Json.Obj
-                   [
-                     ("section", Json.String name);
-                     ("total_s", Json.Float total_s);
-                     ("points_enumerated", Json.Int points);
-                     ("qpoly_hits", Json.Int qpoly);
-                     ("qpoly_fallbacks", Json.Int qpoly_fb);
-                   ])
+                   ([
+                      ("section", Json.String name);
+                      ("total_s", Json.Float total_s);
+                      ("points_enumerated", Json.Int points);
+                      ("qpoly_hits", Json.Int qpoly);
+                      ("qpoly_fallbacks", Json.Int qpoly_fb);
+                    ]
+                   @ extras))
                rows) );
       ]
   in
@@ -71,6 +73,7 @@ let () =
       match List.find_opt (fun (n, _, _) -> String.equal n name) sections with
       | Some (_, _, run) -> begin
           Bench_util.reset_phases ();
+          Bench_util.reset_extras ();
           if telemetry then begin
             Obs.reset ();
             Obs.enable ()
@@ -86,7 +89,8 @@ let () =
               total_s,
               Obs.value c_points,
               Obs.value c_qpoly,
-              Obs.value c_qpoly_fb )
+              Obs.value c_qpoly_fb,
+              Bench_util.summary_extras () )
             :: !summary_rows;
           match Bench_util.write_phases ~name ~total_s with
           | Some path -> timing_files := path :: !timing_files

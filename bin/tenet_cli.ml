@@ -7,6 +7,16 @@
      tenet archs
      tenet simulate --kernel gemm --sizes 32,32,32 --arch tpu-8x8-systolic \
                    --space "i%8,j%8" --time "i/8,j/8,i%8+j%8+k"
+     tenet batch requests.jsonl --jobs 4
+     tenet serve --queue 64
+
+   analyze / volumes / dse / check are thin shells over the versioned
+   request API (Tenet.Serve.Api.run) that `tenet batch` and `tenet
+   serve` also speak — the flags here build an Api.Request.t, and
+   `--json` prints the same response object the service would send
+   (docs/serving.md).  Client mistakes (bad expressions, unknown names,
+   unsupported api_version) exit 2; an overloaded service response maps
+   to 3; internal faults to 1.
 
    Observability (see docs/observability.md): every analysis command takes
    --trace FILE (Chrome-trace JSON of the internal spans), --stats FILE
@@ -18,10 +28,11 @@ module Ir = Tenet.Ir
 module Arch = Tenet.Arch
 module Df = Tenet.Dataflow
 module M = Tenet.Model
-module Dse = Tenet.Dse.Dse
 module Obs = Tenet.Obs
 module Json = Tenet.Obs.Json
 module An = Tenet.Analysis
+module Api = Tenet.Serve.Api
+module Server = Tenet.Serve.Server
 open Cmdliner
 
 let parse_sizes s =
@@ -46,51 +57,36 @@ let parse_sizes s =
       | Some n -> n)
     (String.split_on_char ',' s)
 
-let known_kernels = [ "gemm"; "conv"; "conv1d"; "mttkrp"; "mmc"; "jacobi2d" ]
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
 
-let kernel_of ~kernel ~sizes =
-  if not (List.mem kernel known_kernels) then
-    failwith (T.Util.Text.unknown ~what:"kernel" kernel known_kernels);
-  match (kernel, parse_sizes sizes) with
-  | "gemm", [ ni; nj; nk ] -> Ir.Kernels.gemm ~ni ~nj ~nk
-  | "conv", [ nk; nc; nox; noy; nrx; nry ] ->
-      Ir.Kernels.conv2d ~nk ~nc ~nox ~noy ~nrx ~nry
-  | "conv1d", [ no; nr ] -> Ir.Kernels.conv1d ~no ~nr
-  | "mttkrp", [ ni; nj; nk; nl ] -> Ir.Kernels.mttkrp ~ni ~nj ~nk ~nl
-  | "mmc", [ ni; nj; nk; nl ] -> Ir.Kernels.mmc ~ni ~nj ~nk ~nl
-  | "jacobi2d", [ n ] -> Ir.Kernels.jacobi2d ~n
-  | k, sz ->
-      failwith
-        (Printf.sprintf
-           "kernel %s got %d sizes (expected: gemm i,j,k | conv \
-            k,c,ox,oy,rx,ry | conv1d o,r | mttkrp i,j,k,l | mmc i,j,k,l | \
-            jacobi2d n)"
-           k (List.length sz))
-
-let op_of ~kernel ~sizes ~c_file =
-  match c_file with
-  | Some path ->
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let src = really_input_string ic n in
-      close_in ic;
-      Ir.Cfront.parse src
-  | None -> kernel_of ~kernel ~sizes
-
-let arch_of name ~bandwidth =
-  let spec = Arch.Repository.find name in
-  match bandwidth with
-  | Some bw -> Arch.Spec.with_bandwidth bw spec
-  | None -> spec
-
-let dataflow_of ?(dataflow = None) op ~space ~time =
-  match dataflow with
-  | Some name -> Df.Zoo.find name
-  | None ->
-      let dims = Ir.Tensor_op.iter_names op in
-      Df.Dataflow.make ~name:"(cli)"
-        ~space:(T.Isl.Parser.exprs ~dims space)
-        ~time:(T.Isl.Parser.exprs ~dims time)
+(* Build the shared request fields from the shared flags. *)
+let request_of ~cmd ~kernel ~sizes ~c_file ~arch ~bandwidth ~space ~time
+    ~dataflow ~strict ~window ~lex ~scale_dims ~deadline : Api.Request.t =
+  let d = Api.Request.default cmd in
+  {
+    d with
+    Api.Request.kernel;
+    sizes = parse_sizes sizes;
+    c_source = Option.map read_file c_file;
+    arch;
+    bandwidth;
+    space;
+    time;
+    dataflow;
+    strict;
+    window;
+    adjacency = (if lex then `Lex_step else `Inner_step);
+    scale_dims =
+      (match scale_dims with
+      | Some dims -> String.split_on_char ',' dims
+      | None -> []);
+    deadline_ms = deadline;
+  }
 
 (* --- telemetry plumbing --- *)
 
@@ -111,24 +107,34 @@ let with_telemetry ~trace ~stats ~span f =
 let telemetry_fields () =
   if Obs.enabled () then [ ("telemetry", Obs.stats ()) ] else []
 
-let dataflow_json (df : Df.Dataflow.t) : Json.t =
-  Json.Obj
-    [
-      ("name", Json.String df.Df.Dataflow.name);
-      ( "space",
-        Json.List
-          (List.map
-             (fun e -> Json.String (T.Isl.Aff.to_string e))
-             df.Df.Dataflow.space) );
-      ( "time",
-        Json.List
-          (List.map
-             (fun e -> Json.String (T.Isl.Aff.to_string e))
-             df.Df.Dataflow.time) );
-    ]
-
 let print_json fields =
   print_endline (Json.to_string ~pretty:true (Json.Obj fields))
+
+let response_fields (resp : Api.Response.t) =
+  match Api.Response.to_json resp with
+  | Json.Obj fields -> fields
+  | j -> [ ("response", j) ]
+
+(* Render an Api response the CLI way: JSON mode prints the response
+   object the service would send (plus telemetry when armed); human mode
+   hands the body to the command's renderer.  Error responses exit with
+   the kind's distinct code (bad request 2, overloaded 3, internal 1 —
+   docs/serving.md).  Called outside with_telemetry so the trace/stats
+   files are flushed before any exit. *)
+let finish_response ~json ~human (resp : Api.Response.t) =
+  let b = resp.Api.Response.body in
+  (if json then print_json (response_fields resp @ telemetry_fields ())
+   else
+     match b.Api.Response.error with
+     | Some (_, msg) ->
+         List.iter
+           (fun d -> prerr_endline (An.Diagnostic.to_string d))
+           b.Api.Response.diagnostics;
+         prerr_endline ("tenet: " ^ msg)
+     | None -> human b);
+  match b.Api.Response.error with
+  | Some (kind, _) -> exit (Api.Response.error_exit_code kind)
+  | None -> ()
 
 (* --- flags --- *)
 
@@ -183,6 +189,12 @@ let scaled_t =
   Arg.(value & opt (some string) None & info [ "scale-dims" ] ~docv:"D,D"
          ~doc:"Extrapolate these sequential dims (for huge layers).")
 
+let deadline_t =
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Processing budget: pipeline stages past the expiry are \
+               skipped and the response is marked partial with a TN013 \
+               diagnostic (see docs/serving.md).")
+
 let trace_t =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write a Chrome-trace JSON (chrome://tracing, Perfetto) of \
@@ -196,7 +208,8 @@ let stats_t =
 let json_t =
   Arg.(value & flag & info [ "json" ]
          ~doc:"Print one machine-readable JSON object on stdout instead of \
-               the human-readable report.")
+               the human-readable report (the same response object the \
+               serve protocol sends; see docs/serving.md).")
 
 let jobs_t =
   (* strict: reject 0, negatives and garbage with a named error instead of
@@ -224,7 +237,7 @@ let apply_jobs = function
 (* --- commands --- *)
 
 let wrap f = try `Ok (f ()) with
-  | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  | Failure msg | Invalid_argument msg | Api.Bad msg -> `Error (false, msg)
   | M.Concrete.Invalid_dataflow msg -> `Error (false, "invalid dataflow: " ^ msg)
   | T.Isl.Parser.Parse_error msg -> `Error (false, "parse error: " ^ msg)
   | Ir.Cfront.Syntax_error msg -> `Error (false, "C syntax error: " ^ msg)
@@ -242,58 +255,95 @@ let wrap f = try `Ok (f ()) with
 
 let analyze_cmd =
   let run kernel sizes c_file arch bandwidth space time dataflow strict window
-      lex scale_dims jobs trace stats json =
+      lex scale_dims deadline jobs trace stats json =
     wrap (fun () ->
         apply_jobs jobs;
-        with_telemetry ~trace ~stats ~span:"cli.analyze" (fun () ->
-            let op = op_of ~kernel ~sizes ~c_file in
-            let spec = arch_of arch ~bandwidth in
-            let df = dataflow_of ~dataflow op ~space ~time in
-            let adjacency = if lex then `Lex_step else `Inner_step in
-            (if strict then
-               match
-                 An.Diagnostic.errors (An.Checker.check ~adjacency spec op df)
-               with
-               | [] -> ()
-               | errs ->
-                   failwith
-                     ("the model checker rejected the dataflow:\n"
-                     ^ String.concat "\n"
-                         (List.map An.Diagnostic.to_string errs)));
-            let m =
-              match scale_dims with
-              | Some dims ->
-                  M.Scaled.analyze ~adjacency spec op df
-                    ~scale_dims:(String.split_on_char ',' dims)
-              | None -> M.Concrete.analyze ~adjacency ~window spec op df
-            in
-            if json then
-              print_json
-                ([
-                   ("command", Json.String "analyze");
-                   ("kernel", Json.String kernel);
-                   ("arch", Json.String arch);
-                   ("dataflow", dataflow_json df);
-                   ("metrics", M.Metrics.to_json m);
-                 ]
-                @ telemetry_fields ())
-            else print_string (T.report m)))
+        let req =
+          request_of ~cmd:Api.Request.Analyze ~kernel ~sizes ~c_file ~arch
+            ~bandwidth ~space ~time ~dataflow ~strict ~window ~lex ~scale_dims
+            ~deadline
+        in
+        let resp =
+          with_telemetry ~trace ~stats ~span:"cli.analyze" (fun () ->
+              Api.run req)
+        in
+        finish_response ~json resp ~human:(fun b ->
+            List.iter
+              (fun d -> prerr_endline (An.Diagnostic.to_string d))
+              b.Api.Response.diagnostics;
+            match b.Api.Response.payload with
+            | Some (Api.Response.Metrics { metrics; _ }) ->
+                print_string (T.report metrics)
+            | _ -> ()))
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Analyze one dataflow (Figure 2 flow).")
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
        $ space_t $ time_t $ dataflow_t $ strict_t $ window_t $ lex_t
-       $ scaled_t $ jobs_t $ trace_t $ stats_t $ json_t))
+       $ scaled_t $ deadline_t $ jobs_t $ trace_t $ stats_t $ json_t))
+
+let volumes_cmd =
+  let run kernel sizes c_file arch bandwidth space time dataflow lex deadline
+      jobs trace stats json =
+    wrap (fun () ->
+        apply_jobs jobs;
+        let req =
+          request_of ~cmd:Api.Request.Volumes ~kernel ~sizes ~c_file ~arch
+            ~bandwidth ~space ~time ~dataflow ~strict:false ~window:1 ~lex
+            ~scale_dims:None ~deadline
+        in
+        let resp =
+          with_telemetry ~trace ~stats ~span:"cli.volumes" (fun () ->
+              Api.run req)
+        in
+        finish_response ~json resp ~human:(fun b ->
+            List.iter
+              (fun d -> prerr_endline (An.Diagnostic.to_string d))
+              b.Api.Response.diagnostics;
+            match b.Api.Response.payload with
+            | Some (Api.Response.Volumes { tensors; _ }) ->
+                List.iter
+                  (fun (tensor, dir, v) ->
+                    Printf.printf
+                      "%-3s %-3s total=%-10d uniq=%-10d reuseT=%-10d \
+                       reuseS=%-10d\n"
+                      tensor
+                      (match dir with
+                      | Ir.Tensor_op.Read -> "in"
+                      | Ir.Tensor_op.Write -> "out")
+                      v.M.Metrics.total v.M.Metrics.unique
+                      v.M.Metrics.temporal_reuse v.M.Metrics.spatial_reuse)
+                  tensors
+            | _ -> ()))
+  in
+  Cmd.v
+    (Cmd.info "volumes"
+       ~doc:
+         "Per-tensor volume metrics by relation counting (Table II), one \
+          pipeline stage per tensor — the partial-result-friendly subset \
+          of analyze.")
+    Term.(
+      ret
+        (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
+       $ space_t $ time_t $ dataflow_t $ lex_t $ deadline_t $ jobs_t
+       $ trace_t $ stats_t $ json_t))
 
 let simulate_cmd =
   let run kernel sizes c_file arch bandwidth space time jobs trace stats json =
     wrap (fun () ->
         apply_jobs jobs;
         with_telemetry ~trace ~stats ~span:"cli.simulate" (fun () ->
-            let op = op_of ~kernel ~sizes ~c_file in
-            let spec = arch_of arch ~bandwidth in
-            let df = dataflow_of op ~space ~time in
+            (* reuse the Api builders so names and error texts stay
+               uniform with the served commands *)
+            let req =
+              request_of ~cmd:Api.Request.Analyze ~kernel ~sizes ~c_file
+                ~arch ~bandwidth ~space ~time ~dataflow:None ~strict:false
+                ~window:1 ~lex:false ~scale_dims:None ~deadline:None
+            in
+            let op = Api.op_of req in
+            let spec = Api.arch_of req in
+            let df = Api.dataflow_of req op in
             let r = T.Sim.Simulator.run spec op df in
             if json then
               print_json
@@ -301,7 +351,7 @@ let simulate_cmd =
                    ("command", Json.String "simulate");
                    ("kernel", Json.String kernel);
                    ("arch", Json.String arch);
-                   ("dataflow", dataflow_json df);
+                   ("dataflow", Api.Response.dataflow_json df);
                    ("result", T.Sim.Simulator.to_json r);
                  ]
                 @ telemetry_fields ())
@@ -315,93 +365,50 @@ let simulate_cmd =
        $ space_t $ time_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let dse_cmd =
-  let run kernel sizes c_file arch bandwidth strict top jobs trace stats json =
+  let run kernel sizes c_file arch bandwidth strict top deadline jobs trace
+      stats json =
     wrap (fun () ->
         apply_jobs jobs;
-        with_telemetry ~trace ~stats ~span:"cli.dse" (fun () ->
-            let op = op_of ~kernel ~sizes ~c_file in
-            let spec = arch_of arch ~bandwidth in
-            let p =
-              let dims = Arch.Pe_array.dims spec.Arch.Spec.pe in
-              dims.(0)
-            in
-            let cands =
-              if Arch.Pe_array.rank spec.Arch.Spec.pe = 2 then
-                Dse.candidates_2d op ~p
-              else Dse.candidates_1d op ~p
-            in
-            (* under --strict, candidates failing the checker's cheap
-               battery are pruned before scoring (each pruned candidate
-               bumps dse.candidates_pruned and its analysis.TNxxx
-               counters) *)
-            let n_pruned = ref 0 in
-            let prefilter =
-              if strict then
-                Some
-                  (fun df ->
-                    let ok =
-                      An.Diagnostic.errors (An.Checker.precheck spec op df)
-                      = []
-                    in
-                    if not ok then incr n_pruned;
-                    ok)
-              else None
-            in
-            let outcomes =
-              Dse.evaluate_all ?prefilter ~objective:Dse.Latency spec op cands
-            in
-            if json then begin
-              let outcome_json (o : Dse.outcome) =
-                Json.Obj
-                  [
-                    ("dataflow", dataflow_json o.Dse.dataflow);
-                    ("expressible", Json.Bool o.Dse.expressible);
-                    ("metrics", M.Metrics.to_json o.Dse.metrics);
-                  ]
-              in
-              let rec take n = function
-                | x :: r when n > 0 -> x :: take (n - 1) r
-                | _ -> []
-              in
-              print_json
-                ([
-                   ("command", Json.String "dse");
-                   ("kernel", Json.String kernel);
-                   ("arch", Json.String arch);
-                   ("objective", Json.String "latency");
-                   ("candidates", Json.Int (List.length cands));
-                   ("pruned", Json.Int !n_pruned);
-                   ("valid", Json.Int (List.length outcomes));
-                   ( "best",
-                     match outcomes with
-                     | o :: _ -> outcome_json o
-                     | [] -> Json.Null );
-                   ("top", Json.List (List.map outcome_json (take top outcomes)));
-                 ]
-                @ telemetry_fields ())
-            end
-            else begin
-              if strict then
-                Printf.printf
-                  "%d candidates, %d pruned by --strict, %d valid; top %d \
-                   by latency:\n"
-                  (List.length cands) !n_pruned (List.length outcomes) top
-              else
-                Printf.printf "%d candidates, %d valid; top %d by latency:\n"
-                  (List.length cands) (List.length outcomes) top;
-              List.iteri
-                (fun i o ->
-                  if i < top then
+        let req =
+          let d = Api.Request.default Api.Request.Dse in
+          let base =
+            request_of ~cmd:Api.Request.Dse ~kernel ~sizes ~c_file ~arch
+              ~bandwidth ~space:d.Api.Request.space ~time:d.Api.Request.time
+              ~dataflow:None ~strict ~window:1 ~lex:false ~scale_dims:None
+              ~deadline
+          in
+          { base with Api.Request.top }
+        in
+        let resp =
+          with_telemetry ~trace ~stats ~span:"cli.dse" (fun () -> Api.run req)
+        in
+        finish_response ~json resp ~human:(fun b ->
+            List.iter
+              (fun d -> prerr_endline (An.Diagnostic.to_string d))
+              b.Api.Response.diagnostics;
+            match b.Api.Response.payload with
+            | Some (Api.Response.Dse_result { candidates; pruned; valid;
+                                              outcomes }) ->
+                if strict then
+                  Printf.printf
+                    "%d candidates, %d pruned by --strict, %d valid; top %d \
+                     by latency:\n"
+                    candidates pruned valid top
+                else
+                  Printf.printf "%d candidates, %d valid; top %d by latency:\n"
+                    candidates valid top;
+                List.iteri
+                  (fun i (o : Api.Response.dse_outcome) ->
                     Printf.printf
                       "%2d. %-34s lat=%10.0f util=%4.2f sbw=%7.2f [%s]\n"
-                      (i + 1) o.Dse.dataflow.Df.Dataflow.name
-                      o.Dse.metrics.M.Metrics.latency
-                      o.Dse.metrics.M.Metrics.avg_utilization
-                      o.Dse.metrics.M.Metrics.sbw
-                      (if o.Dse.expressible then "data-centric"
+                      (i + 1) o.Api.Response.o_dataflow.Df.Dataflow.name
+                      o.Api.Response.o_metrics.M.Metrics.latency
+                      o.Api.Response.o_metrics.M.Metrics.avg_utilization
+                      o.Api.Response.o_metrics.M.Metrics.sbw
+                      (if o.Api.Response.o_expressible then "data-centric"
                        else "TENET-only"))
-                outcomes
-            end))
+                  outcomes
+            | _ -> ()))
   in
   let top_t =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
@@ -411,7 +418,7 @@ let dse_cmd =
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ strict_t $ top_t $ jobs_t $ trace_t $ stats_t $ json_t))
+       $ strict_t $ top_t $ deadline_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let check_cmd =
   let diag_lines prefix ds =
@@ -426,9 +433,11 @@ let check_cmd =
     wrap (fun () ->
         apply_jobs jobs;
         let adjacency = if lex then `Lex_step else `Inner_step in
-        let had_errors =
-          with_telemetry ~trace ~stats ~span:"cli.check" (fun () ->
-              if all then begin
+        if all then begin
+          (* the zoo x repository sweep keeps its dedicated path (and its
+             stable --json shape, which scripts/ci.sh greps) *)
+          let had_errors =
+            with_telemetry ~trace ~stats ~span:"cli.check" (fun () ->
                 let results =
                   An.Checker.check_subjects ~adjacency
                     (An.Checker.zoo_subjects ())
@@ -484,33 +493,29 @@ let check_cmd =
                   Printf.printf "%d subjects checked, %d failing\n"
                     (List.length results) (List.length failing)
                 end;
-                failing <> []
-              end
-              else begin
-                let op = op_of ~kernel ~sizes ~c_file in
-                let spec = arch_of arch ~bandwidth in
-                let df = dataflow_of ~dataflow op ~space ~time in
-                let ds = An.Checker.check ~adjacency spec op df in
-                let errs = An.Diagnostic.errors ds in
-                if json then
-                  print_json
-                    ([
-                       ("command", Json.String "check");
-                       ("kernel", Json.String kernel);
-                       ("arch", Json.String arch);
-                       ("dataflow", dataflow_json df);
-                       ("errors", Json.Int (List.length errs));
-                       ( "diagnostics",
-                         Json.List (List.map An.Diagnostic.to_json ds) );
-                     ]
-                    @ telemetry_fields ())
-                else if ds = [] then
-                  print_endline "ok: all checks passed"
-                else diag_lines "" ds;
-                errs <> []
-              end)
-        in
-        if had_errors then exit 1)
+                failing <> [])
+          in
+          if had_errors then exit 1
+        end
+        else begin
+          let req =
+            request_of ~cmd:Api.Request.Check ~kernel ~sizes ~c_file ~arch
+              ~bandwidth ~space ~time ~dataflow ~strict:false ~window:1 ~lex
+              ~scale_dims:None ~deadline:None
+          in
+          let resp =
+            with_telemetry ~trace ~stats ~span:"cli.check" (fun () ->
+                Api.run req)
+          in
+          finish_response ~json resp ~human:(fun b ->
+              match b.Api.Response.diagnostics with
+              | [] -> print_endline "ok: all checks passed"
+              | ds -> diag_lines "" ds);
+          if
+            An.Diagnostic.errors resp.Api.Response.body.Api.Response.diagnostics
+            <> []
+          then exit 1
+        end)
   in
   Cmd.v
     (Cmd.info "check"
@@ -530,6 +535,55 @@ let check_cmd =
                ~doc:"Check every zoo dataflow on every matching-rank \
                      repository architecture.")
        $ lex_t $ jobs_t $ trace_t $ stats_t $ json_t))
+
+let batch_cmd =
+  let run file jobs trace stats =
+    wrap (fun () ->
+        apply_jobs jobs;
+        with_telemetry ~trace ~stats ~span:"cli.batch" (fun () ->
+            let ic = if file = "-" then stdin else open_in file in
+            Fun.protect
+              ~finally:(fun () -> if file <> "-" then close_in ic)
+              (fun () -> Server.batch ic stdout)))
+  in
+  let file_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSON-lines request file ('-' for stdin); blank and \
+                 '#'-prefixed lines are skipped.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Evaluate a file of serve-protocol requests (one JSON object per \
+          line, docs/serving.md) and print one response per line, in input \
+          order.  Deterministic at any --jobs count, and identical to \
+          running each request one-shot.")
+    Term.(ret (const run $ file_t $ jobs_t $ trace_t $ stats_t))
+
+let serve_cmd =
+  let run socket queue jobs =
+    wrap (fun () ->
+        apply_jobs jobs;
+        Server.serve ?queue_limit:queue ?socket ())
+  in
+  let socket_t =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix socket instead of stdin/stdout (one \
+                 JSON-lines connection at a time).")
+  in
+  let queue_t =
+    Arg.(value & opt (some int) None & info [ "queue" ] ~docv:"N"
+           ~doc:"Bound on waiting requests before the service answers \
+                 'overloaded' (default \\$TENET_SERVE_QUEUE, or 64).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis service: JSON-lines requests on \
+          stdin (or --socket), responses in completion order correlated \
+          by id, per-request deadlines, backpressure, and a cross-request \
+          result cache (docs/serving.md).")
+    Term.(ret (const run $ socket_t $ queue_t $ jobs_t))
 
 let archs_cmd =
   let run () =
@@ -572,4 +626,14 @@ let () =
              ~doc:
                "Relation-centric modeling of tensor dataflows on spatial \
                 architectures (TENET, ISCA 2021).")
-          [ analyze_cmd; simulate_cmd; dse_cmd; check_cmd; archs_cmd; zoo_cmd ]))
+          [
+            analyze_cmd;
+            volumes_cmd;
+            simulate_cmd;
+            dse_cmd;
+            check_cmd;
+            batch_cmd;
+            serve_cmd;
+            archs_cmd;
+            zoo_cmd;
+          ]))

@@ -56,6 +56,9 @@ let registry : (string * severity * string * string) list =
     ( "TN012", Error, "count-verify-mismatch",
       "the symbolic counting fast path disagrees with enumeration \
        (TENET_COUNT_VERIFY)" );
+    ( "TN013", Warning, "deadline-exceeded",
+      "a serve/batch request ran past its deadline_ms; pipeline stages \
+       past the expiry were skipped and the response is partial" );
   ]
 
 let severity_of_code code =

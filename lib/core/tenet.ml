@@ -22,7 +22,11 @@
       (see docs/observability.md);
     - {!Analysis}: the static model checker — structured diagnostics
       with witness points for Θ validity, causality, interconnect and
-      reuse feasibility (see docs/analysis.md). *)
+      reuse feasibility (see docs/analysis.md);
+    - {!Serve}: the versioned request/response API ({!Serve.Api.run})
+      behind [tenet serve] and [tenet batch] — JSON-lines protocol,
+      per-request deadlines, backpressure and the model-level result
+      cache (see docs/serving.md). *)
 
 module Util = Tenet_util
 module Obs = Tenet_obs
@@ -37,10 +41,17 @@ module Compute = Tenet_compute
 module Dse = Tenet_dse
 module Workloads = Tenet_workloads
 module Analysis = Tenet_analysis
+module Serve = Tenet_serve
 
 (** Analyze one dataflow on one architecture: the TENET flow of Figure 2.
     Raises [Model.Concrete.Invalid_dataflow] if the dataflow escapes the
-    PE array or maps two instances to one spacetime-stamp. *)
+    PE array or maps two instances to one spacetime-stamp.
+
+    This and {!analyze_scaled}/{!analyze_c_source} are kept as thin
+    engine-level wrappers; request-level callers (anything that wants
+    deadlines, structured errors or the result cache) should go through
+    {!Serve.Api.run}, which the CLI, [tenet batch] and [tenet serve] all
+    share. *)
 let analyze ?(adjacency = `Inner_step) ~(arch : Arch.Spec.t)
     ~(op : Ir.Tensor_op.t) ~(dataflow : Dataflow.Dataflow.t) () :
     Model.Metrics.t =

@@ -12,6 +12,16 @@ let c_relational = Obs.counter "model.relational_analyses"
 
 exception Invalid_dataflow of string
 
+(* Entry-point note (mirroring the Dataflow.validate shim pattern):
+   [analyze] and [analyze_with] below keep their signatures and remain
+   the engine-level primitives, but they are now the bottom layer under
+   Tenet_serve.Api.run — the one request-level entry point the CLI,
+   `tenet batch` and `tenet serve` share.  New request-level callers
+   (anything wanting deadlines, structured errors, or the cross-request
+   result cache) should construct a Serve.Api.Request.t instead of
+   calling these directly; these stay for library users composing the
+   engines in-process. *)
+
 (* Per-time-stamp occupancy, shared by utilization and timestamp count:
    walk Θ's pairs once, bucketing instances by time-stamp.  Injectivity
    (validated separately) makes instances-per-stamp equal active PEs.

@@ -1,0 +1,890 @@
+(* The versioned request/response API (docs/serving.md): one entry point,
+   [run : Request.t -> Response.t], shared by the one-shot CLI commands,
+   `tenet batch` and `tenet serve`.
+
+   A request names a workload (kernel+sizes or C source), an architecture
+   and a dataflow exactly like the CLI flags do; [run] builds the model
+   inputs, executes the command as a sequence of named pipeline stages,
+   and assembles a structured response.  Three behaviors live here rather
+   than in the server so every caller gets them:
+
+   - Deadlines.  [deadline_ms] is a processing budget measured from the
+     moment [run] starts (queue wait is not charged).  Expiry is polled
+     between stages: stages that already ran keep their results, stages
+     after the expiry are skipped, and the response reports status
+     "partial" with a TN013 diagnostic naming what was skipped.  A
+     request whose stages all completed despite running past the deadline
+     stays "ok" but still carries the TN013 warning.
+
+   - Structured errors.  Malformed expressions, unknown names and invalid
+     dataflows become "error" responses with kind [Bad_request] (carrying
+     the parser's offset+fragment messages); everything unexpected
+     becomes [Internal].  No exception escapes [run].
+
+   - The result cache.  Complete "ok" responses are memoized in a
+     byte-budgeted LRU ({!Cache}) keyed on the canonical request
+     fingerprint — arch, op, dataflow, engine, adjacency and every other
+     semantic field, but not [id] or [deadline_ms] — layered above the
+     per-set counting caches so repeated and near-duplicate queries (the
+     DSE access pattern) are O(lookup).  Identical requests therefore
+     produce byte-identical responses. *)
+
+module Isl = Tenet_isl
+module Ir = Tenet_ir
+module Arch = Tenet_arch
+module Df = Tenet_dataflow
+module M = Tenet_model
+module Dse = Tenet_dse.Dse
+module An = Tenet_analysis
+module Obs = Tenet_obs
+module Json = Tenet_obs.Json
+module Parallel = Tenet_util.Parallel
+
+let version = 1
+
+let c_requests = Obs.counter "serve.requests"
+let c_cache_hits = Obs.counter "serve.cache_hits"
+let c_cache_misses = Obs.counter "serve.cache_misses"
+let c_deadline_expired = Obs.counter "serve.deadline_expired"
+
+(* ------------------------------------------------------------------ *)
+(* Requests.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Request = struct
+  type cmd = Analyze | Volumes | Dse | Check | Stats
+
+  type t = {
+    api_version : int;
+    id : string;
+    cmd : cmd;
+    kernel : string;
+    sizes : int list;
+    c_source : string option; (* overrides kernel/sizes when present *)
+    arch : string;
+    bandwidth : int option;
+    space : string;
+    time : string;
+    dataflow : string option; (* zoo name; overrides space/time *)
+    engine : [ `Concrete | `Relational ];
+    adjacency : [ `Inner_step | `Lex_step ];
+    window : int;
+    strict : bool;
+    scale_dims : string list;
+    tensors : string list; (* volumes: subset of tensors; [] = all *)
+    top : int;
+    deadline_ms : int option;
+  }
+
+  let default cmd =
+    {
+      api_version = version;
+      id = "";
+      cmd;
+      kernel = "gemm";
+      sizes = [ 64; 64; 64 ];
+      c_source = None;
+      arch = "tpu-8x8-systolic";
+      bandwidth = None;
+      space = "i%8,j%8";
+      time = "i/8,j/8,i%8+j%8+k";
+      dataflow = None;
+      engine = `Concrete;
+      adjacency = `Inner_step;
+      window = 1;
+      strict = false;
+      scale_dims = [];
+      tensors = [];
+      top = 10;
+      deadline_ms = None;
+    }
+
+  let cmd_to_string = function
+    | Analyze -> "analyze"
+    | Volumes -> "volumes"
+    | Dse -> "dse"
+    | Check -> "check"
+    | Stats -> "stats"
+
+  let cmd_of_string = function
+    | "analyze" -> Some Analyze
+    | "volumes" -> Some Volumes
+    | "dse" -> Some Dse
+    | "check" -> Some Check
+    | "stats" -> Some Stats
+    | _ -> None
+
+  let known_cmds = [ "analyze"; "volumes"; "dse"; "check"; "stats" ]
+
+  (* Canonical encoding: every field, fixed order, options as null.
+     [fingerprint] depends on this being stable. *)
+  let to_json (r : t) : Json.t =
+    let opt f = function None -> Json.Null | Some x -> f x in
+    let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+    Json.Obj
+      [
+        ("api_version", Json.Int r.api_version);
+        ("id", Json.String r.id);
+        ("cmd", Json.String (cmd_to_string r.cmd));
+        ("kernel", Json.String r.kernel);
+        ("sizes", Json.List (List.map (fun n -> Json.Int n) r.sizes));
+        ("c_source", opt (fun s -> Json.String s) r.c_source);
+        ("arch", Json.String r.arch);
+        ("bandwidth", opt (fun n -> Json.Int n) r.bandwidth);
+        ("space", Json.String r.space);
+        ("time", Json.String r.time);
+        ("dataflow", opt (fun s -> Json.String s) r.dataflow);
+        ( "engine",
+          Json.String
+            (match r.engine with
+            | `Concrete -> "concrete"
+            | `Relational -> "relational") );
+        ( "adjacency",
+          Json.String
+            (match r.adjacency with `Inner_step -> "inner" | `Lex_step -> "lex")
+        );
+        ("window", Json.Int r.window);
+        ("strict", Json.Bool r.strict);
+        ("scale_dims", strings r.scale_dims);
+        ("tensors", strings r.tensors);
+        ("top", Json.Int r.top);
+        ("deadline_ms", opt (fun n -> Json.Int n) r.deadline_ms);
+      ]
+
+  type decode_error = Bad_field of string | Bad_version of int
+
+  let decode_error_message = function
+    | Bad_field m -> m
+    | Bad_version v ->
+        Printf.sprintf
+          "unsupported api_version %d (this server speaks version %d)" v
+          version
+
+  (* Total decode: unknown fields and type mismatches are errors, every
+     known field is optional except [cmd], null means "use the default". *)
+  let of_json (j : Json.t) : (t, decode_error) result =
+    let ( let* ) = Result.bind in
+    let bad fmt = Printf.ksprintf (fun m -> Error (Bad_field m)) fmt in
+    let as_string k = function
+      | Json.String s -> Ok s
+      | _ -> bad "field %S must be a string" k
+    in
+    let as_int k = function
+      | Json.Int i -> Ok i
+      | _ -> bad "field %S must be an integer" k
+    in
+    let as_bool k = function
+      | Json.Bool b -> Ok b
+      | _ -> bad "field %S must be a boolean" k
+    in
+    let as_string_list k = function
+      | Json.List l ->
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              let* s = as_string k v in
+              Ok (s :: acc))
+            (Ok []) l
+          |> Result.map List.rev
+      | _ -> bad "field %S must be a list of strings" k
+    in
+    let as_int_list k = function
+      | Json.List l ->
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              let* i = as_int k v in
+              Ok (i :: acc))
+            (Ok []) l
+          |> Result.map List.rev
+      | _ -> bad "field %S must be a list of integers" k
+    in
+    match j with
+    | Json.Obj fields ->
+        let* r =
+          List.fold_left
+            (fun acc (k, v) ->
+              let* r = acc in
+              if v = Json.Null then Ok r (* null = default *)
+              else
+                match k with
+                | "api_version" ->
+                    let* n = as_int k v in
+                    Ok { r with api_version = n }
+                | "id" ->
+                    let* s = as_string k v in
+                    Ok { r with id = s }
+                | "cmd" -> (
+                    let* s = as_string k v in
+                    match cmd_of_string s with
+                    | Some c -> Ok { r with cmd = c }
+                    | None ->
+                        Error
+                          (Bad_field
+                             (Tenet_util.Text.unknown ~what:"cmd" s known_cmds)))
+                | "kernel" ->
+                    let* s = as_string k v in
+                    Ok { r with kernel = s }
+                | "sizes" ->
+                    let* l = as_int_list k v in
+                    Ok { r with sizes = l }
+                | "c_source" ->
+                    let* s = as_string k v in
+                    Ok { r with c_source = Some s }
+                | "arch" ->
+                    let* s = as_string k v in
+                    Ok { r with arch = s }
+                | "bandwidth" ->
+                    let* n = as_int k v in
+                    Ok { r with bandwidth = Some n }
+                | "space" ->
+                    let* s = as_string k v in
+                    Ok { r with space = s }
+                | "time" ->
+                    let* s = as_string k v in
+                    Ok { r with time = s }
+                | "dataflow" ->
+                    let* s = as_string k v in
+                    Ok { r with dataflow = Some s }
+                | "engine" -> (
+                    let* s = as_string k v in
+                    match s with
+                    | "concrete" -> Ok { r with engine = `Concrete }
+                    | "relational" -> Ok { r with engine = `Relational }
+                    | _ ->
+                        Error
+                          (Bad_field
+                             (Tenet_util.Text.unknown ~what:"engine" s
+                                [ "concrete"; "relational" ])))
+                | "adjacency" -> (
+                    let* s = as_string k v in
+                    match s with
+                    | "inner" -> Ok { r with adjacency = `Inner_step }
+                    | "lex" -> Ok { r with adjacency = `Lex_step }
+                    | _ ->
+                        Error
+                          (Bad_field
+                             (Tenet_util.Text.unknown ~what:"adjacency" s
+                                [ "inner"; "lex" ])))
+                | "window" ->
+                    let* n = as_int k v in
+                    if n < 1 then bad "field \"window\" must be >= 1"
+                    else Ok { r with window = n }
+                | "strict" ->
+                    let* b = as_bool k v in
+                    Ok { r with strict = b }
+                | "scale_dims" ->
+                    let* l = as_string_list k v in
+                    Ok { r with scale_dims = l }
+                | "tensors" ->
+                    let* l = as_string_list k v in
+                    Ok { r with tensors = l }
+                | "top" ->
+                    let* n = as_int k v in
+                    if n < 0 then bad "field \"top\" must be >= 0"
+                    else Ok { r with top = n }
+                | "deadline_ms" ->
+                    let* n = as_int k v in
+                    if n < 0 then bad "field \"deadline_ms\" must be >= 0"
+                    else Ok { r with deadline_ms = Some n }
+                | k -> bad "unknown request field %S" k)
+            (Ok (default Analyze))
+            fields
+        in
+        let* () =
+          match List.assoc_opt "cmd" fields with
+          | Some _ -> Ok ()
+          | None -> bad "missing request field \"cmd\""
+        in
+        if r.api_version <> version then Error (Bad_version r.api_version)
+        else Ok r
+    | _ -> bad "a request must be a JSON object"
+
+  (* The cache key: the canonical encoding with the two semantically
+     inert fields blanked. *)
+  let fingerprint (r : t) : string =
+    Json.to_string (to_json { r with id = ""; deadline_ms = None })
+end
+
+(* ------------------------------------------------------------------ *)
+(* Responses.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Response = struct
+  type error_kind = Bad_request | Unsupported_version | Overloaded | Internal
+
+  type dse_outcome = {
+    o_dataflow : Df.Dataflow.t;
+    o_expressible : bool;
+    o_metrics : M.Metrics.t;
+  }
+
+  type payload =
+    | Metrics of { dataflow : Df.Dataflow.t; metrics : M.Metrics.t }
+    | Volumes of {
+        dataflow : Df.Dataflow.t;
+        tensors :
+          (string * Ir.Tensor_op.direction * M.Metrics.volumes) list;
+      }
+    | Dse_result of {
+        candidates : int;
+        pruned : int;
+        valid : int;
+        outcomes : dse_outcome list; (* best-first, truncated to [top] *)
+      }
+    | Stats of Json.t
+
+  type body = {
+    status : [ `Ok | `Partial | `Error ];
+    payload : payload option;
+    diagnostics : An.Diagnostic.t list;
+    error : (error_kind * string) option;
+  }
+
+  type t = { api_version : int; id : string; body : body }
+
+  let error_kind_to_string = function
+    | Bad_request -> "bad_request"
+    | Unsupported_version -> "unsupported_version"
+    | Overloaded -> "overloaded"
+    | Internal -> "internal"
+
+  (* Exit code the CLI maps each kind to (documented in
+     docs/serving.md): client mistakes are distinguishable from server
+     faults in shell scripts. *)
+  let error_exit_code = function
+    | Bad_request | Unsupported_version -> 2
+    | Overloaded -> 3
+    | Internal -> 1
+
+  let status_to_string = function
+    | `Ok -> "ok"
+    | `Partial -> "partial"
+    | `Error -> "error"
+
+  let dataflow_json (df : Df.Dataflow.t) : Json.t =
+    Json.Obj
+      [
+        ("name", Json.String df.Df.Dataflow.name);
+        ( "space",
+          Json.List
+            (List.map
+               (fun e -> Json.String (Isl.Aff.to_string e))
+               df.Df.Dataflow.space) );
+        ( "time",
+          Json.List
+            (List.map
+               (fun e -> Json.String (Isl.Aff.to_string e))
+               df.Df.Dataflow.time) );
+      ]
+
+  let direction_string = function
+    | Ir.Tensor_op.Read -> "in"
+    | Ir.Tensor_op.Write -> "out"
+
+  let payload_json = function
+    | Metrics { dataflow; metrics } ->
+        Json.Obj
+          [
+            ("kind", Json.String "metrics");
+            ("dataflow", dataflow_json dataflow);
+            ("metrics", M.Metrics.to_json metrics);
+          ]
+    | Volumes { dataflow; tensors } ->
+        Json.Obj
+          [
+            ("kind", Json.String "volumes");
+            ("dataflow", dataflow_json dataflow);
+            ( "tensors",
+              Json.List
+                (List.map
+                   (fun (tensor, dir, v) ->
+                     Json.Obj
+                       [
+                         ("tensor", Json.String tensor);
+                         ("direction", Json.String (direction_string dir));
+                         ("volumes", M.Metrics.volumes_to_json v);
+                       ])
+                   tensors) );
+          ]
+    | Dse_result { candidates; pruned; valid; outcomes } ->
+        Json.Obj
+          [
+            ("kind", Json.String "dse");
+            ("candidates", Json.Int candidates);
+            ("pruned", Json.Int pruned);
+            ("valid", Json.Int valid);
+            ( "outcomes",
+              Json.List
+                (List.map
+                   (fun o ->
+                     Json.Obj
+                       [
+                         ("dataflow", dataflow_json o.o_dataflow);
+                         ("expressible", Json.Bool o.o_expressible);
+                         ("metrics", M.Metrics.to_json o.o_metrics);
+                       ])
+                   outcomes) );
+          ]
+    | Stats j -> Json.Obj [ ("kind", Json.String "stats"); ("stats", j) ]
+
+  let body_fields (b : body) : (string * Json.t) list =
+    [ ("status", Json.String (status_to_string b.status)) ]
+    @ (match b.payload with
+      | None -> []
+      | Some p -> [ ("payload", payload_json p) ])
+    @ (match b.diagnostics with
+      | [] -> []
+      | ds ->
+          [ ("diagnostics", Json.List (List.map An.Diagnostic.to_json ds)) ])
+    @
+    match b.error with
+    | None -> []
+    | Some (kind, message) ->
+        [
+          ( "error",
+            Json.Obj
+              [
+                ("kind", Json.String (error_kind_to_string kind));
+                ("message", Json.String message);
+              ] );
+        ]
+
+  let to_json (r : t) : Json.t =
+    Json.Obj
+      ([ ("api_version", Json.Int r.api_version); ("id", Json.String r.id) ]
+      @ body_fields r.body)
+
+  let ok_body ?(diagnostics = []) payload =
+    { status = `Ok; payload = Some payload; diagnostics; error = None }
+
+  let error_body ?(diagnostics = []) kind message =
+    { status = `Error; payload = None; diagnostics; error = Some (kind, message) }
+
+  let error ~id kind message =
+    { api_version = version; id; body = error_body kind message }
+
+  let is_error (r : t) = r.body.error <> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Building model inputs from a request.                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+(* Client-side mistakes surfaced while building inputs; mapped to a
+   [Bad_request] error response. *)
+
+let known_kernels = [ "gemm"; "conv"; "conv1d"; "mttkrp"; "mmc"; "jacobi2d" ]
+
+let kernel_of ~kernel ~sizes =
+  if not (List.mem kernel known_kernels) then
+    raise (Bad (Tenet_util.Text.unknown ~what:"kernel" kernel known_kernels));
+  List.iter
+    (fun n ->
+      if n <= 0 then
+        raise (Bad (Printf.sprintf "size %d is not a positive extent" n)))
+    sizes;
+  match (kernel, sizes) with
+  | "gemm", [ ni; nj; nk ] -> Ir.Kernels.gemm ~ni ~nj ~nk
+  | "conv", [ nk; nc; nox; noy; nrx; nry ] ->
+      Ir.Kernels.conv2d ~nk ~nc ~nox ~noy ~nrx ~nry
+  | "conv1d", [ no; nr ] -> Ir.Kernels.conv1d ~no ~nr
+  | "mttkrp", [ ni; nj; nk; nl ] -> Ir.Kernels.mttkrp ~ni ~nj ~nk ~nl
+  | "mmc", [ ni; nj; nk; nl ] -> Ir.Kernels.mmc ~ni ~nj ~nk ~nl
+  | "jacobi2d", [ n ] -> Ir.Kernels.jacobi2d ~n
+  | k, sz ->
+      raise
+        (Bad
+           (Printf.sprintf
+              "kernel %s got %d sizes (expected: gemm i,j,k | conv \
+               k,c,ox,oy,rx,ry | conv1d o,r | mttkrp i,j,k,l | mmc i,j,k,l \
+               | jacobi2d n)"
+              k (List.length sz)))
+
+let op_of (r : Request.t) =
+  match r.Request.c_source with
+  | Some src -> Ir.Cfront.parse src
+  | None -> kernel_of ~kernel:r.Request.kernel ~sizes:r.Request.sizes
+
+let arch_of (r : Request.t) =
+  let spec =
+    try Arch.Repository.find r.Request.arch
+    with Invalid_argument msg -> raise (Bad msg)
+  in
+  match r.Request.bandwidth with
+  | Some bw when bw <= 0 ->
+      raise (Bad (Printf.sprintf "bandwidth %d is not positive" bw))
+  | Some bw -> Arch.Spec.with_bandwidth bw spec
+  | None -> spec
+
+let dataflow_of (r : Request.t) op =
+  match r.Request.dataflow with
+  | Some name -> (
+      try Df.Zoo.find name with Invalid_argument msg -> raise (Bad msg))
+  | None ->
+      let dims = Ir.Tensor_op.iter_names op in
+      Df.Dataflow.make ~name:"(request)"
+        ~space:(Isl.Parser.exprs ~dims r.Request.space)
+        ~time:(Isl.Parser.exprs ~dims r.Request.time)
+
+(* ------------------------------------------------------------------ *)
+(* The result cache.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cache_env = "TENET_SERVE_CACHE_MB"
+
+let cache_budget_bytes () =
+  match Sys.getenv_opt cache_env with
+  | None | Some "" -> 64 * 1024 * 1024
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some mb when mb >= 0 -> mb * 1024 * 1024
+      | _ ->
+          failwith
+            (Printf.sprintf "bad %s %S: expected a non-negative integer \
+                             number of megabytes" cache_env s))
+
+let global_cache : Response.body Cache.t Lazy.t =
+  lazy (Cache.create ~bytes:(cache_budget_bytes ()) ())
+
+let result_cache () = Lazy.force global_cache
+let clear_cache () = Cache.clear (result_cache ())
+let cache_stats () = Cache.stats (result_cache ())
+
+(* Gauges contributed by the server loop (queue depth, inflight), spliced
+   into [stats] responses when serving. *)
+let extra_gauges : (unit -> (string * Json.t) list) ref = ref (fun () -> [])
+let set_extra_gauges f = extra_gauges := f
+
+let stats_payload () : Json.t =
+  let c = cache_stats () in
+  Json.Obj
+    ([
+       ( "cache",
+         Json.Obj
+           [
+             ("entries", Json.Int c.Cache.entries);
+             ("bytes", Json.Int c.Cache.bytes);
+             ("budget_bytes", Json.Int c.Cache.budget);
+             ("hits", Json.Int c.Cache.hits);
+             ("misses", Json.Int c.Cache.misses);
+             ("evictions", Json.Int c.Cache.evictions);
+           ] );
+       ( "pool",
+         Json.Obj
+           [
+             ("jobs", Json.Int (Parallel.jobs ()));
+             ("queued", Json.Int (Parallel.waiting ()));
+           ] );
+     ]
+    @ !extra_gauges ()
+    @ [ ("telemetry", Obs.stats ()) ])
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline driver.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run named stages in order.  The first stage always runs; afterwards,
+   expiry is polled between stages and the remaining stages are skipped.
+   Returns (expired, skipped stage names). *)
+let drive (token : Parallel.token option) stages : bool * string list =
+  let skipped = ref [] in
+  let expired = ref false in
+  List.iter
+    (fun (name, f) ->
+      if !expired then skipped := name :: !skipped
+      else begin
+        f ();
+        match token with
+        | Some t when Parallel.cancelled t -> expired := true
+        | _ -> ()
+      end)
+    stages;
+  (!expired, List.rev !skipped)
+
+(* Close a staged run into a body: attach TN013 when the deadline
+   expired, downgrade to "partial" when stages were actually skipped. *)
+let close_stages (r : Request.t) ~expired ~skipped ?(diagnostics = [])
+    payload : Response.body =
+  if not expired then
+    { status = `Ok; payload; diagnostics; error = None }
+  else begin
+    Obs.incr c_deadline_expired;
+    let deadline = Option.value ~default:0 r.Request.deadline_ms in
+    let d =
+      An.Diagnostic.make "TN013"
+        (if skipped = [] then
+           Printf.sprintf
+             "request ran past its %d ms deadline (all stages completed)"
+             deadline
+         else
+           Printf.sprintf "deadline of %d ms expired; skipped stages: %s"
+             deadline
+             (String.concat ", " skipped))
+    in
+    {
+      status = (if skipped = [] then `Ok else `Partial);
+      payload;
+      diagnostics = diagnostics @ [ d ];
+      error = None;
+    }
+  end
+
+exception Strict_failed of An.Diagnostic.t list
+
+let compute_metrics (r : Request.t) spec op df : M.Metrics.t =
+  let adjacency = r.Request.adjacency in
+  if r.Request.scale_dims <> [] then
+    M.Scaled.analyze ~adjacency spec op df ~scale_dims:r.Request.scale_dims
+  else
+    match r.Request.engine with
+    | `Relational -> M.Model.analyze ~adjacency spec op df
+    | `Concrete ->
+        M.Concrete.analyze ~adjacency ~window:r.Request.window spec op df
+
+let run_analyze ~token (r : Request.t) : Response.body =
+  let op = op_of r in
+  let spec = arch_of r in
+  let df = dataflow_of r op in
+  let diags = ref [] in
+  let metrics = ref None in
+  let stages =
+    (if r.Request.strict then
+       [
+         ( "check",
+           fun () ->
+             let ds =
+               An.Checker.check ~adjacency:r.Request.adjacency spec op df
+             in
+             diags := ds;
+             if An.Diagnostic.errors ds <> [] then raise (Strict_failed ds) );
+       ]
+     else [])
+    @ [ ("metrics", fun () -> metrics := Some (compute_metrics r spec op df)) ]
+  in
+  let expired, skipped = drive token stages in
+  close_stages r ~expired ~skipped ~diagnostics:!diags
+    (Option.map
+       (fun m -> Response.Metrics { dataflow = df; metrics = m })
+       !metrics)
+
+let run_volumes ~token (r : Request.t) : Response.body =
+  let op = op_of r in
+  let spec = arch_of r in
+  let df = dataflow_of r op in
+  let all = Ir.Tensor_op.tensors op in
+  let wanted =
+    match r.Request.tensors with
+    | [] -> all
+    | ts ->
+        List.iter
+          (fun t ->
+            if not (List.mem t all) then
+              raise (Bad (Tenet_util.Text.unknown ~what:"tensor" t all)))
+          ts;
+        ts
+  in
+  let outputs = Ir.Tensor_op.outputs op in
+  (* Channels are shared by every tensor stage; computing them lazily
+     inside the first stage keeps the stage list free of a cheap
+     "prepare" stage whose checkpoint would be timing-noise. *)
+  let channels = ref None in
+  let channels_of () =
+    match !channels with
+    | Some c -> c
+    | None ->
+        let c =
+          Df.Spacetime.channels ~adjacency:r.Request.adjacency spec op df
+        in
+        channels := Some c;
+        c
+  in
+  let results = ref [] in
+  let stages =
+    List.map
+      (fun tensor ->
+        ( Printf.sprintf "volumes[%s]" tensor,
+          fun () ->
+            let assignment = Df.Dataflow.data_assignment op df tensor in
+            let v =
+              M.Volumes.compute ~assignment ~channels:(channels_of ())
+            in
+            let dir =
+              if List.mem tensor outputs then Ir.Tensor_op.Write
+              else Ir.Tensor_op.Read
+            in
+            results := (tensor, dir, v) :: !results ))
+      wanted
+  in
+  let expired, skipped = drive token stages in
+  close_stages r ~expired ~skipped
+    (Some
+       (Response.Volumes { dataflow = df; tensors = List.rev !results }))
+
+let run_dse ~token (r : Request.t) : Response.body =
+  let op = op_of r in
+  let spec = arch_of r in
+  let cands = ref [] in
+  let n_pruned = ref 0 in
+  let outcomes = ref [] in
+  let stages =
+    [
+      ( "candidates",
+        fun () ->
+          let p =
+            let dims = Arch.Pe_array.dims spec.Arch.Spec.pe in
+            dims.(0)
+          in
+          cands :=
+            if Arch.Pe_array.rank spec.Arch.Spec.pe = 2 then
+              Dse.candidates_2d op ~p
+            else Dse.candidates_1d op ~p );
+      ( "evaluate",
+        fun () ->
+          let prefilter =
+            if r.Request.strict then
+              Some
+                (fun df ->
+                  let ok =
+                    An.Diagnostic.errors (An.Checker.precheck spec op df) = []
+                  in
+                  if not ok then incr n_pruned;
+                  ok)
+            else None
+          in
+          outcomes :=
+            Dse.evaluate_all ?prefilter ~adjacency:r.Request.adjacency
+              ~objective:Dse.Latency spec op !cands );
+    ]
+  in
+  let expired, skipped = drive token stages in
+  let rec take n = function
+    | x :: r when n > 0 -> x :: take (n - 1) r
+    | _ -> []
+  in
+  close_stages r ~expired ~skipped
+    (Some
+       (Response.Dse_result
+          {
+            candidates = List.length !cands;
+            pruned = !n_pruned;
+            valid = List.length !outcomes;
+            outcomes =
+              List.map
+                (fun (o : Dse.outcome) ->
+                  {
+                    Response.o_dataflow = o.Dse.dataflow;
+                    o_expressible = o.Dse.expressible;
+                    o_metrics = o.Dse.metrics;
+                  })
+                (take r.Request.top !outcomes);
+          }))
+
+let run_check ~token (r : Request.t) : Response.body =
+  let op = op_of r in
+  let spec = arch_of r in
+  let df = dataflow_of r op in
+  let diags = ref [] in
+  let stages =
+    [
+      ( "check",
+        fun () ->
+          diags := An.Checker.check ~adjacency:r.Request.adjacency spec op df
+      );
+    ]
+  in
+  let expired, skipped = drive token stages in
+  close_stages r ~expired ~skipped ~diagnostics:!diags None
+
+let run_uncached ~token (r : Request.t) : Response.body =
+  match r.Request.cmd with
+  | Request.Analyze -> run_analyze ~token r
+  | Request.Volumes -> run_volumes ~token r
+  | Request.Dse -> run_dse ~token r
+  | Request.Check -> run_check ~token r
+  | Request.Stats ->
+      Response.ok_body (Response.Stats (stats_payload ()))
+
+(* ------------------------------------------------------------------ *)
+(* The entry point.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let body_size (b : Response.body) : int =
+  String.length (Json.to_string (Json.Obj (Response.body_fields b)))
+
+let run (r : Request.t) : Response.t =
+  Obs.incr c_requests;
+  Obs.with_span
+    ~args:[ ("cmd", Request.cmd_to_string r.Request.cmd) ]
+    "serve.request"
+  @@ fun () ->
+  let respond body =
+    { Response.api_version = version; id = r.Request.id; body }
+  in
+  if r.Request.cmd = Request.Stats then
+    (* never cached: the whole point is the live gauges *)
+    respond (run_uncached ~token:None r)
+  else begin
+    let key = Request.fingerprint r in
+    let cache = result_cache () in
+    match Cache.find cache key with
+    | Some body ->
+        Obs.incr c_cache_hits;
+        respond body
+    | None ->
+        Obs.incr c_cache_misses;
+        let token =
+          Option.map
+            (fun ms -> Parallel.token ~deadline_s:(float_of_int ms /. 1000.) ())
+            r.Request.deadline_ms
+        in
+        let body =
+          try run_uncached ~token r with
+          | Bad msg -> Response.error_body Response.Bad_request msg
+          | Strict_failed ds ->
+              Response.error_body ~diagnostics:ds Response.Bad_request
+                "the model checker rejected the dataflow (see diagnostics)"
+          | Isl.Parser.Parse_error msg ->
+              Response.error_body Response.Bad_request ("parse error: " ^ msg)
+          | Ir.Cfront.Syntax_error msg ->
+              Response.error_body Response.Bad_request
+                ("C syntax error: " ^ msg)
+          | M.Concrete.Invalid_dataflow msg | M.Model.Invalid_dataflow msg ->
+              Response.error_body Response.Bad_request
+                ("invalid dataflow: " ^ msg)
+          | Isl.Count.Verify_mismatch _ as e ->
+              let ds =
+                match An.Checker.diagnostic_of_exn e with
+                | Some d -> [ d ]
+                | None -> []
+              in
+              Response.error_body ~diagnostics:ds Response.Internal
+                "counting sanitizer mismatch"
+          | Failure msg | Invalid_argument msg ->
+              Response.error_body Response.Bad_request msg
+          | e ->
+              Response.error_body Response.Internal (Printexc.to_string e)
+        in
+        (* Only complete, successful results are worth replaying; errors
+           are cheap and partials depend on the deadline that cut them. *)
+        if body.Response.status = `Ok && body.Response.error = None then
+          Cache.add cache ~key ~size:(body_size body) body;
+        respond body
+  end
+
+(* Decode a raw JSON request and run it: the shared core of the batch
+   runner, the server loop and the CLI.  Never raises. *)
+let run_json (j : Json.t) : Response.t =
+  match Request.of_json j with
+  | Ok r -> run r
+  | Error e ->
+      let id =
+        match Json.member "id" j with Some (Json.String s) -> s | _ -> ""
+      in
+      let kind =
+        match e with
+        | Request.Bad_version _ -> Response.Unsupported_version
+        | Request.Bad_field _ -> Response.Bad_request
+      in
+      Response.error ~id kind (Request.decode_error_message e)

@@ -1,0 +1,166 @@
+(** The versioned request/response API: one entry point, {!run}, shared
+    by the one-shot CLI commands, [tenet batch] and [tenet serve].
+
+    Requests and responses are plain records with total JSON codecs
+    built on {!Tenet_obs.Json}; the protocol is one JSON object per
+    line (see {!Protocol} and docs/serving.md).  [run] never raises:
+    malformed inputs become [Bad_request] error responses carrying the
+    parser's offset+fragment diagnostics, deadline expiry becomes a
+    ["partial"] response with a TN013 diagnostic, and complete ["ok"]
+    responses are memoized in a byte-budgeted LRU keyed on the canonical
+    request fingerprint, so identical requests produce byte-identical
+    responses in O(lookup). *)
+
+module Json = Tenet_obs.Json
+
+val version : int
+(** The protocol version this build speaks (currently 1).  Requests
+    carrying any other [api_version] are refused with an
+    [Unsupported_version] error. *)
+
+module Request : sig
+  type cmd = Analyze | Volumes | Dse | Check | Stats
+
+  type t = {
+    api_version : int;
+    id : string;  (** echoed verbatim; correlates pipelined responses *)
+    cmd : cmd;
+    kernel : string;
+    sizes : int list;
+    c_source : string option;  (** C loop nest; overrides kernel/sizes *)
+    arch : string;
+    bandwidth : int option;
+    space : string;
+    time : string;
+    dataflow : string option;  (** zoo name; overrides space/time *)
+    engine : [ `Concrete | `Relational ];
+    adjacency : [ `Inner_step | `Lex_step ];
+    window : int;
+    strict : bool;
+    scale_dims : string list;
+    tensors : string list;  (** volumes: subset of tensors; [] = all *)
+    top : int;
+    deadline_ms : int option;  (** processing budget; see docs/serving.md *)
+  }
+
+  val default : cmd -> t
+  (** The defaults mirror the CLI flag defaults. *)
+
+  val cmd_to_string : cmd -> string
+  val cmd_of_string : string -> cmd option
+
+  val to_json : t -> Json.t
+  (** Canonical encoding: every field, fixed order, options as [null]. *)
+
+  type decode_error = Bad_field of string | Bad_version of int
+
+  val decode_error_message : decode_error -> string
+
+  val of_json : Json.t -> (t, decode_error) result
+  (** Total decode.  Unknown fields, type mismatches and out-of-range
+      values are [Bad_field]; an [api_version] other than {!version} is
+      [Bad_version].  Absent or [null] fields take their defaults; [cmd]
+      is required. *)
+
+  val fingerprint : t -> string
+  (** The result-cache key: the canonical encoding with [id] and
+      [deadline_ms] (the two fields that do not affect the result)
+      blanked. *)
+end
+
+module Response : sig
+  type error_kind = Bad_request | Unsupported_version | Overloaded | Internal
+
+  type dse_outcome = {
+    o_dataflow : Tenet_dataflow.Dataflow.t;
+    o_expressible : bool;
+    o_metrics : Tenet_model.Metrics.t;
+  }
+
+  type payload =
+    | Metrics of {
+        dataflow : Tenet_dataflow.Dataflow.t;
+        metrics : Tenet_model.Metrics.t;
+      }
+    | Volumes of {
+        dataflow : Tenet_dataflow.Dataflow.t;
+        tensors :
+          (string
+          * Tenet_ir.Tensor_op.direction
+          * Tenet_model.Metrics.volumes)
+          list;
+      }
+    | Dse_result of {
+        candidates : int;
+        pruned : int;
+        valid : int;
+        outcomes : dse_outcome list;  (** best-first, truncated to [top] *)
+      }
+    | Stats of Json.t
+
+  type body = {
+    status : [ `Ok | `Partial | `Error ];
+    payload : payload option;
+    diagnostics : Tenet_analysis.Diagnostic.t list;
+        (** checker findings, plus TN013 on deadline expiry *)
+    error : (error_kind * string) option;
+  }
+
+  type t = { api_version : int; id : string; body : body }
+
+  val error_kind_to_string : error_kind -> string
+
+  val error_exit_code : error_kind -> int
+  (** The exit code the CLI maps each kind to: 2 for client mistakes
+      ([Bad_request], [Unsupported_version]), 3 for [Overloaded], 1 for
+      [Internal]. *)
+
+  val status_to_string : [ `Ok | `Partial | `Error ] -> string
+  val dataflow_json : Tenet_dataflow.Dataflow.t -> Json.t
+  val payload_json : payload -> Json.t
+  val body_fields : body -> (string * Json.t) list
+  val to_json : t -> Json.t
+  val ok_body : ?diagnostics:Tenet_analysis.Diagnostic.t list -> payload -> body
+
+  val error_body :
+    ?diagnostics:Tenet_analysis.Diagnostic.t list ->
+    error_kind ->
+    string ->
+    body
+
+  val error : id:string -> error_kind -> string -> t
+  val is_error : t -> bool
+end
+
+val run : Request.t -> Response.t
+(** Execute one request.  Never raises; see the module doc for deadline,
+    error and caching semantics. *)
+
+val run_json : Json.t -> Response.t
+(** Decode and {!run} a raw JSON request; decode failures become
+    [Bad_request] / [Unsupported_version] error responses with the [id]
+    recovered from the raw object when possible. *)
+
+(** {2 The result cache} *)
+
+val clear_cache : unit -> unit
+val cache_stats : unit -> Cache.stats
+
+val set_extra_gauges : (unit -> (string * Json.t) list) -> unit
+(** Installed by the server loop so [stats] responses include its queue
+    depth and inflight gauges. *)
+
+(** {2 Model-input builders}
+
+    The request-to-model translation, shared with the CLI's simulate
+    command.  These raise {!Bad} on client mistakes (unknown kernel or
+    architecture, wrong size count, non-positive extents); {!run} maps
+    that to a [Bad_request] response. *)
+
+exception Bad of string
+
+val op_of : Request.t -> Tenet_ir.Tensor_op.t
+val arch_of : Request.t -> Tenet_arch.Spec.t
+
+val dataflow_of :
+  Request.t -> Tenet_ir.Tensor_op.t -> Tenet_dataflow.Dataflow.t

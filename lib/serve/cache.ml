@@ -1,0 +1,111 @@
+(* A byte-budgeted LRU cache for whole-request results (the model-level
+   layer above Tenet_isl.Count's per-set caches): repeated and
+   near-duplicate queries — the DSE access pattern — become O(lookup).
+
+   Keys are canonical request fingerprints (Api.Request.fingerprint);
+   values carry a caller-computed byte size (the serialized response
+   body) charged against the budget.  Recency is a monotonic stamp per
+   entry; eviction scans for the minimum stamp.  The scan is O(entries)
+   per eviction, which is fine at the cache's scale (hundreds of
+   responses, bounded by the byte budget), and keeps the structure a
+   plain hashtable under one mutex — the serve workers share it. *)
+
+type 'v entry = { value : 'v; size : int; mutable stamp : int }
+
+type 'v t = {
+  budget : int; (* bytes; 0 disables the cache entirely *)
+  tbl : (string, 'v entry) Hashtbl.t;
+  mutable bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutex : Mutex.t;
+}
+
+let create ~bytes () =
+  if bytes < 0 then invalid_arg "Cache.create: negative byte budget";
+  {
+    budget = bytes;
+    tbl = Hashtbl.create 256;
+    bytes = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    mutex = Mutex.create ();
+  }
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let find c key =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.tbl key with
+      | Some e ->
+          c.tick <- c.tick + 1;
+          e.stamp <- c.tick;
+          c.hits <- c.hits + 1;
+          Some e.value
+      | None ->
+          c.misses <- c.misses + 1;
+          None)
+
+let evict_lru c =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      c.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      (match Hashtbl.find_opt c.tbl key with
+      | Some e -> c.bytes <- c.bytes - e.size
+      | None -> ());
+      Hashtbl.remove c.tbl key;
+      c.evictions <- c.evictions + 1
+
+let add c ~key ~size value =
+  if size <= c.budget then
+    locked c (fun () ->
+        (match Hashtbl.find_opt c.tbl key with
+        | Some old ->
+            c.bytes <- c.bytes - old.size;
+            Hashtbl.remove c.tbl key
+        | None -> ());
+        while c.bytes + size > c.budget && Hashtbl.length c.tbl > 0 do
+          evict_lru c
+        done;
+        c.tick <- c.tick + 1;
+        Hashtbl.add c.tbl key { value; size; stamp = c.tick };
+        c.bytes <- c.bytes + size)
+
+let clear c =
+  locked c (fun () ->
+      Hashtbl.reset c.tbl;
+      c.bytes <- 0)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  budget : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats c =
+  locked c (fun () ->
+      {
+        entries = Hashtbl.length c.tbl;
+        bytes = c.bytes;
+        budget = c.budget;
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+      })

@@ -1,0 +1,33 @@
+(** A byte-budgeted, mutex-guarded LRU cache for whole-request results:
+    the model-level layer above the counting caches, keyed on canonical
+    request fingerprints so repeated and near-duplicate queries (the DSE
+    access pattern) are O(lookup).  See docs/serving.md for tuning. *)
+
+type 'v t
+
+val create : bytes:int -> unit -> 'v t
+(** A cache holding at most [bytes] worth of values (caller-declared
+    sizes).  [bytes = 0] disables caching: {!add} never stores and
+    {!find} always misses.  Raises [Invalid_argument] on a negative
+    budget. *)
+
+val find : 'v t -> string -> 'v option
+(** Lookup; refreshes recency and counts a hit or miss. *)
+
+val add : 'v t -> key:string -> size:int -> 'v -> unit
+(** Insert, evicting least-recently-used entries until the budget holds.
+    Values larger than the whole budget are not stored. *)
+
+val clear : 'v t -> unit
+(** Drop every entry (hit/miss/eviction counters are kept). *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  budget : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : 'v t -> stats

@@ -1,0 +1,33 @@
+(* JSON-lines framing (docs/serving.md): one request object per line in,
+   one response object per line out.  Blank lines and lines starting
+   with '#' are skipped so request files can be annotated.  A line that
+   is not valid JSON still produces a well-formed error response — the
+   stream never dies on a bad request. *)
+
+module Json = Tenet_obs.Json
+
+let is_comment line =
+  let t = String.trim line in
+  t = "" || (String.length t > 0 && t.[0] = '#')
+
+let parse_line (line : string) : (Json.t, Api.Response.t) result =
+  match Json.parse line with
+  | j -> Ok j
+  | exception Json.Parse_error msg ->
+      Error
+        (Api.Response.error ~id:"" Api.Response.Bad_request
+           ("malformed JSON request: " ^ msg))
+
+let request_id (j : Json.t) : string =
+  match Json.member "id" j with Some (Json.String s) -> s | _ -> ""
+
+let is_stats (j : Json.t) : bool =
+  match Json.member "cmd" j with
+  | Some (Json.String "stats") -> true
+  | _ -> false
+
+let response_line (resp : Api.Response.t) : string =
+  Json.to_string (Api.Response.to_json resp)
+
+let handle_line (line : string) : Api.Response.t =
+  match parse_line line with Ok j -> Api.run_json j | Error resp -> resp

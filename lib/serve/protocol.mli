@@ -1,0 +1,24 @@
+(** JSON-lines framing for the serve protocol: one request object per
+    line in, one response object per line out (docs/serving.md). *)
+
+module Json = Tenet_obs.Json
+
+val is_comment : string -> bool
+(** Blank lines and ['#']-prefixed lines carry no request. *)
+
+val parse_line : string -> (Json.t, Api.Response.t) result
+(** [Error] carries the ready-to-send [Bad_request] response for a line
+    that is not valid JSON. *)
+
+val request_id : Json.t -> string
+(** The raw object's ["id"] when it is a string, [""] otherwise. *)
+
+val is_stats : Json.t -> bool
+(** Whether the raw object is a [stats] admin request (answered inline
+    by the server, bypassing the work queue). *)
+
+val response_line : Api.Response.t -> string
+(** One compact JSON line, no trailing newline. *)
+
+val handle_line : string -> Api.Response.t
+(** Parse and run one request line.  Never raises. *)

@@ -1,0 +1,162 @@
+(* The persistent analysis service and the offline batch runner.
+
+   `tenet serve` reads JSON-lines requests from stdin (or a Unix socket)
+   and schedules them onto the Tenet_util.Parallel worker pool through
+   its bounded submission queue:
+
+   - Backpressure: when the queue is full, the request is answered
+     immediately with an `overloaded` error response instead of
+     buffering without bound; requests already in flight keep running.
+   - Admin traffic: `stats` requests are answered inline by the reader
+     thread, bypassing the queue, so the service can be observed even
+     while saturated.
+   - Responses are written in completion order, one JSON line each,
+     under a write mutex; clients correlate them by `id`.
+
+   `batch` is the deterministic offline variant: it reads every request
+   line, evaluates them with the order-preserving Parallel.map (so a
+   batch at any --jobs count produces the byte-identical output of the
+   same requests run one-shot), and prints responses in input order. *)
+
+module Obs = Tenet_obs
+module Json = Tenet_obs.Json
+module Parallel = Tenet_util.Parallel
+
+let c_overloaded = Obs.counter "serve.overloaded"
+
+let queue_env = "TENET_SERVE_QUEUE"
+
+let default_queue_limit () =
+  match Sys.getenv_opt queue_env with
+  | None | Some "" -> 64
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "bad %s %S: expected a positive integer queue limit" queue_env
+               s))
+
+(* ------------------------------------------------------------------ *)
+(* Batch.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines (ic : in_channel) : string list =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let batch (ic : in_channel) (oc : out_channel) : unit =
+  let lines =
+    List.filter (fun l -> not (Protocol.is_comment l)) (read_lines ic)
+  in
+  let responses = Parallel.map Protocol.handle_line lines in
+  List.iter
+    (fun resp ->
+      output_string oc (Protocol.response_line resp);
+      output_char oc '\n')
+    responses;
+  flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Serve.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let serve_channels ?(queue_limit = default_queue_limit ()) (ic : in_channel)
+    (oc : out_channel) : unit =
+  Parallel.set_queue_limit queue_limit;
+  let write_mutex = Mutex.create () in
+  let respond resp =
+    Mutex.lock write_mutex;
+    output_string oc (Protocol.response_line resp);
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock write_mutex
+  in
+  (* Inflight accounting: EOF drains before returning so a piped client
+     always sees every response. *)
+  let inflight = ref 0 in
+  let inflight_mutex = Mutex.create () in
+  let inflight_cv = Condition.create () in
+  let incr_inflight () =
+    Mutex.lock inflight_mutex;
+    incr inflight;
+    Mutex.unlock inflight_mutex
+  in
+  let decr_inflight () =
+    Mutex.lock inflight_mutex;
+    decr inflight;
+    Condition.broadcast inflight_cv;
+    Mutex.unlock inflight_mutex
+  in
+  let drain () =
+    Mutex.lock inflight_mutex;
+    while !inflight > 0 do
+      Condition.wait inflight_cv inflight_mutex
+    done;
+    Mutex.unlock inflight_mutex
+  in
+  Api.set_extra_gauges (fun () ->
+      [ ("inflight", Json.Int !inflight) ]);
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> drain ()
+    | line when Protocol.is_comment line -> loop ()
+    | line ->
+        (match Protocol.parse_line line with
+        | Error resp -> respond resp
+        | Ok j when Protocol.is_stats j ->
+            (* answered inline: observable even while saturated *)
+            respond (Api.run_json j)
+        | Ok j ->
+            incr_inflight ();
+            let task () =
+              Fun.protect ~finally:decr_inflight (fun () ->
+                  respond (Api.run_json j))
+            in
+            if not (Parallel.try_submit task) then begin
+              decr_inflight ();
+              Obs.incr c_overloaded;
+              respond
+                (Api.Response.error ~id:(Protocol.request_id j)
+                   Api.Response.Overloaded
+                   (Printf.sprintf
+                      "work queue is full (limit %d); retry later or raise \
+                       %s"
+                      queue_limit queue_env))
+            end);
+        loop ()
+  in
+  loop ()
+
+let serve_socket ?queue_limit ~path () : unit =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      (* one connection at a time: each client gets the full JSON-lines
+         session; the next accept begins when it disconnects *)
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try serve_channels ?queue_limit ic oc
+         with End_of_file | Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        accept_loop ()
+      in
+      accept_loop ())
+
+let serve ?queue_limit ?socket () : unit =
+  match socket with
+  | Some path -> serve_socket ?queue_limit ~path ()
+  | None -> serve_channels ?queue_limit stdin stdout

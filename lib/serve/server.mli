@@ -1,0 +1,27 @@
+(** The persistent analysis service ([tenet serve]) and the offline
+    batch runner ([tenet batch]).  See docs/serving.md for the protocol
+    and the deadline/overload semantics. *)
+
+val default_queue_limit : unit -> int
+(** The bound on waiting requests: [TENET_SERVE_QUEUE], default 64.
+    Raises [Failure] on a malformed value. *)
+
+val batch : in_channel -> out_channel -> unit
+(** Evaluate every JSON-lines request (blank and ['#'] lines skipped)
+    with the order-preserving parallel map and print responses in input
+    order.  Deterministic: the output is byte-identical at any job count
+    and to the same requests run one-shot. *)
+
+val serve_channels : ?queue_limit:int -> in_channel -> out_channel -> unit
+(** The service loop on explicit channels: schedule each request onto
+    the worker pool ([overloaded] response when the bounded queue is
+    full), answer [stats] inline, write responses in completion order
+    (correlate by [id]), and drain in-flight work at EOF. *)
+
+val serve_socket : ?queue_limit:int -> path:string -> unit -> unit
+(** Listen on a Unix socket, serving one JSON-lines connection at a
+    time.  Removes [path] on exit. *)
+
+val serve : ?queue_limit:int -> ?socket:string -> unit -> unit
+(** [serve ()] runs over stdin/stdout; with [~socket] it listens there
+    instead. *)

@@ -55,6 +55,34 @@ let set_jobs n =
   jobs_ref := Some n
 
 (* ------------------------------------------------------------------ *)
+(* Cancellation tokens.                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Cancelled
+
+(* The clock is injectable so deadline expiry is deterministic in tests;
+   the serve scheduler leaves the wall-clock default. *)
+let time_source : (unit -> float) ref = ref Unix.gettimeofday
+let set_time_source f = time_source := f
+let now () = !time_source ()
+
+type token = { t_flag : bool Atomic.t; t_deadline : float option }
+
+let token ?deadline_s () =
+  {
+    t_flag = Atomic.make false;
+    t_deadline = Option.map (fun d -> now () +. d) deadline_s;
+  }
+
+let cancel t = Atomic.set t.t_flag true
+
+let cancelled t =
+  Atomic.get t.t_flag
+  || match t.t_deadline with Some d -> now () >= d | None -> false
+
+let checkpoint t = if cancelled t then raise Cancelled
+
+(* ------------------------------------------------------------------ *)
 (* The pool.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -178,3 +206,54 @@ let map (f : 'a -> 'b) (l : 'a list) : 'b list =
 
 let init (n : int) (f : int -> 'b) : 'b array =
   map_array f (Array.init n (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded task submission (the serve scheduler).                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Tasks submitted here share the queue with [map]'s participate chunks,
+   but only submitted-and-not-yet-started tasks count against the bound:
+   [map] never sees backpressure, and in-flight tasks keep running while
+   new submissions are refused. *)
+let queue_limit = ref max_int
+let n_waiting = ref 0 (* guarded by pool_mutex *)
+
+let set_queue_limit n =
+  if n < 1 then invalid_arg "Parallel.set_queue_limit: limit must be >= 1";
+  queue_limit := n
+
+let waiting () =
+  Mutex.lock pool_mutex;
+  let n = !n_waiting in
+  Mutex.unlock pool_mutex;
+  n
+
+let spawned_workers () =
+  Mutex.lock pool_mutex;
+  let n = !n_spawned in
+  Mutex.unlock pool_mutex;
+  n
+
+let try_submit (f : unit -> unit) : bool =
+  (* A submitted task is drained by a worker, never by the submitting
+     thread, so the pool needs at least one worker even at [jobs () = 1]
+     (where [map] alone would spawn none). *)
+  ensure_workers (max 1 (jobs ()));
+  Mutex.lock pool_mutex;
+  if !n_waiting >= !queue_limit || !shutting_down then begin
+    Mutex.unlock pool_mutex;
+    false
+  end
+  else begin
+    incr n_waiting;
+    Queue.push
+      (fun () ->
+        Mutex.lock pool_mutex;
+        decr n_waiting;
+        Mutex.unlock pool_mutex;
+        f ())
+      queue;
+    Condition.signal pool_cv;
+    Mutex.unlock pool_mutex;
+    true
+  end

@@ -29,3 +29,53 @@ val map_array : ('a -> 'b) -> 'a array -> 'b array
 val init : int -> (int -> 'b) -> 'b array
 (** [init n f] is [Array.init n f] with the calls distributed over the
     pool. *)
+
+(** {2 Cancellation}
+
+    Cooperative cancellation for long-running request pipelines (the
+    serve scheduler): a token is either cancelled explicitly or expires
+    when its deadline passes; pipeline stages poll it between stages. *)
+
+exception Cancelled
+
+type token
+
+val token : ?deadline_s:float -> unit -> token
+(** A fresh token; with [deadline_s] it auto-cancels that many seconds
+    after creation (measured by {!now}). *)
+
+val cancel : token -> unit
+val cancelled : token -> bool
+
+val checkpoint : token -> unit
+(** Raise {!Cancelled} if the token is cancelled or expired. *)
+
+val now : unit -> float
+(** The scheduler clock (wall-clock seconds by default). *)
+
+val set_time_source : (unit -> float) -> unit
+(** Inject a fake clock so deadline expiry is deterministic in tests. *)
+
+(** {2 Bounded task submission}
+
+    The serve scheduler's entry point: submit a task to the worker pool,
+    refusing (backpressure) when too many submitted tasks are already
+    waiting.  [map] chunks share the pool but never count against the
+    bound. *)
+
+val set_queue_limit : int -> unit
+(** Bound on submitted-but-not-yet-started tasks.  Raises
+    [Invalid_argument] on [n < 1].  Default: unbounded. *)
+
+val try_submit : (unit -> unit) -> bool
+(** Enqueue a task for the worker pool, spawning workers up to the
+    {!jobs} degree on first use.  Returns [false] — and does nothing —
+    when the waiting queue is at its limit. *)
+
+val waiting : unit -> int
+(** Submitted tasks not yet started (the queue-depth gauge). *)
+
+val spawned_workers : unit -> int
+(** How many worker domains the pool has spawned so far (they live for
+    the rest of the process).  Tests use this to block every worker
+    deterministically before exercising the overload path. *)

@@ -25,6 +25,16 @@ echo "== model checker sweep (tenet check --all) =="
 dune exec -- tenet check --all --json \
   | grep -q '"failing": 0' || { echo "check sweep failed"; exit 1; }
 
+echo "== serve protocol golden (tenet batch --jobs 4) =="
+# 50+ mixed requests (analyze/volumes/dse/check, duplicates for the
+# result cache, one malformed line, one unknown field, one bad
+# expression, one 1 ms deadline) must reproduce the committed responses
+# byte for byte; see docs/serving.md for the protocol.
+TENET_SERVE_CACHE_MB=64 dune exec -- tenet batch \
+    test/golden/serve_requests.jsonl --jobs 4 \
+  | diff - test/golden/serve_responses.golden.jsonl \
+  || { echo "serve golden mismatch"; exit 1; }
+
 echo "== counting sanitizer shard (TENET_COUNT_VERIFY=1) =="
 # One oracle-test shard re-runs with every symbolic count cross-checked
 # against enumeration; any disagreement raises Count.Verify_mismatch.
@@ -33,14 +43,24 @@ TENET_COUNT_VERIFY=1 dune exec test/test_count_oracle.exe >/dev/null
 echo "== release build =="
 dune build --profile release
 
-echo "== bench smoke (fig6+fig8, release, vs BENCH_seed.json) =="
+echo "== bench smoke (fig6+fig8+serve, release, vs BENCH_seed.json) =="
 bench_dir=$(mktemp -d)
 trap 'rm -rf "$bench_dir"' EXIT
 TENET_BENCH_TIMINGS="$bench_dir" \
-  dune exec --profile release bench/main.exe -- fig6 fig8 >/dev/null
+  dune exec --profile release bench/main.exe -- fig6 fig8 serve >/dev/null
 # Points-only: the enumerated-point counters are deterministic, so this
 # cannot flake on a loaded runner the way wall-clock comparison would.
 scripts/bench_compare.sh --points-only --sections fig6,fig8 \
   "$bench_dir/summary.json" BENCH_seed.json
+
+echo "== serve cache speedup (warm vs cold batch) =="
+# The serve section replays a duplicate-heavy batch cold and warm; the
+# warm pass must be at least 3x faster through the result cache.  The
+# margin is enormous in practice (warm requests are pure cache lookups),
+# so the 3x floor does not flake on a loaded runner.
+awk -F': *' '/"serve_speedup"/ { s = $2 + 0 }
+  END { if (s >= 3) { printf "serve speedup %.1fx (>= 3x)\n", s; exit 0 }
+        printf "serve speedup %.1fx is below the 3x floor\n", s; exit 1 }' \
+  "$bench_dir/summary.json"
 
 echo "CI OK"

@@ -1,0 +1,481 @@
+(* Tests for tenet.serve: the versioned request/response API, the
+   result cache, deadlines, the batch runner and the server loop.
+
+   Determinism hooks used here:
+   - Parallel.set_time_source installs a fake clock so deadline expiry
+     is exact (each now() call advances the clock by a fixed step, so a
+     1-step deadline always expires right after the first stage);
+   - Parallel.set_queue_limit + a gate task that blocks the single
+     worker make the overload path reproducible. *)
+
+module Api = Tenet.Serve.Api
+module Protocol = Tenet.Serve.Protocol
+module Cache = Tenet.Serve.Cache
+module Server = Tenet.Serve.Server
+module Parallel = Tenet.Util.Parallel
+module Json = Tenet.Obs.Json
+module An = Tenet.Analysis
+module M = Tenet.Model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let found = ref false in
+  for i = 0 to nh - nn do
+    if String.sub hay i nn = needle then found := true
+  done;
+  !found
+
+let small_analyze ?(id = "") ?deadline_ms ?(sizes = [ 8; 8; 8 ]) () =
+  {
+    (Api.Request.default Api.Request.Analyze) with
+    Api.Request.id;
+    sizes;
+    deadline_ms;
+  }
+
+(* --- request codec --- *)
+
+let test_request_roundtrip_defaults () =
+  List.iter
+    (fun cmd ->
+      let r = Api.Request.default cmd in
+      (* [cmd] is the one required field, and default ids are empty *)
+      match Api.Request.of_json (Api.Request.to_json r) with
+      | Ok r' -> check_bool "roundtrip" true (r = r')
+      | Error e ->
+          Alcotest.fail (Api.Request.decode_error_message e))
+    [
+      Api.Request.Analyze;
+      Api.Request.Volumes;
+      Api.Request.Dse;
+      Api.Request.Check;
+      Api.Request.Stats;
+    ]
+
+(* Every Table III triple: a request naming the subject's kernel, arch
+   and zoo dataflow survives the codec unchanged. *)
+let test_request_roundtrip_zoo () =
+  let subjects = An.Checker.zoo_subjects () in
+  check_bool "zoo is populated" true (List.length subjects >= 75);
+  List.iteri
+    (fun i (s : An.Checker.subject) ->
+      let r =
+        {
+          (Api.Request.default Api.Request.Check) with
+          Api.Request.id = Printf.sprintf "zoo-%d" i;
+          kernel = s.An.Checker.s_kernel;
+          arch = s.An.Checker.s_arch;
+          dataflow = Some s.An.Checker.s_df.Tenet.Dataflow.Dataflow.name;
+          adjacency = (if i mod 2 = 0 then `Inner_step else `Lex_step);
+          engine = (if i mod 3 = 0 then `Relational else `Concrete);
+          strict = i mod 5 = 0;
+        }
+      in
+      (* through the actual wire format: string, not just Json.t *)
+      let j = Json.parse (Json.to_string (Api.Request.to_json r)) in
+      match Api.Request.of_json j with
+      | Ok r' -> check_bool "roundtrip" true (r = r')
+      | Error e ->
+          Alcotest.fail (Api.Request.decode_error_message e))
+    subjects
+
+let test_request_unknown_field () =
+  match
+    Api.Request.of_json
+      (Json.Obj [ ("cmd", Json.String "analyze"); ("bogus", Json.Int 1) ])
+  with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error e ->
+      check_bool "names the field" true
+        (contains (Api.Request.decode_error_message e) "bogus")
+
+let test_request_missing_cmd () =
+  match Api.Request.of_json (Json.Obj [ ("id", Json.String "x") ]) with
+  | Ok _ -> Alcotest.fail "missing cmd accepted"
+  | Error e ->
+      check_bool "names cmd" true
+        (contains (Api.Request.decode_error_message e) "cmd")
+
+let test_request_bad_version () =
+  match
+    Api.Request.of_json
+      (Json.Obj [ ("cmd", Json.String "stats"); ("api_version", Json.Int 9) ])
+  with
+  | Error (Api.Request.Bad_version 9) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_version 9"
+
+let test_request_type_mismatch () =
+  match
+    Api.Request.of_json
+      (Json.Obj [ ("cmd", Json.String "analyze"); ("window", Json.String "x") ])
+  with
+  | Ok _ -> Alcotest.fail "type mismatch accepted"
+  | Error e ->
+      check_bool "names window" true
+        (contains (Api.Request.decode_error_message e) "window")
+
+let test_fingerprint_ignores_inert_fields () =
+  let a = small_analyze ~id:"a" ~deadline_ms:5 () in
+  let b = small_analyze ~id:"b" () in
+  check_string "same fingerprint" (Api.Request.fingerprint a)
+    (Api.Request.fingerprint b);
+  let c = small_analyze ~id:"a" ~sizes:[ 9; 8; 8 ] () in
+  check_bool "sizes change it" true
+    (Api.Request.fingerprint a <> Api.Request.fingerprint c)
+
+(* --- metrics codec --- *)
+
+(* Canonical round-trip: of_json inverts to_json, and re-serializing
+   gives the same bytes (what cache-hit determinism rests on). *)
+let test_metrics_roundtrip () =
+  List.iter
+    (fun (s : An.Checker.subject) ->
+      let m =
+        M.Concrete.analyze s.An.Checker.s_spec s.An.Checker.s_op
+          s.An.Checker.s_df
+      in
+      let str = Json.to_string (M.Metrics.to_json m) in
+      match M.Metrics.of_json (Json.parse str) with
+      | Error msg -> Alcotest.fail msg
+      | Ok m' ->
+          check_string "canonical bytes" str
+            (Json.to_string (M.Metrics.to_json m')))
+    (match An.Checker.zoo_subjects () with
+    | a :: b :: c :: d :: _ -> [ a; b; c; d ]
+    | l -> l)
+
+(* --- the cache --- *)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~bytes:100 () in
+  Cache.add c ~key:"a" ~size:40 "A";
+  Cache.add c ~key:"b" ~size:40 "B";
+  ignore (Cache.find c "a");
+  (* a is now fresher than b; adding 40 more must evict b, not a *)
+  Cache.add c ~key:"c" ~size:40 "C";
+  check_bool "a kept" true (Cache.find c "a" = Some "A");
+  check_bool "b evicted" true (Cache.find c "b" = None);
+  check_bool "c kept" true (Cache.find c "c" = Some "C");
+  let s = Cache.stats c in
+  check_int "entries" 2 s.Cache.entries;
+  check_int "bytes" 80 s.Cache.bytes;
+  check_int "evictions" 1 s.Cache.evictions
+
+let test_cache_oversized_and_disabled () =
+  let c = Cache.create ~bytes:10 () in
+  Cache.add c ~key:"big" ~size:11 "X";
+  check_bool "oversized not stored" true (Cache.find c "big" = None);
+  let off = Cache.create ~bytes:0 () in
+  Cache.add off ~key:"k" ~size:1 "X";
+  check_bool "disabled" true (Cache.find off "k" = None)
+
+let test_cache_hit_byte_identical () =
+  Api.clear_cache ();
+  let r = small_analyze ~id:"dup" ~sizes:[ 12; 12; 12 ] () in
+  let before = (Api.cache_stats ()).Cache.hits in
+  let l1 = Protocol.response_line (Api.run r) in
+  let l2 = Protocol.response_line (Api.run r) in
+  check_string "byte-identical" l1 l2;
+  check_int "one hit" (before + 1) (Api.cache_stats ()).Cache.hits;
+  check_bool "a real payload" true (contains l1 "\"kind\":\"metrics\"")
+
+let test_errors_not_cached () =
+  Api.clear_cache ();
+  let r =
+    { (small_analyze ~id:"bad" ()) with Api.Request.arch = "no-such-arch" }
+  in
+  let resp = Api.run r in
+  check_bool "is error" true (Api.Response.is_error resp);
+  check_int "nothing stored" 0 (Api.cache_stats ()).Cache.entries
+
+(* --- deadlines --- *)
+
+(* A fake clock that advances one step per reading makes expiry exact:
+   with a deadline shorter than one step, the poll after the first
+   stage always fires. *)
+let with_fake_clock f =
+  let t = ref 0. in
+  Parallel.set_time_source (fun () ->
+      t := !t +. 1.;
+      !t);
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_time_source Unix.gettimeofday)
+    f
+
+let test_deadline_partial_volumes () =
+  Api.clear_cache ();
+  let r =
+    {
+      (Api.Request.default Api.Request.Volumes) with
+      Api.Request.id = "dl";
+      sizes = [ 8; 8; 8 ];
+      deadline_ms = Some 1;
+    }
+  in
+  let resp = with_fake_clock (fun () -> Api.run r) in
+  let b = resp.Api.Response.body in
+  check_string "status" "partial"
+    (Api.Response.status_to_string b.Api.Response.status);
+  check_bool "no raw error" true (b.Api.Response.error = None);
+  (match b.Api.Response.payload with
+  | Some (Api.Response.Volumes { tensors; _ }) ->
+      (* gemm has three tensors; only the first stage ran *)
+      check_int "finished tensors" 1 (List.length tensors)
+  | _ -> Alcotest.fail "expected a volumes payload");
+  (match
+     List.find_opt
+       (fun d -> d.An.Diagnostic.code = "TN013")
+       b.Api.Response.diagnostics
+   with
+  | Some d ->
+      check_bool "names skipped stages" true
+        (contains d.An.Diagnostic.message "volumes[")
+  | None -> Alcotest.fail "expected a TN013 diagnostic");
+  (* partials are not cached: the same request without a deadline
+     computes the full answer *)
+  let full = Api.run { r with Api.Request.deadline_ms = None } in
+  match full.Api.Response.body.Api.Response.payload with
+  | Some (Api.Response.Volumes { tensors; _ }) ->
+      check_int "full tensors" 3 (List.length tensors)
+  | _ -> Alcotest.fail "expected a full volumes payload"
+
+let test_deadline_all_stages_completed () =
+  Api.clear_cache ();
+  (* analyze without --strict has a single stage, which always runs:
+     over-deadline but nothing skipped stays "ok" with a TN013 warning *)
+  let r = small_analyze ~id:"dl-ok" ~deadline_ms:1 () in
+  let resp = with_fake_clock (fun () -> Api.run r) in
+  let b = resp.Api.Response.body in
+  check_string "status" "ok"
+    (Api.Response.status_to_string b.Api.Response.status);
+  check_bool "payload present" true (b.Api.Response.payload <> None);
+  check_bool "TN013 attached" true
+    (List.exists
+       (fun d -> d.An.Diagnostic.code = "TN013")
+       b.Api.Response.diagnostics)
+
+(* --- protocol --- *)
+
+let test_protocol_malformed_line () =
+  (match Protocol.parse_line "not json at all" with
+  | Ok _ -> Alcotest.fail "parsed garbage"
+  | Error resp ->
+      check_bool "is error" true (Api.Response.is_error resp);
+      check_bool "offset in message" true
+        (contains (Protocol.response_line resp) "at "));
+  check_bool "comment" true (Protocol.is_comment "# note");
+  check_bool "blank" true (Protocol.is_comment "   ");
+  check_bool "not comment" false (Protocol.is_comment "{}")
+
+let test_protocol_id_recovery () =
+  let resp = Protocol.handle_line {|{"id":"x7","cmd":"analyze","bogus":1}|} in
+  check_string "id echoed" "x7" resp.Api.Response.id;
+  check_bool "bad_request" true
+    (contains (Protocol.response_line resp) "bad_request")
+
+(* --- batch --- *)
+
+let mixed_lines =
+  [
+    {|{"cmd":"analyze","id":"a1","sizes":[8,8,8]}|};
+    {|# a comment line|};
+    {|{"cmd":"check","id":"c1","sizes":[8,8,8]}|};
+    {|{"cmd":"volumes","id":"v1","sizes":[8,8,8],"tensors":["A"]}|};
+    {|this line is not JSON|};
+    {|{"cmd":"analyze","id":"a2","sizes":[8,8,8]}|};
+    {|{"cmd":"analyze","id":"bad","space":"i%%%"}|};
+    {|{"cmd":"analyze","id":"uf","frobnicate":true}|};
+    {|{"cmd":"analyze","id":"a1-dup","sizes":[8,8,8]}|};
+  ]
+
+let run_batch_to_string lines =
+  let in_file = Filename.temp_file "tenet_batch" ".jsonl" in
+  let out_file = Filename.temp_file "tenet_batch" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove in_file;
+      Sys.remove out_file)
+    (fun () ->
+      let oc = open_out in_file in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      let ic = open_in in_file and oc = open_out out_file in
+      Server.batch ic oc;
+      close_in ic;
+      close_out oc;
+      let ic = open_in out_file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s)
+
+let test_batch_matches_oneshot () =
+  Api.clear_cache ();
+  let batched = run_batch_to_string mixed_lines in
+  Api.clear_cache ();
+  let oneshot =
+    List.filter_map
+      (fun l ->
+        if Protocol.is_comment l then None
+        else Some (Protocol.response_line (Protocol.handle_line l) ^ "\n"))
+      mixed_lines
+    |> String.concat ""
+  in
+  check_string "batch = one-shot" oneshot batched
+
+let test_batch_deterministic_across_jobs () =
+  let saved = Parallel.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs saved)
+    (fun () ->
+      Api.clear_cache ();
+      Parallel.set_jobs 1;
+      let seq = run_batch_to_string mixed_lines in
+      Api.clear_cache ();
+      Parallel.set_jobs 4;
+      let par = run_batch_to_string mixed_lines in
+      check_string "jobs=1 = jobs=4" seq par)
+
+(* --- the server loop: overload and drain --- *)
+
+let test_serve_overload () =
+  Api.clear_cache ();
+  let saved = Parallel.jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.set_queue_limit max_int;
+      Parallel.set_jobs saved)
+    (fun () ->
+      Parallel.set_jobs 1;
+      Parallel.set_queue_limit 64;
+      (* Earlier tests in this binary may have spawned extra worker
+         domains (they live for the rest of the process), so block EVERY
+         worker on a gate we control — otherwise a free worker could
+         drain q1 before the server tries to submit q2, and no refusal
+         would ever be produced. *)
+      let gate = Atomic.make false in
+      let n_started = Atomic.make 0 in
+      let gate_task () =
+        Atomic.incr n_started;
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done
+      in
+      Fun.protect
+        ~finally:(fun () -> Atomic.set gate true)
+        (fun () ->
+          (* the first submission also spawns the pool if needed *)
+          check_bool "gate submitted" true (Parallel.try_submit gate_task);
+          while Atomic.get n_started < 1 do
+            Domain.cpu_relax ()
+          done;
+          let total = Parallel.spawned_workers () in
+          for _ = 2 to total do
+            check_bool "extra gate submitted" true
+              (Parallel.try_submit gate_task)
+          done;
+          while Atomic.get n_started < total do
+            Domain.cpu_relax ()
+          done;
+          (* every worker is busy and the queue is empty; serve with
+             limit 1: req1 queues, req2 must be refused, stats answers
+             inline *)
+          let req_in, req_out = Unix.pipe () in
+          let resp_in, resp_out = Unix.pipe () in
+          let server =
+            Domain.spawn (fun () ->
+                let ic = Unix.in_channel_of_descr req_in in
+                let oc = Unix.out_channel_of_descr resp_out in
+                Server.serve_channels ~queue_limit:1 ic oc;
+                close_out oc)
+          in
+          let oc = Unix.out_channel_of_descr req_out in
+          output_string oc
+            ({|{"cmd":"analyze","id":"q1","sizes":[8,8,8]}|} ^ "\n"
+            ^ {|{"cmd":"analyze","id":"q2","sizes":[9,9,9]}|} ^ "\n"
+            ^ {|{"cmd":"stats","id":"s"}|} ^ "\n");
+          close_out oc;
+          let ic = Unix.in_channel_of_descr resp_in in
+          (* q2's refusal and the inline stats answer arrive while q1 is
+             still stuck behind the gate *)
+          let l1 = input_line ic in
+          let l2 = input_line ic in
+          check_bool "q2 overloaded" true
+            (contains l1 "\"id\":\"q2\"" && contains l1 "overloaded");
+          check_bool "stats inline" true
+            (contains l2 "\"id\":\"s\"" && contains l2 "\"kind\":\"stats\"");
+          (* release the gate: q1 completes and EOF drain lets serve
+             return *)
+          Atomic.set gate true;
+          let l3 = input_line ic in
+          check_bool "q1 completed" true
+            (contains l3 "\"id\":\"q1\"" && contains l3 "\"status\":\"ok\"");
+          Domain.join server;
+          close_in ic))
+
+(* --- stats --- *)
+
+let test_stats_request () =
+  let resp = Api.run (Api.Request.default Api.Request.Stats) in
+  match resp.Api.Response.body.Api.Response.payload with
+  | Some (Api.Response.Stats j) ->
+      check_bool "cache gauge" true (Json.member "cache" j <> None);
+      check_bool "pool gauge" true (Json.member "pool" j <> None)
+  | _ -> Alcotest.fail "expected a stats payload"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "request codec",
+        [
+          Alcotest.test_case "defaults roundtrip" `Quick
+            test_request_roundtrip_defaults;
+          Alcotest.test_case "zoo roundtrip" `Quick test_request_roundtrip_zoo;
+          Alcotest.test_case "unknown field" `Quick test_request_unknown_field;
+          Alcotest.test_case "missing cmd" `Quick test_request_missing_cmd;
+          Alcotest.test_case "bad version" `Quick test_request_bad_version;
+          Alcotest.test_case "type mismatch" `Quick test_request_type_mismatch;
+          Alcotest.test_case "fingerprint" `Quick
+            test_fingerprint_ignores_inert_fields;
+        ] );
+      ( "metrics codec",
+        [ Alcotest.test_case "roundtrip" `Quick test_metrics_roundtrip ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "oversized/disabled" `Quick
+            test_cache_oversized_and_disabled;
+          Alcotest.test_case "hit byte-identical" `Quick
+            test_cache_hit_byte_identical;
+          Alcotest.test_case "errors not cached" `Quick test_errors_not_cached;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "partial volumes" `Quick
+            test_deadline_partial_volumes;
+          Alcotest.test_case "completed over deadline" `Quick
+            test_deadline_all_stages_completed;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "malformed line" `Quick
+            test_protocol_malformed_line;
+          Alcotest.test_case "id recovery" `Quick test_protocol_id_recovery;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "matches one-shot" `Quick
+            test_batch_matches_oneshot;
+          Alcotest.test_case "jobs-count invariant" `Quick
+            test_batch_deterministic_across_jobs;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "overload + drain" `Quick test_serve_overload;
+          Alcotest.test_case "stats" `Quick test_stats_request;
+        ] );
+    ]
