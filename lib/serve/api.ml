@@ -27,7 +27,10 @@
      semantic field, but not [id] or [deadline_ms] — layered above the
      per-set counting caches so repeated and near-duplicate queries (the
      DSE access pattern) are O(lookup).  Identical requests therefore
-     produce byte-identical responses. *)
+     produce byte-identical responses.  Because the fingerprint excludes
+     [deadline_ms], any body carrying a timing-dependent TN013 warning
+     (over-deadline but complete) is excluded from the cache: replaying
+     it for a request with a different (or no) deadline would be a lie. *)
 
 module Isl = Tenet_isl
 module Ir = Tenet_ir
@@ -504,7 +507,12 @@ let kernel_of ~kernel ~sizes =
 
 let op_of (r : Request.t) =
   match r.Request.c_source with
-  | Some src -> Ir.Cfront.parse src
+  | Some src -> (
+      (* [Cfront.parse] raises [Syntax_error] for malformed input, but
+         building the op can also reject e.g. a subscript naming an
+         unknown iterator with [Invalid_argument] — equally a mistake in
+         the client's C source, so surface it as [Bad]. *)
+      try Ir.Cfront.parse src with Invalid_argument msg -> raise (Bad msg))
   | None -> kernel_of ~kernel:r.Request.kernel ~sizes:r.Request.sizes
 
 let arch_of (r : Request.t) =
@@ -635,8 +643,15 @@ exception Strict_failed of An.Diagnostic.t list
 
 let compute_metrics (r : Request.t) spec op df : M.Metrics.t =
   let adjacency = r.Request.adjacency in
-  if r.Request.scale_dims <> [] then
+  if r.Request.scale_dims <> [] then begin
+    let known = Ir.Tensor_op.iter_names op in
+    List.iter
+      (fun d ->
+        if not (List.mem d known) then
+          raise (Bad (Tenet_util.Text.unknown ~what:"scale dim" d known)))
+      r.Request.scale_dims;
     M.Scaled.analyze ~adjacency spec op df ~scale_dims:r.Request.scale_dims
+  end
   else
     match r.Request.engine with
     | `Relational -> M.Model.analyze ~adjacency spec op df
@@ -732,13 +747,16 @@ let run_dse ~token (r : Request.t) : Response.body =
     [
       ( "candidates",
         fun () ->
-          let p =
-            let dims = Arch.Pe_array.dims spec.Arch.Spec.pe in
-            dims.(0)
-          in
+          let rank = Arch.Pe_array.rank spec.Arch.Spec.pe in
+          if rank < 1 || rank > 2 then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "dse needs a 1D or 2D PE array; %s has rank %d"
+                    r.Request.arch rank));
+          let p = (Arch.Pe_array.dims spec.Arch.Spec.pe).(0) in
           cands :=
-            if Arch.Pe_array.rank spec.Arch.Spec.pe = 2 then
-              Dse.candidates_2d op ~p
+            if rank = 2 then Dse.candidates_2d op ~p
             else Dse.candidates_1d op ~p );
       ( "evaluate",
         fun () ->
@@ -862,14 +880,26 @@ let run (r : Request.t) : Response.t =
               Response.error_body ~diagnostics:ds Response.Internal
                 "counting sanitizer mismatch"
           | Failure msg | Invalid_argument msg ->
-              Response.error_body Response.Bad_request msg
+              (* A bare [Failure]/[Invalid_argument] reaching this far is
+                 a broken internal invariant, not a client mistake: every
+                 expected client-error site raises [Bad] (or one of the
+                 typed exceptions above) explicitly. *)
+              Response.error_body Response.Internal msg
           | e ->
               Response.error_body Response.Internal (Printexc.to_string e)
         in
         (* Only complete, successful results are worth replaying; errors
-           are cheap and partials depend on the deadline that cut them. *)
-        if body.Response.status = `Ok && body.Response.error = None then
-          Cache.add cache ~key ~size:(body_size body) body;
+           are cheap, partials depend on the deadline that cut them, and
+           an "ok" body that ran past its deadline carries a TN013
+           warning the deadline-blind fingerprint must never replay. *)
+        if
+          body.Response.status = `Ok
+          && body.Response.error = None
+          && not
+               (List.exists
+                  (fun d -> d.An.Diagnostic.code = "TN013")
+                  body.Response.diagnostics)
+        then Cache.add cache ~key ~size:(body_size body) body;
         respond body
   end
 

@@ -5,11 +5,13 @@
     built on {!Tenet_obs.Json}; the protocol is one JSON object per
     line (see {!Protocol} and docs/serving.md).  [run] never raises:
     malformed inputs become [Bad_request] error responses carrying the
-    parser's offset+fragment diagnostics, deadline expiry becomes a
-    ["partial"] response with a TN013 diagnostic, and complete ["ok"]
-    responses are memoized in a byte-budgeted LRU keyed on the canonical
-    request fingerprint, so identical requests produce byte-identical
-    responses in O(lookup). *)
+    parser's offset+fragment diagnostics (anything else escaping the
+    pipeline — a broken internal invariant — becomes [Internal]),
+    deadline expiry becomes a ["partial"] response with a TN013
+    diagnostic, and complete ["ok"] responses that carry no
+    deadline-dependent warning are memoized in a byte-budgeted LRU keyed
+    on the canonical request fingerprint, so identical requests produce
+    byte-identical responses in O(lookup). *)
 
 module Json = Tenet_obs.Json
 

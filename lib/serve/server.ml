@@ -26,6 +26,16 @@ let c_overloaded = Obs.counter "serve.overloaded"
 
 let queue_env = "TENET_SERVE_QUEUE"
 
+(* OCaml's default SIGPIPE disposition terminates the whole process, so
+   without this a client that disconnects while a response is being
+   written would kill the persistent server.  Ignoring the signal makes
+   broken-pipe writes surface as catchable [Sys_error] / [Unix_error]
+   instead (the handlers around the serve loops rely on this).  Windows
+   has no SIGPIPE; [set_signal] raising there is harmless. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let default_queue_limit () =
   match Sys.getenv_opt queue_env with
   | None | Some "" -> 64
@@ -51,6 +61,7 @@ let read_lines (ic : in_channel) : string list =
   go []
 
 let batch (ic : in_channel) (oc : out_channel) : unit =
+  ignore_sigpipe ();
   let lines =
     List.filter (fun l -> not (Protocol.is_comment l)) (read_lines ic)
   in
@@ -68,14 +79,19 @@ let batch (ic : in_channel) (oc : out_channel) : unit =
 
 let serve_channels ?(queue_limit = default_queue_limit ()) (ic : in_channel)
     (oc : out_channel) : unit =
+  ignore_sigpipe ();
   Parallel.set_queue_limit queue_limit;
   let write_mutex = Mutex.create () in
   let respond resp =
+    (* [Fun.protect]: a failed write (disconnected client) must release
+       the mutex, or every other in-flight responder would deadlock. *)
     Mutex.lock write_mutex;
-    output_string oc (Protocol.response_line resp);
-    output_char oc '\n';
-    flush oc;
-    Mutex.unlock write_mutex
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock write_mutex)
+      (fun () ->
+        output_string oc (Protocol.response_line resp);
+        output_char oc '\n';
+        flush oc)
   in
   (* Inflight accounting: EOF drains before returning so a piped client
      always sees every response. *)

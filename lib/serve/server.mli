@@ -16,7 +16,10 @@ val serve_channels : ?queue_limit:int -> in_channel -> out_channel -> unit
 (** The service loop on explicit channels: schedule each request onto
     the worker pool ([overloaded] response when the bounded queue is
     full), answer [stats] inline, write responses in completion order
-    (correlate by [id]), and drain in-flight work at EOF. *)
+    (correlate by [id]), and drain in-flight work at EOF.  SIGPIPE is
+    ignored on entry (as in {!batch}), so a client disconnecting
+    mid-response surfaces as a catchable I/O error rather than
+    terminating the process. *)
 
 val serve_socket : ?queue_limit:int -> path:string -> unit -> unit
 (** Listen on a Unix socket, serving one JSON-lines connection at a

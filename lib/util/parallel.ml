@@ -106,7 +106,14 @@ let rec worker_loop () =
   else begin
     let task = Queue.pop queue in
     Mutex.unlock pool_mutex;
-    task ();
+    (* A raising task must not kill the worker: the pool never respawns
+       a dead domain ([n_spawned] stays up), so one escaped exception —
+       e.g. a serve response write to a disconnected client — would
+       silently lose capacity for the life of the process, and the
+       [at_exit] join would re-raise it.  [map]'s chunks capture their
+       own exceptions per index; anything reaching here has no caller
+       left to report to. *)
+    (try task () with _ -> ());
     worker_loop ()
   end
 

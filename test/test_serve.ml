@@ -258,6 +258,81 @@ let test_deadline_all_stages_completed () =
        (fun d -> d.An.Diagnostic.code = "TN013")
        b.Api.Response.diagnostics)
 
+let test_deadline_ok_not_cached () =
+  Api.clear_cache ();
+  (* an over-deadline-but-complete "ok" body carries a timing-dependent
+     TN013 warning; the fingerprint is deadline-blind, so caching it
+     would replay the warning for a later identical request with a
+     different (or no) deadline *)
+  let r = small_analyze ~id:"dl-nc" ~deadline_ms:1 () in
+  let _ = with_fake_clock (fun () -> Api.run r) in
+  check_int "warned body not stored" 0 (Api.cache_stats ()).Cache.entries;
+  let clean = Api.run { r with Api.Request.deadline_ms = None } in
+  check_bool "no inherited TN013" true
+    (not
+       (List.exists
+          (fun d -> d.An.Diagnostic.code = "TN013")
+          clean.Api.Response.body.Api.Response.diagnostics));
+  check_int "clean body stored" 1 (Api.cache_stats ()).Cache.entries
+
+(* --- error classification --- *)
+
+let test_error_classification () =
+  (* an unknown iterator in the client's C source is the client's
+     mistake: bad_request, not internal *)
+  let r =
+    {
+      (Api.Request.default Api.Request.Analyze) with
+      Api.Request.id = "cls";
+      c_source =
+        Some
+          "for (i = 0; i < 4; i++)\n\
+           for (j = 0; j < 4; j++)\n\
+           for (k = 0; k < 4; k++)\n\
+           Y[i][j] += A[i][z] * B[k][j];";
+    }
+  in
+  (match Api.run r with
+  | { Api.Response.body = { Api.Response.error = Some (kind, _); _ }; _ } ->
+      check_string "kind" "bad_request"
+        (Api.Response.error_kind_to_string kind)
+  | _ -> Alcotest.fail "expected an error response");
+  (* an unknown scale dim likewise *)
+  let r =
+    { (small_analyze ~id:"sd" ()) with Api.Request.scale_dims = [ "zz" ] }
+  in
+  match Api.run r with
+  | {
+      Api.Response.body = { Api.Response.error = Some (kind, msg); _ };
+      _;
+    } ->
+      check_string "kind" "bad_request"
+        (Api.Response.error_kind_to_string kind);
+      check_bool "names the dim" true (contains msg "zz")
+  | _ -> Alcotest.fail "expected an error response"
+
+(* --- the pool: a raising task must not kill its worker --- *)
+
+let test_worker_survives_raising_task () =
+  Parallel.set_queue_limit max_int;
+  (* pre-fix, the sole worker domain died on the exception and the
+     follow-up task was never drained *)
+  check_bool "raising task submitted" true
+    (Parallel.try_submit (fun () -> failwith "boom"));
+  (* earlier tests may have grown the pool; poison every worker so the
+     follow-up cannot dodge the dead one *)
+  for _ = 2 to Parallel.spawned_workers () do
+    ignore (Parallel.try_submit (fun () -> failwith "boom"))
+  done;
+  let hit = Atomic.make false in
+  check_bool "follow-up submitted" true
+    (Parallel.try_submit (fun () -> Atomic.set hit true));
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Atomic.get hit)) && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  check_bool "worker survived the exception" true (Atomic.get hit)
+
 (* --- protocol --- *)
 
 let test_protocol_malformed_line () =
@@ -459,6 +534,18 @@ let () =
             test_deadline_partial_volumes;
           Alcotest.test_case "completed over deadline" `Quick
             test_deadline_all_stages_completed;
+          Alcotest.test_case "ok over deadline not cached" `Quick
+            test_deadline_ok_not_cached;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "client vs internal classification" `Quick
+            test_error_classification;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "worker survives raising task" `Quick
+            test_worker_survives_raising_task;
         ] );
       ( "protocol",
         [
