@@ -13,6 +13,7 @@
 module Api = Tenet.Serve.Api
 module Cache = Tenet.Serve.Cache
 module Json = Tenet.Obs.Json
+module Obs = Tenet.Obs
 
 let distinct_requests () : Api.Request.t list =
   let analyze ~id ?(sizes = [ 32; 32; 32 ]) ?dataflow ?(arch = "tpu-8x8-systolic")
@@ -90,6 +91,18 @@ let run () =
     (float_of_int (List.length batch) /. warm_s);
   Bench_util.row "speedup:    %8.1fx  (cache: %d entries, %d hits, %d misses)\n"
     speedup c.Cache.entries c.Cache.hits c.Cache.misses;
+  (* Latency quantiles over every request of both passes (the section
+     harness armed telemetry, so Api.run observed each one), and the
+     warm pass's throughput: the ROADMAP item-2 fleet-sizing numbers. *)
+  let h = Obs.histogram "serve.request_latency" in
+  let p99_ms = 1e3 *. Obs.quantile h 0.99 in
+  let p50_ms = 1e3 *. Obs.quantile h 0.5 in
+  let warm_rps = float_of_int (List.length batch) /. Float.max warm_s 1e-9 in
+  Bench_util.row "latency:    p50 %.3f ms, p99 %.3f ms (%d observed)\n"
+    p50_ms p99_ms (Obs.hist_count h);
   Bench_util.summary_extra "serve_cold_s" (Json.Float cold_s);
   Bench_util.summary_extra "serve_warm_s" (Json.Float warm_s);
-  Bench_util.summary_extra "serve_speedup" (Json.Float speedup)
+  Bench_util.summary_extra "serve_speedup" (Json.Float speedup);
+  Bench_util.summary_extra "serve_p50_ms" (Json.Float p50_ms);
+  Bench_util.summary_extra "serve_p99_ms" (Json.Float p99_ms);
+  Bench_util.summary_extra "serve_throughput_rps" (Json.Float warm_rps)

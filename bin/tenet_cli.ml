@@ -33,6 +33,7 @@ module Json = Tenet.Obs.Json
 module An = Tenet.Analysis
 module Api = Tenet.Serve.Api
 module Server = Tenet.Serve.Server
+module Access_log = Tenet.Serve.Access_log
 open Cmdliner
 
 let parse_sizes s =
@@ -561,10 +562,21 @@ let batch_cmd =
     Term.(ret (const run $ file_t $ jobs_t $ trace_t $ stats_t))
 
 let serve_cmd =
-  let run socket queue jobs =
+  let run socket queue jobs access_log sample =
     wrap (fun () ->
         apply_jobs jobs;
-        Server.serve ?queue_limit:queue ?socket ())
+        (match sample with
+        | Some n when n < 1 ->
+            failwith "--access-log-sample must be a positive integer"
+        | _ -> ());
+        (match access_log with
+        | Some path -> Access_log.configure ?sample path
+        | None ->
+            if sample <> None then
+              failwith "--access-log-sample requires --access-log");
+        Fun.protect
+          ~finally:(fun () -> Access_log.disable ())
+          (fun () -> Server.serve ?queue_limit:queue ?socket ()))
   in
   let socket_t =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
@@ -576,14 +588,27 @@ let serve_cmd =
            ~doc:"Bound on waiting requests before the service answers \
                  'overloaded' (default \\$TENET_SERVE_QUEUE, or 64).")
   in
+  let access_log_t =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one JSON line per completed request (id, trace, \
+                 fingerprint, status, cache outcome, latency, queue wait; \
+                 see docs/serving.md).")
+  in
+  let sample_t =
+    Arg.(value & opt (some int) None & info [ "access-log-sample" ] ~docv:"N"
+           ~doc:"Log every Nth completed request (default 1: log all); \
+                 requires --access-log.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent analysis service: JSON-lines requests on \
           stdin (or --socket), responses in completion order correlated \
-          by id, per-request deadlines, backpressure, and a cross-request \
-          result cache (docs/serving.md).")
-    Term.(ret (const run $ socket_t $ queue_t $ jobs_t))
+          by id, per-request deadlines, backpressure, a cross-request \
+          result cache, live stats with Prometheus exposition, and an \
+          optional access log (docs/serving.md).")
+    Term.(ret (const run $ socket_t $ queue_t $ jobs_t $ access_log_t
+               $ sample_t))
 
 let archs_cmd =
   let run () =

@@ -1,14 +1,21 @@
-(* Telemetry: hierarchical spans, named counters and histograms, and
-   exporters (human summary, Chrome-trace JSON, flat stats JSON).
+(* Telemetry: hierarchical spans, named counters, log-bucketed quantile
+   histograms, snapshot/delta windows, and exporters (human summary,
+   Chrome-trace JSON, flat stats JSON, Prometheus text exposition).
 
    Design constraints, in order:
    1. Zero-cost when disabled (the default).  Every recording entry point
       first reads one mutable bool; instrumented hot loops (the counting
       engine visits millions of points) must pay only that check.
-   2. Global registry.  Instrumentation sites hold a [counter] cell
-      obtained once at module init, so the enabled-mode cost of a counter
-      bump is a field update, not a hashtable probe.
-   3. Deterministic for tests.  The clock is injectable ([set_clock]), and
+   2. Global registry.  Instrumentation sites hold a [counter] or
+      [histogram] cell obtained once at module init, so the enabled-mode
+      cost of a bump is a handful of atomic updates, not a hashtable
+      probe or a global mutex.
+   3. Service-grade.  A long-running `tenet serve` process keeps
+      telemetry enabled for its whole life, so every recording structure
+      is bounded: completed spans live in a ring buffer, slow-request
+      span trees in a K-bounded exemplar store, and rates over a recent
+      window come from {!Snapshot.diff} — never from [reset].
+   4. Deterministic for tests.  The clock is injectable ([set_clock]), and
       exporters sort by name / completion order so the JSON shape is
       stable under a fake clock.
 
@@ -17,11 +24,15 @@
    trace exporter emits them as "X" (complete) events on one pid/tid;
    chrome://tracing and Perfetto reconstruct the nesting from ts/dur.
 
-   Domain-safety: the counting engine and the DSE evaluator run on
-   multiple domains (Tenet_util.Parallel), so counter cells are
-   [Atomic.t]-backed, span depth is domain-local, and every cold-path
-   structure (registry, histogram cells, completed-span list) is guarded
-   by one mutex.  The disabled path is still a single bool check. *)
+   Domain-safety: the counting engine, the DSE evaluator and the serve
+   workers run on multiple domains (Tenet_util.Parallel), so counter and
+   histogram cells are [Atomic.t]-backed, span depth and the current
+   trace id are domain-local, and every cold-path structure (registry,
+   span ring, exemplars) is guarded by one mutex.  The disabled path is
+   still a single bool check.  [reset] bumps a global epoch that stales
+   every domain's local depth, so worker domains that held a nonzero
+   span depth across a reset restart from depth 0 instead of skewing
+   later nesting. *)
 
 module Json = Json
 
@@ -31,21 +42,55 @@ module Json = Json
 
 type counter = { c_name : string; c_cell : int Atomic.t }
 
+(* Log-spaced histogram bucket upper bounds: {1, 2, 5} x 10^k for
+   k = -9 .. 8, shared by every histogram so snapshots can be diffed
+   bucket-by-bucket.  Values above the last bound land in an implicit
+   +Inf overflow bucket; values <= 0 land in the first bucket. *)
+let bucket_bounds : float array =
+  Array.init 54 (fun i ->
+      let k = (i / 3) - 9 in
+      let m = match i mod 3 with 0 -> 1. | 1 -> 2. | _ -> 5. in
+      m *. (10. ** float_of_int k))
+
+let n_buckets = Array.length bucket_bounds + 1 (* + overflow *)
+
+(* First bucket whose upper bound is >= v (binary search; the overflow
+   bucket catches everything beyond the last bound). *)
+let bucket_index (v : float) : int =
+  let n = Array.length bucket_bounds in
+  if not (v <= bucket_bounds.(n - 1)) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bucket_bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
 type histogram = {
   h_name : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+  h_buckets : int Atomic.t array; (* length [n_buckets] *)
 }
 
 type span = {
   sp_name : string;
   sp_args : (string * string) list;
+  sp_trace : string; (* request/trace id; "" when untraced *)
   sp_start : float; (* seconds, relative to [epoch] *)
   sp_dur : float;
   sp_depth : int; (* nesting depth at the time the span was open *)
   sp_seq : int; (* completion order, 0-based *)
+}
+
+type exemplar = {
+  ex_trace : string;
+  ex_dur : float; (* root span duration, seconds *)
+  ex_spans : span list; (* full tree, completion order, root last *)
 }
 
 let enabled_flag = ref false
@@ -53,15 +98,68 @@ let clock : (unit -> float) ref = ref Unix.gettimeofday
 let epoch = ref 0.
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let completed : span list ref = ref [] (* newest first *)
 let seq = ref 0
+
+(* Completed spans: a bounded ring so a long-running server retains the
+   most recent [span_capacity] spans instead of growing without bound.
+   All four cells are guarded by [state_mutex]; the array is reallocated
+   lazily when the capacity changes. *)
+let default_span_capacity = 4096
+let span_capacity = ref default_span_capacity
+let ring : span option array ref = ref [||]
+let ring_start = ref 0 (* index of the oldest retained span *)
+let ring_len = ref 0
+let n_spans_dropped = ref 0
+
+(* Slow-request exemplars: the span trees of the K slowest traced
+   requests, slowest first.  Guarded by [state_mutex]. *)
+let default_exemplar_capacity = 8
+let exemplar_capacity = ref default_exemplar_capacity
+let exemplars_list : exemplar list ref = ref []
+
+(* [reset] bumps this; every piece of domain-local state is stamped with
+   the epoch it was written under and treated as zero when stale, so a
+   reset on one domain cannot leave skewed span depths (or a half-built
+   request accumulator) alive on pool worker domains. *)
+let reset_epoch = Atomic.make 0
 
 (* Span nesting depth is per-domain: concurrent spans on worker domains
    nest against their own domain's stack, not each other's. *)
-let depth_key = Domain.DLS.new_key (fun () -> 0)
+let depth_key = Domain.DLS.new_key (fun () -> (0, 0)) (* epoch, depth *)
 
-(* One lock for every cold-path structure above (registry, histograms,
-   completed spans).  Counter bumps never take it. *)
+let get_depth () =
+  let e, d = Domain.DLS.get depth_key in
+  if e = Atomic.get reset_epoch then d else 0
+
+let set_depth d = Domain.DLS.set depth_key (Atomic.get reset_epoch, d)
+
+(* The current trace id (usually the serve request id), per-domain. *)
+let trace_key = Domain.DLS.new_key (fun () -> "")
+let current_trace () = Domain.DLS.get trace_key
+
+let with_trace ~(trace : string) (f : unit -> 'a) : 'a =
+  let prev = Domain.DLS.get trace_key in
+  Domain.DLS.set trace_key trace;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set trace_key prev) f
+
+(* Per-domain accumulator for the current traced request's completed
+   spans (feeds the exemplar store when the root span closes).  Bounded:
+   a pathological request cannot grow it past [acc_span_cap]. *)
+let acc_span_cap = 1024
+let acc_key = Domain.DLS.new_key (fun () -> (0, ref ([] : span list), ref 0))
+
+let acc_cells () =
+  let e, spans, count = Domain.DLS.get acc_key in
+  let cur = Atomic.get reset_epoch in
+  if e = cur then (spans, count)
+  else begin
+    let spans = ref [] and count = ref 0 in
+    Domain.DLS.set acc_key (cur, spans, count);
+    (spans, count)
+  end
+
+(* One lock for every cold-path structure above (registry, span ring,
+   exemplars).  Counter and histogram bumps never take it. *)
 let state_mutex = Mutex.create ()
 
 let locked f =
@@ -79,15 +177,28 @@ let disable () = enabled_flag := false
 let reset () =
   locked (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) counters_tbl;
-      Hashtbl.reset histograms_tbl;
-      completed := [];
+      Hashtbl.iter
+        (fun _ h ->
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0.;
+          Atomic.set h.h_min infinity;
+          Atomic.set h.h_max neg_infinity;
+          Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+        histograms_tbl;
+      ring_start := 0;
+      ring_len := 0;
+      n_spans_dropped := 0;
+      exemplars_list := [];
       seq := 0);
-  Domain.DLS.set depth_key 0;
+  Atomic.incr reset_epoch;
+  Domain.DLS.set depth_key (Atomic.get reset_epoch, 0);
   epoch := !clock ()
 
 let set_clock f =
   clock := f;
   epoch := f ()
+
+let now () = !clock ()
 
 (* ------------------------------------------------------------------ *)
 (* Counters.                                                           *)
@@ -125,56 +236,375 @@ let counters () : (string * int) list =
 (* Histograms.                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let observe (name : string) (v : float) : unit =
-  if !enabled_flag then
-    locked (fun () ->
-        let h =
-          match Hashtbl.find_opt histograms_tbl name with
-          | Some h -> h
-          | None ->
-              let h =
-                { h_name = name; h_count = 0; h_sum = 0.; h_min = infinity;
-                  h_max = neg_infinity }
-              in
-              Hashtbl.add histograms_tbl name h;
-              h
-        in
-        h.h_count <- h.h_count + 1;
-        h.h_sum <- h.h_sum +. v;
-        if v < h.h_min then h.h_min <- v;
-        if v > h.h_max then h.h_max <- v)
+(* Lock-free float cells: CAS loops over the boxed value.  Contention is
+   per-histogram and observations are rare next to counter bumps. *)
+let rec atomic_add_float (a : float Atomic.t) (v : float) =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. v)) then atomic_add_float a v
 
+let rec atomic_min_float (a : float Atomic.t) (v : float) =
+  let old = Atomic.get a in
+  if v < old && not (Atomic.compare_and_set a old v) then atomic_min_float a v
+
+let rec atomic_max_float (a : float Atomic.t) (v : float) =
+  let old = Atomic.get a in
+  if v > old && not (Atomic.compare_and_set a old v) then atomic_max_float a v
+
+(* Find-or-create, like {!counter}: hot paths pre-register the cell so
+   an observation is a few atomic updates and never takes the mutex. *)
+let histogram (name : string) : histogram =
+  locked (fun () ->
+      match Hashtbl.find_opt histograms_tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              h_count = Atomic.make 0;
+              h_sum = Atomic.make 0.;
+              h_min = Atomic.make infinity;
+              h_max = Atomic.make neg_infinity;
+              h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+            }
+          in
+          Hashtbl.add histograms_tbl name h;
+          h)
+
+let observe_h (h : histogram) (v : float) : unit =
+  if !enabled_flag then begin
+    Atomic.incr h.h_count;
+    atomic_add_float h.h_sum v;
+    atomic_min_float h.h_min v;
+    atomic_max_float h.h_max v;
+    Atomic.incr h.h_buckets.(bucket_index v)
+  end
+
+let observe (name : string) (v : float) : unit =
+  if !enabled_flag then observe_h (histogram name) v
+
+let hist_count (h : histogram) : int = Atomic.get h.h_count
+let hist_sum (h : histogram) : float = Atomic.get h.h_sum
+
+let hist_min (h : histogram) : float =
+  if hist_count h = 0 then 0. else Atomic.get h.h_min
+
+let hist_max (h : histogram) : float =
+  if hist_count h = 0 then 0. else Atomic.get h.h_max
+
+let hist_buckets (h : histogram) : int array = Array.map Atomic.get h.h_buckets
+
+(* Quantile estimation over the log buckets: find the bucket holding the
+   target rank, interpolate linearly inside it, clamp to the observed
+   min/max (which tightens the first/last bucket considerably). *)
+let quantile_from ~(count : int) ~(vmin : float) ~(vmax : float)
+    (buckets : int array) (q : float) : float =
+  if count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int count in
+    let nb = Array.length buckets in
+    let rec go i cum =
+      if i >= nb then vmax
+      else begin
+        let c = buckets.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= rank then begin
+          let lower = if i = 0 then 0. else bucket_bounds.(i - 1) in
+          let upper =
+            if i < Array.length bucket_bounds then bucket_bounds.(i) else vmax
+          in
+          let frac = (rank -. float_of_int cum) /. float_of_int c in
+          Float.max vmin (Float.min vmax (lower +. ((upper -. lower) *. frac)))
+        end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
+let quantile (h : histogram) (q : float) : float =
+  quantile_from ~count:(hist_count h) ~vmin:(hist_min h) ~vmax:(hist_max h)
+    (hist_buckets h) q
+
+(* Only histograms with at least one observation: registered-but-silent
+   cells (pre-registration is cheap and common) are not "data". *)
 let histograms () : histogram list =
   locked (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) histograms_tbl [])
+  |> List.filter (fun h -> hist_count h > 0)
   |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: lifetime totals and recent-window deltas.                *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  type hist = {
+    hs_count : int;
+    hs_sum : float;
+    hs_min : float;
+    hs_max : float;
+    hs_buckets : int array;
+  }
+
+  type t = {
+    s_at : float; (* clock reading when taken *)
+    s_duration : float; (* seconds this snapshot covers *)
+    s_counters : (string * int) list; (* sorted by name *)
+    s_hists : (string * hist) list; (* sorted by name *)
+  }
+
+  let take () : t =
+    let at = !clock () in
+    {
+      s_at = at;
+      s_duration = at -. !epoch;
+      s_counters = counters ();
+      s_hists =
+        List.map
+          (fun h ->
+            ( h.h_name,
+              {
+                hs_count = hist_count h;
+                hs_sum = hist_sum h;
+                hs_min = hist_min h;
+                hs_max = hist_max h;
+                hs_buckets = hist_buckets h;
+              } ))
+          (histograms ());
+    }
+
+  let counter (t : t) (name : string) : int =
+    match List.assoc_opt name t.s_counters with Some v -> v | None -> 0
+
+  let hist (t : t) (name : string) : hist option =
+    List.assoc_opt name t.s_hists
+
+  let quantile (h : hist) (q : float) : float =
+    quantile_from ~count:h.hs_count ~vmin:h.hs_min ~vmax:h.hs_max h.hs_buckets
+      q
+
+  let mean (h : hist) : float =
+    if h.hs_count = 0 then 0. else h.hs_sum /. float_of_int h.hs_count
+
+  (* The window [older .. newer]: counters and bucket counts subtract
+     (clamped at 0 in case a reset happened in between); the window's
+     min/max are re-derived from the surviving delta buckets, so window
+     quantiles interpolate against window bounds, not lifetime ones. *)
+  let diff ~(newer : t) ~(older : t) : t =
+    let dcounters =
+      List.map
+        (fun (name, v) -> (name, max 0 (v - counter older name)))
+        newer.s_counters
+    in
+    let dhist name (h : hist) : hist =
+      let old_buckets =
+        match List.assoc_opt name older.s_hists with
+        | Some o -> o.hs_buckets
+        | None -> Array.make (Array.length h.hs_buckets) 0
+      in
+      let buckets =
+        Array.mapi (fun i c -> max 0 (c - old_buckets.(i))) h.hs_buckets
+      in
+      let old_count, old_sum =
+        match List.assoc_opt name older.s_hists with
+        | Some o -> (o.hs_count, o.hs_sum)
+        | None -> (0, 0.)
+      in
+      let count = max 0 (h.hs_count - old_count) in
+      let nb = Array.length buckets in
+      let lo = ref (-1) and hi = ref (-1) in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            if !lo < 0 then lo := i;
+            hi := i
+          end)
+        buckets;
+      let vmin =
+        if count = 0 || !lo < 0 then 0.
+        else if !lo = 0 then Float.min h.hs_min bucket_bounds.(0)
+        else bucket_bounds.(!lo - 1)
+      in
+      let vmax =
+        if count = 0 || !hi < 0 then 0.
+        else if !hi >= nb - 1 then h.hs_max
+        else bucket_bounds.(!hi)
+      in
+      {
+        hs_count = count;
+        hs_sum = h.hs_sum -. old_sum;
+        hs_min = vmin;
+        hs_max = vmax;
+        hs_buckets = buckets;
+      }
+    in
+    {
+      s_at = newer.s_at;
+      s_duration = newer.s_at -. older.s_at;
+      s_counters = dcounters;
+      s_hists = List.map (fun (name, h) -> (name, dhist name h)) newer.s_hists;
+    }
+
+  (* [rate t name] is events per second over the snapshot's duration. *)
+  let rate (t : t) (name : string) : float =
+    if t.s_duration <= 0. then 0.
+    else float_of_int (counter t name) /. t.s_duration
+
+  let hist_json (h : hist) : Json.t =
+    Json.Obj
+      [
+        ("count", Json.Int h.hs_count);
+        ("sum", Json.Float h.hs_sum);
+        ("min", Json.Float h.hs_min);
+        ("max", Json.Float h.hs_max);
+        ("mean", Json.Float (mean h));
+        ("p50", Json.Float (quantile h 0.5));
+        ("p90", Json.Float (quantile h 0.9));
+        ("p99", Json.Float (quantile h 0.99));
+        ("p999", Json.Float (quantile h 0.999));
+      ]
+
+  let to_json (t : t) : Json.t =
+    Json.Obj
+      [
+        ("at", Json.Float t.s_at);
+        ("duration_s", Json.Float t.s_duration);
+        ( "counters",
+          Json.Obj
+            (List.filter_map
+               (fun (name, v) ->
+                 if v = 0 then None else Some (name, Json.Int v))
+               t.s_counters) );
+        ( "histograms",
+          Json.Obj
+            (List.filter_map
+               (fun (name, h) ->
+                 if h.hs_count = 0 then None else Some (name, hist_json h))
+               t.s_hists) );
+      ]
+end
 
 (* ------------------------------------------------------------------ *)
 (* Spans.                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let set_span_capacity (n : int) : unit =
+  if n < 0 then invalid_arg "Obs.set_span_capacity: capacity must be >= 0";
+  locked (fun () ->
+      span_capacity := n;
+      ring := [||];
+      ring_start := 0;
+      ring_len := 0)
+
+let spans_dropped () : int = locked (fun () -> !n_spans_dropped)
+
+(* Called under [state_mutex]. *)
+let record_completed (sp : span) : unit =
+  let cap = !span_capacity in
+  if cap = 0 then Stdlib.incr n_spans_dropped
+  else begin
+    if Array.length !ring <> cap then begin
+      ring := Array.make cap None;
+      ring_start := 0;
+      ring_len := 0
+    end;
+    let r = !ring in
+    if !ring_len < cap then begin
+      r.((!ring_start + !ring_len) mod cap) <- Some sp;
+      Stdlib.incr ring_len
+    end
+    else begin
+      r.(!ring_start) <- Some sp;
+      ring_start := (!ring_start + 1) mod cap;
+      Stdlib.incr n_spans_dropped
+    end
+  end
+
+let set_exemplar_capacity (n : int) : unit =
+  if n < 0 then invalid_arg "Obs.set_exemplar_capacity: capacity must be >= 0";
+  locked (fun () ->
+      exemplar_capacity := n;
+      let rec take k = function
+        | x :: r when k > 0 -> x :: take (k - 1) r
+        | _ -> []
+      in
+      exemplars_list := take n !exemplars_list)
+
+(* One entry per trace id: a fan-out inside a traced request can record
+   depth-0 spans on worker domains under the same trace; the request's
+   real root encloses them all, so keeping the longest entry per trace
+   keeps the root. *)
+let offer_exemplar (ex : exemplar) : unit =
+  locked (fun () ->
+      if
+        List.exists
+          (fun e -> e.ex_trace = ex.ex_trace && e.ex_dur >= ex.ex_dur)
+          !exemplars_list
+      then ()
+      else begin
+        let l =
+          List.filter (fun e -> e.ex_trace <> ex.ex_trace) !exemplars_list
+        in
+        let rec insert = function
+          | e :: r when e.ex_dur >= ex.ex_dur -> e :: insert r
+          | l -> ex :: l
+        in
+        let rec take k = function
+          | x :: r when k > 0 -> x :: take (k - 1) r
+          | _ -> []
+        in
+        exemplars_list := take !exemplar_capacity (insert l)
+      end)
+
+let exemplars () : exemplar list = locked (fun () -> !exemplars_list)
+
 let with_span ?(args : (string * string) list = []) (name : string)
     (f : unit -> 'a) : 'a =
   if not !enabled_flag then f ()
   else begin
-    let d = Domain.DLS.get depth_key in
-    Domain.DLS.set depth_key (d + 1);
+    let d = get_depth () in
+    set_depth (d + 1);
+    let trace = current_trace () in
+    (* a traced root span opens a fresh request accumulation *)
+    (if d = 0 && trace <> "" then begin
+       let spans, count = acc_cells () in
+       spans := [];
+       count := 0
+     end);
     let t0 = !clock () in
     let finish () =
       let t1 = !clock () in
-      Domain.DLS.set depth_key d;
-      locked (fun () ->
-          let sp =
-            {
-              sp_name = name;
-              sp_args = args;
-              sp_start = t0 -. !epoch;
-              sp_dur = t1 -. t0;
-              sp_depth = d;
-              sp_seq = !seq;
-            }
-          in
-          seq := !seq + 1;
-          completed := sp :: !completed)
+      set_depth d;
+      let sp =
+        locked (fun () ->
+            let sp =
+              {
+                sp_name = name;
+                sp_args = args;
+                sp_trace = trace;
+                sp_start = t0 -. !epoch;
+                sp_dur = t1 -. t0;
+                sp_depth = d;
+                sp_seq = !seq;
+              }
+            in
+            seq := !seq + 1;
+            record_completed sp;
+            sp)
+      in
+      if trace <> "" then begin
+        let spans, count = acc_cells () in
+        if !count < acc_span_cap then begin
+          spans := sp :: !spans;
+          Stdlib.incr count
+        end;
+        if d = 0 then begin
+          offer_exemplar
+            { ex_trace = trace; ex_dur = sp.sp_dur; ex_spans = List.rev !spans };
+          spans := [];
+          count := 0
+        end
+      end
     in
     match f () with
     | r ->
@@ -185,9 +615,17 @@ let with_span ?(args : (string * string) list = []) (name : string)
         raise e
   end
 
-(* Completed spans in completion order (inner spans before the parents
-   that enclose them). *)
-let spans () : span list = List.rev (locked (fun () -> !completed))
+(* Retained completed spans in completion order (inner spans before the
+   parents that enclose them); the ring keeps the most recent
+   [span_capacity], and {!spans_dropped} counts the overflow. *)
+let spans () : span list =
+  locked (fun () ->
+      let r = !ring in
+      let cap = Array.length r in
+      List.init !ring_len (fun i ->
+          match r.((!ring_start + i) mod cap) with
+          | Some sp -> sp
+          | None -> assert false))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation & exporters.                                            *)
@@ -252,9 +690,11 @@ let summary () : string =
   end;
   List.iter
     (fun h ->
-      Buffer.add_string buf
-        (Printf.sprintf "%-32s n=%d sum=%g min=%g max=%g\n" h.h_name h.h_count
-           h.h_sum h.h_min h.h_max))
+      if hist_count h > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%-32s n=%d sum=%g min=%g p50=%g p99=%g max=%g\n"
+             h.h_name (hist_count h) (hist_sum h) (hist_min h)
+             (quantile h 0.5) (quantile h 0.99) (hist_max h)))
     (histograms ());
   Buffer.contents buf
 
@@ -268,6 +708,8 @@ let chrome_trace () : Json.t =
       (fun sp ->
         let args =
           List.map (fun (k, v) -> (k, Json.String v)) sp.sp_args
+          @ (if sp.sp_trace = "" then []
+             else [ ("trace", Json.String sp.sp_trace) ])
         in
         Json.Obj
           [
@@ -309,7 +751,19 @@ let chrome_trace () : Json.t =
       ("traceEvents", Json.List (span_events @ counter_events));
     ]
 
-(* Flat stats JSON: counters, span aggregates, histograms. *)
+let span_json (sp : span) : Json.t =
+  Json.Obj
+    ([
+       ("name", Json.String sp.sp_name);
+       ("start_s", Json.Float sp.sp_start);
+       ("dur_s", Json.Float sp.sp_dur);
+       ("depth", Json.Int sp.sp_depth);
+     ]
+    @ if sp.sp_trace = "" then [] else [ ("trace", Json.String sp.sp_trace) ])
+
+(* Flat stats JSON: counters, span aggregates, histograms (with
+   quantiles), and — when any traced request completed — the slowest
+   request exemplars. *)
 let stats () : Json.t =
   let counter_fields =
     List.filter_map
@@ -331,34 +785,145 @@ let stats () : Json.t =
          (span_stats ()))
   in
   let histogram_fields =
-    List.map
+    List.filter_map
       (fun h ->
-        ( h.h_name,
-          Json.Obj
-            [
-              ("count", Json.Int h.h_count);
-              ("sum", Json.Float h.h_sum);
-              ("min", Json.Float h.h_min);
-              ("max", Json.Float h.h_max);
-              ( "mean",
-                Json.Float
-                  (if h.h_count = 0 then 0.
-                   else h.h_sum /. float_of_int h.h_count) );
-            ] ))
+        if hist_count h = 0 then None
+        else
+          Some
+            ( h.h_name,
+              Json.Obj
+                [
+                  ("count", Json.Int (hist_count h));
+                  ("sum", Json.Float (hist_sum h));
+                  ("min", Json.Float (hist_min h));
+                  ("max", Json.Float (hist_max h));
+                  ( "mean",
+                    Json.Float (hist_sum h /. float_of_int (hist_count h)) );
+                  ("p50", Json.Float (quantile h 0.5));
+                  ("p90", Json.Float (quantile h 0.9));
+                  ("p99", Json.Float (quantile h 0.99));
+                  ("p999", Json.Float (quantile h 0.999));
+                ] ))
       (histograms ())
   in
+  let exemplar_fields =
+    match exemplars () with
+    | [] -> []
+    | exs ->
+        [
+          ( "exemplars",
+            Json.List
+              (List.map
+                 (fun ex ->
+                   Json.Obj
+                     [
+                       ("trace", Json.String ex.ex_trace);
+                       ("dur_s", Json.Float ex.ex_dur);
+                       ("spans", Json.List (List.map span_json ex.ex_spans));
+                     ])
+                 exs) );
+        ]
+  in
+  let dropped = spans_dropped () in
   Json.Obj
-    [
-      ("counters", Json.Obj counter_fields);
-      ("spans", Json.Obj span_fields);
-      ("histograms", Json.Obj histogram_fields);
-    ]
+    ([
+       ("counters", Json.Obj counter_fields);
+       ("spans", Json.Obj span_fields);
+       ("histograms", Json.Obj histogram_fields);
+     ]
+    @ (if dropped = 0 then [] else [ ("spans_dropped", Json.Int dropped) ])
+    @ exemplar_fields)
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (format version 0.0.4).                  *)
+(* ------------------------------------------------------------------ *)
+
+let prometheus_name (name : string) : string =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prometheus_float (f : float) : string =
+  if not (Float.is_finite f) then if f > 0. then "+Inf" else "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+(* Render every registered counter (as [<name>_total]), every non-empty
+   histogram (cumulative [_bucket{le=...}] series plus [_sum]/[_count]),
+   plus caller-supplied gauges and extra counters (the serve layer's
+   queue/cache gauges).  Sorted by name within each kind, every metric
+   preceded by HELP and TYPE lines. *)
+let prometheus ?(extra_counters : (string * int) list = [])
+    ?(gauges : (string * float) list = []) () : string =
+  let buf = Buffer.create 4096 in
+  let header name kind =
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s TENET %s %s.\n# TYPE %s %s\n" name kind name
+         name kind)
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = prometheus_name name in
+      header n "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prometheus_float v)))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) gauges);
+  List.iter
+    (fun (name, v) ->
+      let n = prometheus_name name ^ "_total" in
+      header n "counter";
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+    (List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       (counters () @ extra_counters));
+  List.iter
+    (fun h ->
+      let count = hist_count h in
+      if count > 0 then begin
+        let n = prometheus_name h.h_name in
+        header n "histogram";
+        let buckets = hist_buckets h in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            if i < Array.length bucket_bounds then begin
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n
+                   bucket_bounds.(i) !cum)
+            end)
+          buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" n (prometheus_float (hist_sum h)));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n count)
+      end)
+    (histograms ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* File export.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Write-then-rename: a crash mid-export can leave a stale [.tmp] beside
+   the target, but never a truncated trace/stats file at the target
+   path itself (the rename is atomic on POSIX filesystems). *)
 let write_file (path : string) (contents : string) : unit =
-  let oc = open_out path in
-  output_string oc contents;
-  output_char oc '\n';
-  close_out oc
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc contents;
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let write_trace (path : string) : unit =
   write_file path (Json.to_string (chrome_trace ()))

@@ -1,0 +1,112 @@
+(* Opt-in JSON-lines access log for the serving tier (docs/serving.md):
+   one line per completed request — id, trace id, command, fingerprint
+   digest, status, cache outcome, latency, queue wait, deadline expiry.
+
+   The sink is process-global (one server, one log) and append-only, so
+   restarting the server extends the previous log.  Writes happen on the
+   worker domain that finished the request, serialized by a mutex and
+   flushed per line; a failing write (full disk, revoked file) is
+   swallowed — logging must never take down the service it observes.
+
+   Sampling is deterministic: with [sample = n], every n-th completed
+   request (in completion order, counted by one atomic sequence across
+   all domains) is written.  [record] is called for every request even
+   when sampled out or unconfigured, because it also owns the
+   queue-wait handoff below.
+
+   Queue wait is measured by the server loop (submit time to execution
+   start) before the API layer ever sees the request, so it is handed
+   over in domain-local state: the loop stashes it in the task, and
+   [record] — running later on the same domain — pops it.  The pop is
+   unconditional so a stashed value can never leak into the next
+   request that runs on the domain (e.g. a batch request following a
+   served one). *)
+
+module Obs = Tenet_obs
+module Json = Tenet_obs.Json
+
+type sink = {
+  oc : out_channel;
+  mutex : Mutex.t;
+  sample : int;
+  seq : int Atomic.t;
+}
+
+let sink : sink option ref = ref None
+
+let disable () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      sink := None;
+      (try close_out s.oc with Sys_error _ -> ())
+
+let configure ?(sample = 1) (path : string) : unit =
+  if sample < 1 then
+    invalid_arg "Access_log.configure: sample must be >= 1";
+  disable ();
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  sink := Some { oc; mutex = Mutex.create (); sample; seq = Atomic.make 0 }
+
+let enabled () = !sink <> None
+
+(* --- queue-wait handoff (server loop -> record), per-domain --- *)
+
+let qw_key = Domain.DLS.new_key (fun () -> Float.nan)
+let stash_queue_wait_ms (v : float) : unit = Domain.DLS.set qw_key v
+
+let pop_queue_wait_ms () : float =
+  let v = Domain.DLS.get qw_key in
+  Domain.DLS.set qw_key Float.nan;
+  v
+
+(* --- the one emission point --- *)
+
+let cache_outcome_string = function
+  | `Hit -> "hit"
+  | `Miss -> "miss"
+  | `Bypass -> "bypass"
+
+let record ~(id : string) ~(trace : string) ~(cmd : string)
+    ~(fingerprint : string option) ~(status : string)
+    ~(error_kind : string option)
+    ~(cache : [ `Hit | `Miss | `Bypass ]) ~(deadline_expired : bool)
+    ~(latency_ms : float) () : unit =
+  let queue_wait_ms = pop_queue_wait_ms () in
+  match !sink with
+  | None -> ()
+  | Some s ->
+      if Atomic.fetch_and_add s.seq 1 mod s.sample = 0 then begin
+        let opt_str k = function
+          | None -> []
+          | Some v -> [ (k, Json.String v) ]
+        in
+        let fields =
+          [
+            ("ts", Json.Float (Obs.now ()));
+            ("id", Json.String id);
+            ("trace", Json.String trace);
+            ("cmd", Json.String cmd);
+          ]
+          @ opt_str "fingerprint" fingerprint
+          @ [ ("status", Json.String status) ]
+          @ opt_str "error_kind" error_kind
+          @ [
+              ("cache", Json.String (cache_outcome_string cache));
+              ("latency_ms", Json.Float latency_ms);
+            ]
+          @ (if Float.is_nan queue_wait_ms then []
+             else [ ("queue_wait_ms", Json.Float queue_wait_ms) ])
+          @
+          if deadline_expired then [ ("deadline_expired", Json.Bool true) ]
+          else []
+        in
+        let line = Json.to_string (Json.Obj fields) in
+        Mutex.lock s.mutex;
+        (try
+           output_string s.oc line;
+           output_char s.oc '\n';
+           flush s.oc
+         with Sys_error _ -> ());
+        Mutex.unlock s.mutex
+      end

@@ -1,0 +1,40 @@
+(** Opt-in JSON-lines access log for the serving tier: one line per
+    completed request, written by the worker that finished it and
+    flushed immediately.  Unconfigured, everything here is a cheap
+    no-op.  See docs/serving.md for the line schema. *)
+
+val configure : ?sample:int -> string -> unit
+(** Open (append, create) the log at the given path.  With [sample = n]
+    every n-th completed request is written (deterministic, counted in
+    completion order across all domains); default 1 (every request).
+    Replaces and closes any previously configured sink.  Raises
+    [Invalid_argument] when [sample < 1]. *)
+
+val disable : unit -> unit
+(** Close the sink; subsequent {!record} calls are no-ops. *)
+
+val enabled : unit -> bool
+(** Whether a sink is configured — callers use this to skip computing
+    expensive fields (the fingerprint digest) when nothing listens. *)
+
+val stash_queue_wait_ms : float -> unit
+(** Called by the server loop at execution start with the measured
+    submit-to-start wait; held in domain-local state until the same
+    domain finishes the request and {!record} pops it. *)
+
+val record :
+  id:string ->
+  trace:string ->
+  cmd:string ->
+  fingerprint:string option ->
+  status:string ->
+  error_kind:string option ->
+  cache:[ `Hit | `Miss | `Bypass ] ->
+  deadline_expired:bool ->
+  latency_ms:float ->
+  unit ->
+  unit
+(** Emit one log line (subject to sampling).  Must be called for every
+    completed request even when the log is disabled: it also clears the
+    per-domain queue-wait stash so a stale value cannot attach to the
+    next request executing on the domain.  Never raises on I/O errors. *)

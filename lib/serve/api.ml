@@ -50,6 +50,21 @@ let c_cache_hits = Obs.counter "serve.cache_hits"
 let c_cache_misses = Obs.counter "serve.cache_misses"
 let c_deadline_expired = Obs.counter "serve.deadline_expired"
 
+(* Pre-registered so the per-request observation never takes the
+   telemetry registry lock.  Values are in seconds (the stats exporters
+   convert to ms at the edge). *)
+let h_latency = Obs.histogram "serve.request_latency"
+let h_queue_wait = Obs.histogram "serve.queue_wait"
+
+(* Carry the submitting domain's trace id into pool workers: a traced
+   request that fans out (or the one-shot CLI's instrumented engines)
+   keeps its request id on the spans recorded by worker domains. *)
+let () =
+  Parallel.set_task_wrap (fun task ->
+      match Obs.current_trace () with
+      | "" -> task
+      | trace -> fun () -> Obs.with_trace ~trace task)
+
 (* ------------------------------------------------------------------ *)
 (* Requests.                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -77,6 +92,7 @@ module Request = struct
     tensors : string list; (* volumes: subset of tensors; [] = all *)
     top : int;
     deadline_ms : int option;
+    format : [ `Json | `Prometheus ]; (* stats: response encoding *)
   }
 
   let default cmd =
@@ -100,6 +116,7 @@ module Request = struct
       tensors = [];
       top = 10;
       deadline_ms = None;
+      format = `Json;
     }
 
   let cmd_to_string = function
@@ -152,6 +169,10 @@ module Request = struct
         ("tensors", strings r.tensors);
         ("top", Json.Int r.top);
         ("deadline_ms", opt (fun n -> Json.Int n) r.deadline_ms);
+        ( "format",
+          Json.String
+            (match r.format with `Json -> "json" | `Prometheus -> "prometheus")
+        );
       ]
 
   type decode_error = Bad_field of string | Bad_version of int
@@ -290,6 +311,16 @@ module Request = struct
                     let* n = as_int k v in
                     if n < 0 then bad "field \"deadline_ms\" must be >= 0"
                     else Ok { r with deadline_ms = Some n }
+                | "format" -> (
+                    let* s = as_string k v in
+                    match s with
+                    | "json" -> Ok { r with format = `Json }
+                    | "prometheus" -> Ok { r with format = `Prometheus }
+                    | _ ->
+                        Error
+                          (Bad_field
+                             (Tenet_util.Text.unknown ~what:"format" s
+                                [ "json"; "prometheus" ])))
                 | k -> bad "unknown request field %S" k)
             (Ok (default Analyze))
             fields
@@ -303,10 +334,12 @@ module Request = struct
         else Ok r
     | _ -> bad "a request must be a JSON object"
 
-  (* The cache key: the canonical encoding with the two semantically
-     inert fields blanked. *)
+  (* The cache key: the canonical encoding with the semantically inert
+     fields blanked ([format] only changes the stats encoding, and stats
+     responses are never cached). *)
   let fingerprint (r : t) : string =
-    Json.to_string (to_json { r with id = ""; deadline_ms = None })
+    Json.to_string
+      (to_json { r with id = ""; deadline_ms = None; format = `Json })
 end
 
 (* ------------------------------------------------------------------ *)
@@ -560,10 +593,89 @@ let result_cache () = Lazy.force global_cache
 let clear_cache () = Cache.clear (result_cache ())
 let cache_stats () = Cache.stats (result_cache ())
 
-(* Gauges contributed by the server loop (queue depth, inflight), spliced
-   into [stats] responses when serving. *)
-let extra_gauges : (unit -> (string * Json.t) list) ref = ref (fun () -> [])
+(* Gauges contributed by the server loop (inflight), spliced into
+   [stats] responses when serving. *)
+let extra_gauges : (unit -> (string * int) list) ref = ref (fun () -> [])
 let set_extra_gauges f = extra_gauges := f
+
+(* The JSON stats scrape reports the recent window — everything since
+   the previous JSON scrape — via Snapshot.diff, so the monitoring loop
+   that polls stats every N seconds gets rates and window quantiles
+   without ever resetting the lifetime telemetry.  Prometheus scrapes
+   export raw cumulative series (rates are the scraper's job) and
+   deliberately do not advance the window. *)
+let window_mutex = Mutex.create ()
+let last_snapshot : Obs.Snapshot.t option ref = ref None
+
+let hist_ms_json (h : Obs.Snapshot.hist) : Json.t =
+  let ms v = Json.Float (1e3 *. v) in
+  Json.Obj
+    [
+      ("count", Json.Int h.Obs.Snapshot.hs_count);
+      ("mean_ms", ms (Obs.Snapshot.mean h));
+      ("p50_ms", ms (Obs.Snapshot.quantile h 0.5));
+      ("p90_ms", ms (Obs.Snapshot.quantile h 0.9));
+      ("p99_ms", ms (Obs.Snapshot.quantile h 0.99));
+      ("p999_ms", ms (Obs.Snapshot.quantile h 0.999));
+      ("max_ms", ms h.Obs.Snapshot.hs_max);
+    ]
+
+(* Advance the window: diff against the previous JSON scrape.  The
+   first scrape has no window yet and reports nothing. *)
+let window_json () : (string * Json.t) list =
+  let nwer = Obs.Snapshot.take () in
+  let prev =
+    Mutex.lock window_mutex;
+    let p = !last_snapshot in
+    last_snapshot := Some nwer;
+    Mutex.unlock window_mutex;
+    p
+  in
+  match prev with
+  | None -> []
+  | Some older ->
+      let d = Obs.Snapshot.diff ~newer:nwer ~older in
+      let hits = Obs.Snapshot.counter d "serve.cache_hits" in
+      let misses = Obs.Snapshot.counter d "serve.cache_misses" in
+      let hit_ratio =
+        if hits + misses = 0 then 0.
+        else float_of_int hits /. float_of_int (hits + misses)
+      in
+      let hist_fields name key =
+        match Obs.Snapshot.hist d name with
+        | Some h when h.Obs.Snapshot.hs_count > 0 ->
+            [ (key, hist_ms_json h) ]
+        | _ -> []
+      in
+      [
+        ( "window",
+          Json.Obj
+            ([
+               ("duration_s", Json.Float d.Obs.Snapshot.s_duration);
+               ( "requests",
+                 Json.Int (Obs.Snapshot.counter d "serve.requests") );
+               ( "request_rate_rps",
+                 Json.Float (Obs.Snapshot.rate d "serve.requests") );
+               ("cache_hit_ratio", Json.Float hit_ratio);
+               ( "overloaded",
+                 Json.Int (Obs.Snapshot.counter d "serve.overloaded") );
+               ( "deadline_expired",
+                 Json.Int (Obs.Snapshot.counter d "serve.deadline_expired") );
+             ]
+            @ hist_fields "serve.request_latency" "latency_ms"
+            @ hist_fields "serve.queue_wait" "queue_wait_ms") );
+      ]
+
+(* Lifetime quantiles for a histogram cell, in milliseconds. *)
+let lifetime_ms_json (h : Obs.histogram) : Json.t =
+  let ms v = Json.Float (1e3 *. v) in
+  Json.Obj
+    [
+      ("count", Json.Int (Obs.hist_count h));
+      ("p50_ms", ms (Obs.quantile h 0.5));
+      ("p99_ms", ms (Obs.quantile h 0.99));
+      ("max_ms", ms (Obs.hist_max h));
+    ]
 
 let stats_payload () : Json.t =
   let c = cache_stats () in
@@ -585,9 +697,52 @@ let stats_payload () : Json.t =
              ("jobs", Json.Int (Parallel.jobs ()));
              ("queued", Json.Int (Parallel.waiting ()));
            ] );
+       ( "queue",
+         Json.Obj
+           [
+             ("depth", Json.Int (Parallel.waiting ()));
+             ( "overloaded",
+               Json.Int (Obs.value (Obs.counter "serve.overloaded")) );
+             ("wait", lifetime_ms_json h_queue_wait);
+           ] );
      ]
-    @ !extra_gauges ()
+    @ List.map (fun (k, v) -> (k, Json.Int v)) (!extra_gauges ())
+    @ window_json ()
     @ [ ("telemetry", Obs.stats ()) ])
+
+(* Prometheus text exposition of the same data: telemetry counters and
+   histograms (cumulative buckets) from lib/obs, plus the serving
+   gauges and the result cache's own counters. *)
+let prometheus_text () : string =
+  let c = cache_stats () in
+  let gauges =
+    [
+      ("serve_queue_depth", float_of_int (Parallel.waiting ()));
+      ("serve_pool_jobs", float_of_int (Parallel.jobs ()));
+      ("serve_pool_workers", float_of_int (Parallel.spawned_workers ()));
+      ("serve_cache_entries", float_of_int c.Cache.entries);
+      ("serve_cache_bytes", float_of_int c.Cache.bytes);
+      ("serve_cache_budget_bytes", float_of_int c.Cache.budget);
+    ]
+    @ List.map
+        (fun (k, v) -> ("serve_" ^ k, float_of_int v))
+        (!extra_gauges ())
+  in
+  let extra_counters =
+    [
+      ("serve_result_cache_hits", c.Cache.hits);
+      ("serve_result_cache_misses", c.Cache.misses);
+      ("serve_result_cache_evictions", c.Cache.evictions);
+    ]
+  in
+  Obs.prometheus ~extra_counters ~gauges ()
+
+let prometheus_payload () : Json.t =
+  Json.Obj
+    [
+      ("format", Json.String "prometheus");
+      ("exposition", Json.String (prometheus_text ()));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* The pipeline driver.                                                *)
@@ -822,7 +977,11 @@ let run_uncached ~token (r : Request.t) : Response.body =
   | Request.Dse -> run_dse ~token r
   | Request.Check -> run_check ~token r
   | Request.Stats ->
-      Response.ok_body (Response.Stats (stats_payload ()))
+      Response.ok_body
+        (Response.Stats
+           (match r.Request.format with
+           | `Json -> stats_payload ()
+           | `Prometheus -> prometheus_payload ()))
 
 (* ------------------------------------------------------------------ *)
 (* The entry point.                                                    *)
@@ -833,75 +992,110 @@ let body_size (b : Response.body) : int =
 
 let run (r : Request.t) : Response.t =
   Obs.incr c_requests;
-  Obs.with_span
-    ~args:[ ("cmd", Request.cmd_to_string r.Request.cmd) ]
-    "serve.request"
-  @@ fun () ->
-  let respond body =
-    { Response.api_version = version; id = r.Request.id; body }
+  let t0 = Obs.now () in
+  let cache_outcome = ref `Bypass in
+  let resp =
+    (* The request id doubles as the trace id: every span recorded under
+       this request (including on pool workers, via the task wrap) and
+       the access-log line carry it. *)
+    Obs.with_trace ~trace:r.Request.id
+    @@ fun () ->
+    Obs.with_span
+      ~args:[ ("cmd", Request.cmd_to_string r.Request.cmd) ]
+      "serve.request"
+    @@ fun () ->
+    let respond body =
+      { Response.api_version = version; id = r.Request.id; body }
+    in
+    if r.Request.cmd = Request.Stats then
+      (* never cached: the whole point is the live gauges *)
+      respond (run_uncached ~token:None r)
+    else begin
+      let key = Request.fingerprint r in
+      let cache = result_cache () in
+      match Cache.find cache key with
+      | Some body ->
+          Obs.incr c_cache_hits;
+          cache_outcome := `Hit;
+          respond body
+      | None ->
+          Obs.incr c_cache_misses;
+          cache_outcome := `Miss;
+          let token =
+            Option.map
+              (fun ms ->
+                Parallel.token ~deadline_s:(float_of_int ms /. 1000.) ())
+              r.Request.deadline_ms
+          in
+          let body =
+            try run_uncached ~token r with
+            | Bad msg -> Response.error_body Response.Bad_request msg
+            | Strict_failed ds ->
+                Response.error_body ~diagnostics:ds Response.Bad_request
+                  "the model checker rejected the dataflow (see diagnostics)"
+            | Isl.Parser.Parse_error msg ->
+                Response.error_body Response.Bad_request
+                  ("parse error: " ^ msg)
+            | Ir.Cfront.Syntax_error msg ->
+                Response.error_body Response.Bad_request
+                  ("C syntax error: " ^ msg)
+            | M.Concrete.Invalid_dataflow msg | M.Model.Invalid_dataflow msg
+              ->
+                Response.error_body Response.Bad_request
+                  ("invalid dataflow: " ^ msg)
+            | Isl.Count.Verify_mismatch _ as e ->
+                let ds =
+                  match An.Checker.diagnostic_of_exn e with
+                  | Some d -> [ d ]
+                  | None -> []
+                in
+                Response.error_body ~diagnostics:ds Response.Internal
+                  "counting sanitizer mismatch"
+            | Failure msg | Invalid_argument msg ->
+                (* A bare [Failure]/[Invalid_argument] reaching this far is
+                   a broken internal invariant, not a client mistake: every
+                   expected client-error site raises [Bad] (or one of the
+                   typed exceptions above) explicitly. *)
+                Response.error_body Response.Internal msg
+            | e ->
+                Response.error_body Response.Internal (Printexc.to_string e)
+          in
+          (* Only complete, successful results are worth replaying; errors
+             are cheap, partials depend on the deadline that cut them, and
+             an "ok" body that ran past its deadline carries a TN013
+             warning the deadline-blind fingerprint must never replay. *)
+          if
+            body.Response.status = `Ok
+            && body.Response.error = None
+            && not
+                 (List.exists
+                    (fun d -> d.An.Diagnostic.code = "TN013")
+                    body.Response.diagnostics)
+          then Cache.add cache ~key ~size:(body_size body) body;
+          respond body
+    end
   in
-  if r.Request.cmd = Request.Stats then
-    (* never cached: the whole point is the live gauges *)
-    respond (run_uncached ~token:None r)
-  else begin
-    let key = Request.fingerprint r in
-    let cache = result_cache () in
-    match Cache.find cache key with
-    | Some body ->
-        Obs.incr c_cache_hits;
-        respond body
-    | None ->
-        Obs.incr c_cache_misses;
-        let token =
-          Option.map
-            (fun ms -> Parallel.token ~deadline_s:(float_of_int ms /. 1000.) ())
-            r.Request.deadline_ms
-        in
-        let body =
-          try run_uncached ~token r with
-          | Bad msg -> Response.error_body Response.Bad_request msg
-          | Strict_failed ds ->
-              Response.error_body ~diagnostics:ds Response.Bad_request
-                "the model checker rejected the dataflow (see diagnostics)"
-          | Isl.Parser.Parse_error msg ->
-              Response.error_body Response.Bad_request ("parse error: " ^ msg)
-          | Ir.Cfront.Syntax_error msg ->
-              Response.error_body Response.Bad_request
-                ("C syntax error: " ^ msg)
-          | M.Concrete.Invalid_dataflow msg | M.Model.Invalid_dataflow msg ->
-              Response.error_body Response.Bad_request
-                ("invalid dataflow: " ^ msg)
-          | Isl.Count.Verify_mismatch _ as e ->
-              let ds =
-                match An.Checker.diagnostic_of_exn e with
-                | Some d -> [ d ]
-                | None -> []
-              in
-              Response.error_body ~diagnostics:ds Response.Internal
-                "counting sanitizer mismatch"
-          | Failure msg | Invalid_argument msg ->
-              (* A bare [Failure]/[Invalid_argument] reaching this far is
-                 a broken internal invariant, not a client mistake: every
-                 expected client-error site raises [Bad] (or one of the
-                 typed exceptions above) explicitly. *)
-              Response.error_body Response.Internal msg
-          | e ->
-              Response.error_body Response.Internal (Printexc.to_string e)
-        in
-        (* Only complete, successful results are worth replaying; errors
-           are cheap, partials depend on the deadline that cut them, and
-           an "ok" body that ran past its deadline carries a TN013
-           warning the deadline-blind fingerprint must never replay. *)
-        if
-          body.Response.status = `Ok
-          && body.Response.error = None
-          && not
-               (List.exists
-                  (fun d -> d.An.Diagnostic.code = "TN013")
-                  body.Response.diagnostics)
-        then Cache.add cache ~key ~size:(body_size body) body;
-        respond body
-  end
+  let latency_s = Obs.now () -. t0 in
+  Obs.observe_h h_latency latency_s;
+  let body = resp.Response.body in
+  Access_log.record ~id:r.Request.id ~trace:r.Request.id
+    ~cmd:(Request.cmd_to_string r.Request.cmd)
+    ~fingerprint:
+      (if Access_log.enabled () && r.Request.cmd <> Request.Stats then
+         Some (Digest.to_hex (Digest.string (Request.fingerprint r)))
+       else None)
+    ~status:(Response.status_to_string body.Response.status)
+    ~error_kind:
+      (Option.map
+         (fun (k, _) -> Response.error_kind_to_string k)
+         body.Response.error)
+    ~cache:!cache_outcome
+    ~deadline_expired:
+      (List.exists
+         (fun d -> d.An.Diagnostic.code = "TN013")
+         body.Response.diagnostics)
+    ~latency_ms:(1e3 *. latency_s) ();
+  resp
 
 (* Decode a raw JSON request and run it: the shared core of the batch
    runner, the server loop and the CLI.  Never raises. *)

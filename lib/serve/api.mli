@@ -43,6 +43,9 @@ module Request : sig
     tensors : string list;  (** volumes: subset of tensors; [] = all *)
     top : int;
     deadline_ms : int option;  (** processing budget; see docs/serving.md *)
+    format : [ `Json | `Prometheus ];
+        (** stats responses only: JSON payload (default) or Prometheus
+            text exposition *)
   }
 
   val default : cmd -> t
@@ -148,9 +151,27 @@ val run_json : Json.t -> Response.t
 val clear_cache : unit -> unit
 val cache_stats : unit -> Cache.stats
 
-val set_extra_gauges : (unit -> (string * Json.t) list) -> unit
-(** Installed by the server loop so [stats] responses include its queue
-    depth and inflight gauges. *)
+val set_extra_gauges : (unit -> (string * int) list) -> unit
+(** Installed by the server loop so [stats] responses include its
+    inflight gauge (and any future integer gauges) in both the JSON
+    payload and the Prometheus exposition. *)
+
+(** {2 Stats exporters}
+
+    The two encodings behind the [stats] command, also callable
+    directly (the CI scrape test and the benches use them). *)
+
+val stats_payload : unit -> Json.t
+(** The JSON stats payload: result cache, pool, queue (depth, overload
+    count, queue-wait quantiles), the recent window (rates and window
+    quantiles since the previous JSON scrape — absent on the first
+    scrape), and the full telemetry dump.  Each call advances the
+    window. *)
+
+val prometheus_text : unit -> string
+(** Prometheus text exposition (format 0.0.4) of every telemetry
+    counter and histogram plus the serving gauges and result-cache
+    counters.  Cumulative series only; does not advance the window. *)
 
 (** {2 Model-input builders}
 

@@ -19,10 +19,12 @@
    same requests run one-shot), and prints responses in input order. *)
 
 module Obs = Tenet_obs
-module Json = Tenet_obs.Json
 module Parallel = Tenet_util.Parallel
 
 let c_overloaded = Obs.counter "serve.overloaded"
+
+(* Same cell as the one [Api.stats_payload] reports quantiles for. *)
+let h_queue_wait = Obs.histogram "serve.queue_wait"
 
 let queue_env = "TENET_SERVE_QUEUE"
 
@@ -62,6 +64,10 @@ let read_lines (ic : in_channel) : string list =
 
 let batch (ic : in_channel) (oc : out_channel) : unit =
   ignore_sigpipe ();
+  (* Telemetry is always on for the runners: responses never embed it
+     (stats is pull-only), recording is bounded (span ring buffer), and
+     a batch/serve process without it cannot be observed at all. *)
+  if not (Obs.enabled ()) then Obs.enable ();
   let lines =
     List.filter (fun l -> not (Protocol.is_comment l)) (read_lines ic)
   in
@@ -80,6 +86,7 @@ let batch (ic : in_channel) (oc : out_channel) : unit =
 let serve_channels ?(queue_limit = default_queue_limit ()) (ic : in_channel)
     (oc : out_channel) : unit =
   ignore_sigpipe ();
+  if not (Obs.enabled ()) then Obs.enable ();
   Parallel.set_queue_limit queue_limit;
   let write_mutex = Mutex.create () in
   let respond resp =
@@ -116,8 +123,7 @@ let serve_channels ?(queue_limit = default_queue_limit ()) (ic : in_channel)
     done;
     Mutex.unlock inflight_mutex
   in
-  Api.set_extra_gauges (fun () ->
-      [ ("inflight", Json.Int !inflight) ]);
+  Api.set_extra_gauges (fun () -> [ ("inflight", !inflight) ]);
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> drain ()
@@ -130,7 +136,14 @@ let serve_channels ?(queue_limit = default_queue_limit ()) (ic : in_channel)
             respond (Api.run_json j)
         | Ok j ->
             incr_inflight ();
+            let submitted = Obs.now () in
             let task () =
+              (* Queue wait: submission to start of execution.  Stashed
+                 for the access log before the request runs on this
+                 domain. *)
+              let wait_s = Obs.now () -. submitted in
+              Obs.observe_h h_queue_wait wait_s;
+              Access_log.stash_queue_wait_ms (1e3 *. wait_s);
               Fun.protect ~finally:decr_inflight (fun () ->
                   respond (Api.run_json j))
             in

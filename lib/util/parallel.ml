@@ -90,6 +90,14 @@ let checkpoint t = if cancelled t then raise Cancelled
    in a [map]; used to force nested maps sequential. *)
 let in_task_key = Domain.DLS.new_key (fun () -> false)
 
+(* Hook applied to every task handed to a worker domain, captured on the
+   submitting domain at submission time.  The telemetry layer installs a
+   wrapper that re-establishes the submitter's trace id inside the
+   worker (domain-local state does not cross [Domain.spawn]); the
+   default is the identity. *)
+let task_wrap : ((unit -> unit) -> unit -> unit) ref = ref Fun.id
+let set_task_wrap f = task_wrap := f
+
 let pool_mutex = Mutex.create ()
 let pool_cv = Condition.create ()
 let queue : (unit -> unit) Queue.t = Queue.create ()
@@ -182,9 +190,13 @@ let map_array (f : 'a -> 'b) (arr : 'a array) : 'b array =
         end
       done
     in
+    (* Workers get the wrapped closure (captured here, on the submitting
+       domain); the caller participates unwrapped — its domain-local
+       context is already in place. *)
+    let worker_participate = !task_wrap participate in
     Mutex.lock pool_mutex;
     for _ = 1 to min (j - 1) (1 + ((n - 1) / chunk)) do
-      Queue.push participate queue
+      Queue.push worker_participate queue
     done;
     Condition.broadcast pool_cv;
     Mutex.unlock pool_mutex;
@@ -246,6 +258,7 @@ let try_submit (f : unit -> unit) : bool =
      thread, so the pool needs at least one worker even at [jobs () = 1]
      (where [map] alone would spawn none). *)
   ensure_workers (max 1 (jobs ()));
+  let f = !task_wrap f in
   Mutex.lock pool_mutex;
   if !n_waiting >= !queue_limit || !shutting_down then begin
     Mutex.unlock pool_mutex;

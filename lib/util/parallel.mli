@@ -79,3 +79,10 @@ val spawned_workers : unit -> int
 (** How many worker domains the pool has spawned so far (they live for
     the rest of the process).  Tests use this to block every worker
     deterministically before exercising the overload path. *)
+
+val set_task_wrap : ((unit -> unit) -> unit -> unit) -> unit
+(** Install a hook applied (on the submitting domain, at submission
+    time) to every task handed to a worker — both [map] work chunks and
+    {!try_submit} tasks.  The telemetry layer uses it to carry the
+    submitter's trace id into worker domains.  The wrapper must call the
+    task exactly once; default is the identity. *)

@@ -35,6 +35,120 @@ TENET_SERVE_CACHE_MB=64 dune exec -- tenet batch \
   | diff - test/golden/serve_responses.golden.jsonl \
   || { echo "serve golden mismatch"; exit 1; }
 
+echo "== serve observability (live scrape, prometheus lint) =="
+# A live `tenet serve` session over the golden batch, with the access
+# log on: scrape stats before and after the batch, assert the request
+# counter is monotonic and the latency histogram has nonzero quantiles,
+# then lint the Prometheus exposition (HELP/TYPE coverage, cumulative
+# bucket monotonicity, +Inf == _count) from a third scrape.
+tmp_root=$(mktemp -d)
+trap 'rm -rf "$tmp_root"' EXIT
+obs_dir="$tmp_root/obs"
+mkdir -p "$obs_dir"
+mkfifo "$obs_dir/in"
+dune exec -- tenet serve --access-log "$obs_dir/access.jsonl" \
+  <"$obs_dir/in" >"$obs_dir/out" &
+serve_pid=$!
+exec 9>"$obs_dir/in"
+printf '{"cmd":"stats","id":"scrape1"}\n' >&9
+cat test/golden/serve_requests.jsonl >&9
+# Wait until every batch request has been answered (stats is answered
+# inline, so scrape1's response is already there: golden count + 1).
+want=$(($(wc -l <test/golden/serve_responses.golden.jsonl) + 1))
+tries=0
+while [ "$(wc -l <"$obs_dir/out")" -lt "$want" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 600 ]; then
+    echo "serve session stalled waiting for $want responses"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+printf '{"cmd":"stats","id":"scrape2"}\n' >&9
+printf '{"cmd":"stats","id":"scrape3","format":"prometheus"}\n' >&9
+exec 9>&-
+wait "$serve_pid"
+
+r1=$(grep '"id":"scrape1"' "$obs_dir/out" \
+  | sed -n 's/.*"serve\.requests":\([0-9][0-9]*\).*/\1/p')
+r2=$(grep '"id":"scrape2"' "$obs_dir/out" \
+  | sed -n 's/.*"serve\.requests":\([0-9][0-9]*\).*/\1/p')
+[ -n "$r1" ] && [ -n "$r2" ] && [ "$r2" -gt "$r1" ] \
+  || { echo "serve.requests not monotonic ('$r1' -> '$r2')"; exit 1; }
+echo "serve.requests monotonic: $r1 -> $r2"
+grep '"id":"scrape2"' "$obs_dir/out" | grep -q '"window":{' \
+  || { echo "second JSON scrape is missing the window section"; exit 1; }
+grep '"id":"scrape2"' "$obs_dir/out" | grep -q '"serve\.queue_wait"' \
+  || { echo "stats is missing the serve.queue_wait histogram"; exit 1; }
+grep '"id":"scrape2"' "$obs_dir/out" | awk '{
+  if (!match($0, /"serve\.request_latency":\{[^}]*/)) {
+    print "stats is missing the serve.request_latency histogram"; exit 1 }
+  s = substr($0, RSTART, RLENGTH)
+  p50 = 0; p99 = 0
+  if (match(s, /"p50":[0-9.eE+-]+/)) p50 = substr(s, RSTART + 6, RLENGTH - 6) + 0
+  if (match(s, /"p99":[0-9.eE+-]+/)) p99 = substr(s, RSTART + 6, RLENGTH - 6) + 0
+  if (p50 > 0 && p99 >= p50) {
+    printf "latency quantiles: p50 %gs p99 %gs\n", p50, p99; exit 0 }
+  printf "latency quantiles not positive (p50 %g p99 %g)\n", p50, p99
+  exit 1
+}'
+
+grep '"id":"scrape3"' "$obs_dir/out" | awk '{
+  if (!match($0, /"exposition":"/)) exit 1
+  s = substr($0, RSTART + RLENGTH)
+  sub(/"[^"]*$/, "", s)
+  gsub(/\\n/, "\n", s)
+  gsub(/\\"/, "\"", s)
+  gsub(/\\\\/, "\\", s)
+  print s
+}' >"$obs_dir/exposition.txt"
+[ -s "$obs_dir/exposition.txt" ] \
+  || { echo "no prometheus exposition in scrape3"; exit 1; }
+awk -v floor="$r2" '
+  /^# HELP / { help[$3] = 1; next }
+  /^# TYPE / { type[$3] = $4; next }
+  /^$/ || /^#/ { next }
+  {
+    name = $1; sub(/\{.*/, "", name)
+    fam = name
+    if (fam ~ /_(bucket|sum|count)$/) {
+      base = fam; sub(/_(bucket|sum|count)$/, "", base)
+      if (type[base] == "histogram") fam = base
+    }
+    if (!(fam in help) || !(fam in type)) {
+      printf "missing HELP/TYPE for %s\n", fam; bad = 1 }
+    if (type[fam] == "histogram") {
+      if (name == fam "_bucket") {
+        v = $2 + 0
+        if (fam in last_bucket && v < last_bucket[fam]) {
+          printf "non-monotonic buckets for %s\n", fam; bad = 1 }
+        last_bucket[fam] = v
+        if ($0 ~ /le="\+Inf"/) inf[fam] = v
+      }
+      if (name == fam "_count" && (!(fam in inf) || inf[fam] != $2 + 0)) {
+        printf "+Inf bucket != _count for %s\n", fam; bad = 1 }
+    }
+    if (name == "serve_request_latency_count" && $2 + 0 > 0) latency_ok = 1
+    if (name == "serve_requests_total" && $2 + 0 >= floor) counter_ok = 1
+    samples++
+  }
+  END {
+    if (samples == 0) { print "empty exposition"; exit 1 }
+    if (!latency_ok) {
+      print "serve_request_latency histogram missing or empty"; exit 1 }
+    if (!counter_ok) {
+      printf "serve_requests_total below the JSON scrape (%d)\n", floor
+      exit 1 }
+    if (bad) exit 1
+    printf "prometheus lint OK (%d samples)\n", samples
+  }' "$obs_dir/exposition.txt"
+[ "$(wc -l <"$obs_dir/access.jsonl")" -ge 50 ] \
+  || { echo "access log is unexpectedly short"; exit 1; }
+grep -q '"queue_wait_ms"' "$obs_dir/access.jsonl" \
+  || { echo "access log has no queue_wait_ms field"; exit 1; }
+echo "access log OK ($(wc -l <"$obs_dir/access.jsonl") lines)"
+
 echo "== counting sanitizer shard (TENET_COUNT_VERIFY=1) =="
 # One oracle-test shard re-runs with every symbolic count cross-checked
 # against enumeration; any disagreement raises Count.Verify_mismatch.
@@ -44,8 +158,8 @@ echo "== release build =="
 dune build --profile release
 
 echo "== bench smoke (fig6+fig8+serve, release, vs BENCH_seed.json) =="
-bench_dir=$(mktemp -d)
-trap 'rm -rf "$bench_dir"' EXIT
+bench_dir="$tmp_root/bench"
+mkdir -p "$bench_dir"
 TENET_BENCH_TIMINGS="$bench_dir" \
   dune exec --profile release bench/main.exe -- fig6 fig8 serve >/dev/null
 # Points-only: the enumerated-point counters are deterministic, so this

@@ -499,8 +499,193 @@ let test_stats_request () =
   match resp.Api.Response.body.Api.Response.payload with
   | Some (Api.Response.Stats j) ->
       check_bool "cache gauge" true (Json.member "cache" j <> None);
-      check_bool "pool gauge" true (Json.member "pool" j <> None)
+      check_bool "pool gauge" true (Json.member "pool" j <> None);
+      check_bool "queue section" true (Json.member "queue" j <> None)
   | _ -> Alcotest.fail "expected a stats payload"
+
+(* --- observability: windows, prometheus, access log, tracing --- *)
+
+module Obs = Tenet.Obs
+module Access_log = Tenet.Serve.Access_log
+
+let stats_json () =
+  match
+    (Api.run (Api.Request.default Api.Request.Stats)).Api.Response.body
+      .Api.Response.payload
+  with
+  | Some (Api.Response.Stats j) -> j
+  | _ -> Alcotest.fail "expected a stats payload"
+
+let test_stats_window () =
+  if not (Obs.enabled ()) then Obs.enable ();
+  Api.clear_cache ();
+  (* first JSON scrape arms (or re-arms) the window *)
+  ignore (stats_json ());
+  let r = small_analyze ~id:"w1" ~sizes:[ 10; 10; 10 ] () in
+  ignore (Api.run r);
+  ignore (Api.run r) (* cache hit *);
+  let j = stats_json () in
+  match Json.member "window" j with
+  | None -> Alcotest.fail "second scrape must carry a window"
+  | Some w ->
+      (match Json.member "requests" w with
+      | Some (Json.Int n) ->
+          check_bool "window counts this window's requests" true (n >= 2)
+      | _ -> Alcotest.fail "window.requests missing");
+      check_bool "window has a rate" true
+        (Json.member "request_rate_rps" w <> None);
+      (match Json.member "cache_hit_ratio" w with
+      | Some (Json.Float f) ->
+          check_bool "hit ratio in (0,1): one hit, one miss" true
+            (f > 0. && f < 1.)
+      | _ -> Alcotest.fail "window.cache_hit_ratio missing");
+      (match Json.member "latency_ms" w with
+      | Some lm -> check_bool "window p99" true (Json.member "p99_ms" lm <> None)
+      | None -> Alcotest.fail "window.latency_ms missing")
+
+let test_stats_prometheus () =
+  if not (Obs.enabled ()) then Obs.enable ();
+  Api.clear_cache ();
+  ignore (Api.run (small_analyze ~id:"pm1" ~sizes:[ 11; 11; 11 ] ()));
+  (* through the wire format, as a client would ask *)
+  let resp = Api.run_json (Json.parse {|{"cmd":"stats","id":"pm","format":"prometheus"}|}) in
+  match resp.Api.Response.body.Api.Response.payload with
+  | Some (Api.Response.Stats j) ->
+      check_bool "payload says prometheus" true
+        (Json.member "format" j = Some (Json.String "prometheus"));
+      let text =
+        match Json.member "exposition" j with
+        | Some (Json.String s) -> s
+        | _ -> Alcotest.fail "exposition missing"
+      in
+      check_bool "request counter" true
+        (contains text "# TYPE serve_requests_total counter");
+      check_bool "latency histogram typed" true
+        (contains text "# TYPE serve_request_latency histogram");
+      check_bool "latency buckets" true
+        (contains text "serve_request_latency_bucket{le=");
+      check_bool "+Inf bucket" true
+        (contains text "serve_request_latency_bucket{le=\"+Inf\"}");
+      check_bool "queue depth gauge" true
+        (contains text "# TYPE serve_queue_depth gauge");
+      check_bool "cache bytes gauge" true (contains text "serve_cache_bytes ")
+  | _ -> Alcotest.fail "expected a stats payload"
+
+(* Queue wait is measured in the serve loop (submit -> execution), so it
+   only records through a real serve session. *)
+let test_queue_wait_recorded () =
+  Api.clear_cache ();
+  let before = Obs.hist_count (Obs.histogram "serve.queue_wait") in
+  let req_in, req_out = Unix.pipe () in
+  let resp_in, resp_out = Unix.pipe () in
+  let server =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_in in
+        let oc = Unix.out_channel_of_descr resp_out in
+        Server.serve_channels ic oc;
+        close_out oc)
+  in
+  let oc = Unix.out_channel_of_descr req_out in
+  output_string oc
+    ({|{"cmd":"analyze","id":"qw1","sizes":[8,8,8]}|} ^ "\n"
+    ^ {|{"cmd":"analyze","id":"qw2","sizes":[8,8,8]}|} ^ "\n");
+  close_out oc;
+  let ic = Unix.in_channel_of_descr resp_in in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  Domain.join server;
+  close_in ic;
+  check_bool "both requests answered" true
+    (contains (l1 ^ l2) "qw1" && contains (l1 ^ l2) "qw2");
+  check_bool "queue wait observed per request" true
+    (Obs.hist_count (Obs.histogram "serve.queue_wait") >= before + 2);
+  (* and it surfaces in the stats queue section *)
+  let j = stats_json () in
+  match Json.member "queue" j with
+  | Some q ->
+      check_bool "wait quantiles" true (Json.member "wait" q <> None);
+      check_bool "overloaded counter adjacent" true
+        (Json.member "overloaded" q <> None)
+  | None -> Alcotest.fail "queue section missing"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_access_log () =
+  if not (Obs.enabled ()) then Obs.enable ();
+  Api.clear_cache ();
+  let path = Filename.temp_file "tenet_access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Access_log.disable ();
+      Sys.remove path)
+    (fun () ->
+      Access_log.configure path;
+      let r = small_analyze ~id:"al1" ~sizes:[ 13; 13; 13 ] () in
+      ignore (Api.run r);
+      ignore (Api.run { r with Api.Request.id = "al2" }) (* cache hit *);
+      ignore (Api.run (Api.Request.default Api.Request.Stats));
+      Access_log.disable ();
+      (match read_lines path with
+      | [ l1; l2; l3 ] ->
+          let j1 = Json.parse l1 and j2 = Json.parse l2 and j3 = Json.parse l3 in
+          check_bool "id logged" true
+            (Json.member "id" j1 = Some (Json.String "al1"));
+          check_bool "trace = request id" true
+            (Json.member "trace" j1 = Some (Json.String "al1"));
+          check_bool "first is a miss" true
+            (Json.member "cache" j1 = Some (Json.String "miss"));
+          check_bool "second is a hit" true
+            (Json.member "cache" j2 = Some (Json.String "hit"));
+          check_bool "identical fingerprints" true
+            (Json.member "fingerprint" j1 = Json.member "fingerprint" j2
+            && Json.member "fingerprint" j1 <> None);
+          check_bool "latency present" true
+            (match Json.member "latency_ms" j1 with
+            | Some (Json.Float _) | Some (Json.Int _) -> true
+            | _ -> false);
+          check_bool "status ok" true
+            (Json.member "status" j1 = Some (Json.String "ok"));
+          check_bool "stats bypasses cache and fingerprint" true
+            (Json.member "cache" j3 = Some (Json.String "bypass")
+            && Json.member "fingerprint" j3 = None)
+      | l -> Alcotest.failf "expected 3 access-log lines, got %d" (List.length l));
+      (* sampling: 1-in-2 keeps every other completed request *)
+      let oc = open_out path in
+      close_out oc (* truncate *);
+      Access_log.configure ~sample:2 path;
+      for i = 1 to 4 do
+        ignore
+          (Api.run
+             (small_analyze ~id:(Printf.sprintf "s%d" i) ~sizes:[ 13; 13; 13 ] ()))
+      done;
+      Access_log.disable ();
+      check_int "half the requests logged" 2 (List.length (read_lines path)))
+
+let test_request_trace_exemplar () =
+  if not (Obs.enabled ()) then Obs.enable ();
+  Api.clear_cache ();
+  ignore (Api.run (small_analyze ~id:"trace-me" ~sizes:[ 14; 14; 14 ] ()));
+  match
+    List.find_opt
+      (fun ex -> ex.Obs.ex_trace = "trace-me")
+      (Obs.exemplars ())
+  with
+  | None -> Alcotest.fail "request did not leave an exemplar"
+  | Some ex -> (
+      match List.rev ex.Obs.ex_spans with
+      | root :: _ ->
+          check_string "root span is the request" "serve.request"
+            root.Obs.sp_name
+      | [] -> Alcotest.fail "empty exemplar span tree")
 
 let () =
   Alcotest.run "serve"
@@ -564,5 +749,15 @@ let () =
         [
           Alcotest.test_case "overload + drain" `Quick test_serve_overload;
           Alcotest.test_case "stats" `Quick test_stats_request;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats window" `Quick test_stats_window;
+          Alcotest.test_case "prometheus stats" `Quick test_stats_prometheus;
+          Alcotest.test_case "queue wait recorded" `Quick
+            test_queue_wait_recorded;
+          Alcotest.test_case "access log" `Quick test_access_log;
+          Alcotest.test_case "request trace exemplar" `Quick
+            test_request_trace_exemplar;
         ] );
     ]
