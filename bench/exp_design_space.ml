@@ -5,6 +5,7 @@ module Ir = Tenet.Ir
 module Arch = Tenet.Arch
 module Dse = Tenet.Dse.Dse
 module M = Tenet.Model
+module Json = Tenet.Obs.Json
 
 let run () =
   Bench_util.section "Section IV-A: dataflow design-space size";
@@ -32,12 +33,34 @@ let run_dse () =
     "candidates: %d (movement pairs x inner dim x skew x outer orders; \
      paper's prune: 25920)\n"
     (List.length cands);
-  let outcomes, dt =
-    Bench_util.phase "dse.evaluate_all" (fun () ->
-        Dse.evaluate_all ~objective:Dse.Latency spec op cands)
+  let result, dt =
+    Bench_util.phase "dse.search" (fun () ->
+        Dse.search ~mode:Dse.Pruned ~objective:Dse.Latency spec op cands)
   in
+  let outcomes = result.Dse.outcomes in
+  let st = result.Dse.stats in
   Printf.printf "explored %d valid dataflows in %.1fs (paper: <1 hour)\n"
     (List.length outcomes) dt;
+  Printf.printf
+    "search: %d generated, %d full evaluations (pruned: %d precheck, %d \
+     symmetry, %d dominated)\n"
+    st.Dse.generated st.Dse.evaluated st.Dse.pruned_precheck
+    st.Dse.pruned_symmetry st.Dse.pruned_dominated;
+  Bench_util.summary_extra "dse_generated" (Json.Int st.Dse.generated);
+  Bench_util.summary_extra "dse_evaluated" (Json.Int st.Dse.evaluated);
+  Bench_util.summary_extra "dse_pruned_precheck"
+    (Json.Int st.Dse.pruned_precheck);
+  Bench_util.summary_extra "dse_pruned_symmetry"
+    (Json.Int st.Dse.pruned_symmetry);
+  Bench_util.summary_extra "dse_pruned_dominated"
+    (Json.Int st.Dse.pruned_dominated);
+  (match outcomes with
+  | o :: _ ->
+      Bench_util.summary_extra "dse_best_dataflow"
+        (Json.String o.Dse.dataflow.Tenet.Dataflow.Dataflow.name);
+      Bench_util.summary_extra "dse_best_latency"
+        (Json.Float o.Dse.metrics.M.Metrics.latency)
+  | [] -> ());
   Printf.printf "top 5 by latency:\n";
   List.iteri
     (fun i o ->

@@ -366,8 +366,8 @@ let simulate_cmd =
        $ space_t $ time_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let dse_cmd =
-  let run kernel sizes c_file arch bandwidth strict top deadline jobs trace
-      stats json =
+  let run kernel sizes c_file arch bandwidth strict search budget top deadline
+      jobs trace stats json =
     wrap (fun () ->
         apply_jobs jobs;
         let req =
@@ -378,7 +378,7 @@ let dse_cmd =
               ~dataflow:None ~strict ~window:1 ~lex:false ~scale_dims:None
               ~deadline
           in
-          { base with Api.Request.top }
+          { base with Api.Request.top; search; budget }
         in
         let resp =
           with_telemetry ~trace ~stats ~span:"cli.dse" (fun () -> Api.run req)
@@ -415,11 +415,39 @@ let dse_cmd =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
            ~doc:"How many best dataflows to print.")
   in
+  let search_t =
+    let mode_conv =
+      Arg.enum
+        [
+          ("exhaustive", `Exhaustive); ("pruned", `Pruned);
+          ("heuristic", `Heuristic);
+        ]
+    in
+    Arg.(
+      value
+      & opt mode_conv `Exhaustive
+      & info [ "search" ] ~docv:"MODE"
+          ~doc:
+            "Search mode: $(b,exhaustive) scores every candidate, \
+             $(b,pruned) adds symmetry and dominance pruning with the same \
+             best result, $(b,heuristic) additionally caps full evaluations \
+             at $(b,--budget).")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Evaluation budget for $(b,--search heuristic) (default: a \
+             quarter of the candidates).")
+  in
   Cmd.v (Cmd.info "dse" ~doc:"Explore the dataflow design space.")
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
-       $ strict_t $ top_t $ deadline_t $ jobs_t $ trace_t $ stats_t $ json_t))
+       $ strict_t $ search_t $ budget_t $ top_t $ deadline_t $ jobs_t
+       $ trace_t $ stats_t $ json_t))
 
 let check_cmd =
   let diag_lines prefix ds =

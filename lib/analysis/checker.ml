@@ -567,6 +567,25 @@ let precheck (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
     else base @ check_bounds ~want_witness:false op df pe
   end
 
+(* Staged [precheck] for the DSE inner loop: one closure per (arch, op)
+   pair answering whether a candidate would pass [precheck] with no
+   error-severity finding — the same verdict as
+   [D.errors (precheck spec op df) = []], with no diagnostic formatting
+   or allocation per candidate.  The conjuncts mirror [precheck]'s
+   short-circuit order: unknown iterators first (the later checks assume
+   resolvable names), then rank, then interval bounds. *)
+let prechecker (spec : Arch.Spec.t) (op : Ir.Tensor_op.t) :
+    Df.Dataflow.t -> bool =
+  let pe = spec.Arch.Spec.pe in
+  let module S = Set.Make (String) in
+  let known = S.of_list (Ir.Tensor_op.iter_names op) in
+  fun df ->
+    List.for_all
+      (fun e -> List.for_all (fun v -> S.mem v known) (Isl.Aff.free_vars e))
+      (df.Df.Dataflow.space @ df.Df.Dataflow.time)
+    && Df.Dataflow.rank_violation df pe = None
+    && Df.Dataflow.bounds_violation op df pe = None
+
 (* ------------------------------------------------------------------ *)
 (* The Zoo x Repository sweep.                                         *)
 (* ------------------------------------------------------------------ *)

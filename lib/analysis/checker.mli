@@ -29,6 +29,13 @@ val precheck :
     and rank lints plus space-stamp interval bounds.  Used to pre-filter
     DSE candidates under [--strict]. *)
 
+val prechecker :
+  Tenet_arch.Spec.t -> Tenet_ir.Tensor_op.t -> Tenet_dataflow.Dataflow.t -> bool
+(** Staged {!precheck} for DSE inner loops: the closure answers whether
+    a candidate passes with no error-severity finding — the same verdict
+    as [D.errors (precheck spec op df) = []] — without formatting or
+    allocating diagnostics per candidate. *)
+
 val check_theta_map : Tenet_isl.Map.t -> D.t list
 (** Single-valuedness (TN011) and injectivity (TN003) of a raw
     spacetime relation, e.g. a hand-written Θ. *)

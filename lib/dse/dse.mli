@@ -45,6 +45,18 @@ val evaluate_all :
     scoring (each rejection bumps [dse.candidates_pruned]); the CLI
     wires the analysis checker's precheck here under [--strict]. *)
 
+val best_pair :
+  ?adjacency:[ `Inner_step | `Lex_step ] ->
+  ?objective:objective ->
+  Arch.Spec.t ->
+  Ir.Tensor_op.t ->
+  Df.Dataflow.t list ->
+  outcome option * outcome option
+(** One sweep, both answers: the overall best and the best
+    data-centric-expressible outcome (the Figure 6 pair).  Callers that
+    need both must use this — [best] and [best_expressible] each cost a
+    full sweep. *)
+
 val best :
   ?adjacency:[ `Inner_step | `Lex_step ] ->
   ?objective:objective ->
@@ -62,3 +74,51 @@ val best_expressible :
   outcome option
 (** Best within the data-centric-expressible subspace (the Figure 6
     baseline). *)
+
+(** {1 Search} *)
+
+type mode =
+  | Exhaustive  (** score every candidate; the oracle *)
+  | Pruned
+      (** precheck, symmetry-class and dominance pruning; same best
+          outcomes as [Exhaustive], computed with far fewer full
+          evaluations *)
+  | Heuristic
+      (** [Pruned] plus a seeded best-bound-first visit order capped at
+          [budget] full evaluations *)
+
+type stats = {
+  generated : int;  (** candidates handed to [search] *)
+  pruned_precheck : int;
+      (** rejected by the prefilter or the checker's precheck *)
+  pruned_symmetry : int;  (** folded into an equivalent class rep *)
+  pruned_dominated : int;
+      (** latency lower bound exceeded the incumbent *)
+  evaluated : int;  (** full concrete-engine evaluations *)
+}
+
+type result = { outcomes : outcome list; stats : stats }
+
+val search :
+  ?adjacency:[ `Inner_step | `Lex_step ] ->
+  ?mode:mode ->
+  ?budget:int ->
+  ?seed:int ->
+  ?prefilter:(Df.Dataflow.t -> bool) ->
+  ?objective:objective ->
+  Arch.Spec.t ->
+  Ir.Tensor_op.t ->
+  Df.Dataflow.t list ->
+  result
+(** Mapper entry point.  Outcomes are sorted by (score, generation
+    order) and include the pruned symmetry twins, materialized from
+    their class representative's metrics, so [Pruned] (the default)
+    returns the same best — byte-identical metrics — as [Exhaustive].
+    Deterministic at any [--jobs] and, given [seed], in [Heuristic]
+    mode too.  [budget] (default [generated / 4]) caps full evaluations
+    in [Heuristic] mode only.  Symmetry grouping applies only under
+    [`Inner_step] adjacency, where its metric-equality argument holds;
+    dominance bounds apply only to the [Latency] objective.
+    Per-tier prune counts are reported in [stats] and on the
+    [dse.pruned_precheck] / [dse.pruned_symmetry] /
+    [dse.pruned_dominated] counters. *)

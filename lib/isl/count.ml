@@ -983,7 +983,13 @@ end
 
 module Utbl = Hashtbl.Make (Ukey)
 
-type cache_entry = { mutable e_card : int option; mutable e_empty : bool option }
+type cache_entry = {
+  mutable e_card : int option;
+  mutable e_empty : bool option;
+  mutable e_tick : int; (* last touch, for sweep-friendly eviction *)
+}
+
+type union_entry = { u_card : int; mutable u_tick : int }
 
 let cache_bound =
   match Sys.getenv_opt "TENET_COUNT_CACHE" with
@@ -996,7 +1002,11 @@ let cache_bound =
 
 let cache_mutex = Mutex.create ()
 let bset_cache : cache_entry Ctbl.t = Ctbl.create 1024
-let union_cache : int Utbl.t = Utbl.create 256
+let union_cache : union_entry Utbl.t = Utbl.create 256
+
+(* Touch clock for eviction decisions; guarded by [cache_mutex]. *)
+let cache_tick = ref 0
+let evict_floor = ref 0 (* clock value at the previous eviction *)
 
 let key_of_compiled (cp : compiled) : Ckey.t =
   let cons = Array.map (fun c -> (c.eq, c.k, c.a)) cp.cons in
@@ -1008,12 +1018,30 @@ let key_of_compiled (cp : compiled) : Ckey.t =
     k_cons = cons;
   }
 
-(* Room check shared by both tables; called with [cache_mutex] held. *)
+(* Room check shared by both tables; called with [cache_mutex] held.
+   Eviction is sweep-friendly: entries touched since the previous
+   eviction survive (a DSE sweep keeps re-counting the same basic sets
+   while entries from earlier subjects go cold), everything colder is
+   dropped.  Only when the hot set itself fills the bound does the
+   cache fall back to dropping everything. *)
 let make_room () =
   if Ctbl.length bset_cache + Utbl.length union_cache >= cache_bound then begin
     Obs.incr c_cache_evictions;
+    let floor = !evict_floor in
+    let keep_b = ref [] and keep_u = ref [] in
+    Ctbl.iter
+      (fun k e -> if e.e_tick > floor then keep_b := (k, e) :: !keep_b)
+      bset_cache;
+    Utbl.iter
+      (fun k e -> if e.u_tick > floor then keep_u := (k, e) :: !keep_u)
+      union_cache;
     Ctbl.reset bset_cache;
-    Utbl.reset union_cache
+    Utbl.reset union_cache;
+    if List.length !keep_b + List.length !keep_u < cache_bound then begin
+      List.iter (fun (k, e) -> Ctbl.add bset_cache k e) !keep_b;
+      List.iter (fun (k, e) -> Utbl.add union_cache k e) !keep_u
+    end;
+    evict_floor := !cache_tick
   end
 
 (* [probe ~get ~set cp compute]: consult the per-bset cache for the field
@@ -1026,7 +1054,10 @@ let probe ~get ~set (cp : compiled) (compute : unit -> 'a) : 'a =
     Mutex.lock cache_mutex;
     let cached =
       match Ctbl.find_opt bset_cache key with
-      | Some e -> get e
+      | Some e ->
+          incr cache_tick;
+          e.e_tick <- !cache_tick;
+          get e
       | None -> None
     in
     Mutex.unlock cache_mutex;
@@ -1039,10 +1070,14 @@ let probe ~get ~set (cp : compiled) (compute : unit -> 'a) : 'a =
         let v = compute () in
         Mutex.lock cache_mutex;
         (match Ctbl.find_opt bset_cache key with
-        | Some e -> set e v
+        | Some e ->
+            incr cache_tick;
+            e.e_tick <- !cache_tick;
+            set e v
         | None ->
             make_room ();
-            let e = { e_card = None; e_empty = None } in
+            incr cache_tick;
+            let e = { e_card = None; e_empty = None; e_tick = !cache_tick } in
             set e v;
             Ctbl.add bset_cache key e);
         Mutex.unlock cache_mutex;
@@ -1053,6 +1088,8 @@ let cache_clear () =
   Mutex.lock cache_mutex;
   Ctbl.reset bset_cache;
   Utbl.reset union_cache;
+  cache_tick := 0;
+  evict_floor := 0;
   Mutex.unlock cache_mutex
 
 let count_bset (b : Bset.t) : int =
@@ -1358,7 +1395,14 @@ let count_union (bs : Bset.t list) : int =
             in
             Array.sort compare ukey;
             Mutex.lock cache_mutex;
-            let cached = Utbl.find_opt union_cache ukey in
+            let cached =
+              match Utbl.find_opt union_cache ukey with
+              | Some e ->
+                  incr cache_tick;
+                  e.u_tick <- !cache_tick;
+                  Some e.u_card
+              | None -> None
+            in
             Mutex.unlock cache_mutex;
             match cached with
             | Some v ->
@@ -1370,7 +1414,9 @@ let count_union (bs : Bset.t list) : int =
                 Mutex.lock cache_mutex;
                 if not (Utbl.mem union_cache ukey) then begin
                   make_room ();
-                  Utbl.add union_cache ukey v
+                  incr cache_tick;
+                  Utbl.add union_cache ukey
+                    { u_card = v; u_tick = !cache_tick }
                 end;
                 Mutex.unlock cache_mutex;
                 v

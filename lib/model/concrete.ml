@@ -111,19 +111,27 @@ let decode (base : (int * int) array) (code : int) (out : int array) : unit =
     code := !code / ext
   done
 
-(* Iterate the whole iteration box, calling [f] with [c.vals] filled. *)
-let iter_instances (c : compiled) (f : unit -> unit) : unit =
+(* Iterate an iteration box, calling [f] with [vals] filled; the visit
+   order is exactly increasing [encode_iters] code (outermost dim most
+   significant), which the shared-needs table below relies on. *)
+let iter_box (iters : (int * int) array) (vals : int array) (f : unit -> unit)
+    : unit =
+  let n = Array.length iters in
   let rec go i =
-    if i = c.n_iters then f ()
+    if i = n then f ()
     else begin
-      let lo, ext = c.iters.(i) in
+      let lo, ext = iters.(i) in
       for v = lo to lo + ext - 1 do
-        c.vals.(i) <- v;
+        vals.(i) <- v;
         go (i + 1)
       done
     end
   in
   go 0
+
+(* Iterate the whole iteration box, calling [f] with [c.vals] filled. *)
+let iter_instances (c : compiled) (f : unit -> unit) : unit =
+  iter_box c.iters c.vals f
 
 let eval_tuple (c : compiled) (exprs : Isl.Aff.t array) (out : int array) :
     unit =
@@ -254,45 +262,233 @@ let clear_pred_cache () =
   Hashtbl.reset pred_cache;
   Mutex.unlock pred_cache_mutex
 
-type analysis = {
-  metrics : Metrics.t;
-  stamp_count : int; (* distinct spacetime stamps (= instances iff valid) *)
-}
+(* ------------------------------------------------------------------ *)
+(* Reusable evaluation context.                                        *)
+(* ------------------------------------------------------------------ *)
 
 (* Per-tensor element encodings: one mixed-radix base per subscript
    position, wide enough for every access to the tensor. *)
-let tensor_bases (c : compiled) (accs : Ir.Tensor_op.access array) :
+let tensor_bases (op : Ir.Tensor_op.t) (accs : Ir.Tensor_op.access array) :
     (int * int) array =
-  let ienv name = Ir.Tensor_op.iter_bounds c.op name in
-  let arity =
-    List.length (accs.(0)).Ir.Tensor_op.subscripts
-  in
+  let ienv name = Ir.Tensor_op.iter_bounds op name in
+  let arity = List.length (accs.(0)).Ir.Tensor_op.subscripts in
   Array.init arity (fun i ->
       let lo = ref max_int and hi = ref min_int in
       Array.iter
         (fun (a : Ir.Tensor_op.access) ->
-          let l, h = Isl.Aff.interval ienv (List.nth a.Ir.Tensor_op.subscripts i) in
+          let l, h =
+            Isl.Aff.interval ienv (List.nth a.Ir.Tensor_op.subscripts i)
+          in
           if l < !lo then lo := l;
           if h > !hi then hi := h)
         accs;
       (!lo, !hi - !lo + 1))
 
-let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
-    ?(validate = true) ?(window = 1) (spec : Arch.Spec.t)
-    (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : Metrics.t =
+(* Everything the analysis needs that depends only on the (architecture,
+   operator, evaluation options) triple — not on the candidate dataflow.
+   A DSE sweep scores hundreds of dataflows against one such triple; the
+   context is built once and shared, and each candidate pays only the
+   dataflow-dependent part of the walk.  A context is immutable after
+   construction, so sharing one across the parallel work pool is safe. *)
+type ctx = {
+  x_spec : Arch.Spec.t;
+  x_op : Ir.Tensor_op.t;
+  x_adjacency : Df.Spacetime.adjacency;
+  x_window : int;
+  x_validate : bool;
+  x_n_instances : int;
+  x_tensors : string array;
+  x_n_tensors : int;
+  x_outputs : string list;
+  x_fspace : int; (* widest per-tensor element space *)
+  x_fenc_evals : (int array -> int) array array; (* per tensor, per access *)
+  x_pe_base : (int * int) array;
+  x_pe_size : int;
+  x_preds : int list array; (* pred_pe_keys, resolved once *)
+  x_dt_spatial : int;
+  x_kspace : int;
+  x_use_direct : bool;
+  x_needs : (int array * int array) array option;
+      (* Per-tensor [(offs, flat)]: instance code [i] touches elements
+         [flat.(offs.(i)) .. flat.(offs.(i + 1) - 1)] (deduplicated,
+         sorted when the tensor has several accesses).  Element
+         encodings are dataflow-independent, so this one walk of the
+         iteration box serves every candidate the context scores.
+         [None] when the layer is too large for the table to pay. *)
+}
+
+(* Caps on the shared element-needs table: past a few million instances
+   its build cost and footprint outweigh re-evaluating the accesses per
+   candidate, and one-shot [analyze] calls never build it at all. *)
+let needs_max_instances = 2_000_000
+let needs_max_cells = 8_000_000
+
+let build_needs (op : Ir.Tensor_op.t)
+    (fenc_evals : (int array -> int) array array) :
+    (int array * int array) array option =
+  let n_instances = Ir.Tensor_op.n_instances op in
+  let n_tensors = Array.length fenc_evals in
+  let cells =
+    Array.fold_left (fun a fs -> a + (n_instances * Array.length fs)) 0
+      fenc_evals
+  in
+  if n_instances > needs_max_instances || cells > needs_max_cells then None
+  else begin
+    let iters =
+      Array.of_list
+        (List.map
+           (fun it -> (it.Ir.Tensor_op.lo, Ir.Tensor_op.extent it))
+           op.Ir.Tensor_op.iters)
+    in
+    let vals = Array.make (Array.length iters) 0 in
+    let offs = Array.init n_tensors (fun _ -> Array.make (n_instances + 1) 0) in
+    let flats =
+      Array.init n_tensors (fun ti ->
+          Array.make (n_instances * Array.length fenc_evals.(ti)) 0)
+    in
+    let lens = Array.make n_tensors 0 in
+    let inst = ref 0 in
+    iter_box iters vals (fun () ->
+        for ti = 0 to n_tensors - 1 do
+          (match fenc_evals.(ti) with
+          | [| f |] ->
+              flats.(ti).(lens.(ti)) <- f vals;
+              lens.(ti) <- lens.(ti) + 1
+          | fs ->
+              List.iter
+                (fun fenc ->
+                  flats.(ti).(lens.(ti)) <- fenc;
+                  lens.(ti) <- lens.(ti) + 1)
+                (List.sort_uniq compare
+                   (Array.to_list (Array.map (fun f -> f vals) fs))));
+          offs.(ti).(!inst + 1) <- lens.(ti)
+        done;
+        incr inst);
+    Some
+      (Array.init n_tensors (fun ti ->
+           (offs.(ti), Array.sub flats.(ti) 0 lens.(ti))))
+  end
+
+let context ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
+    ?(validate = true) ?(window = 1) ?(share = true) (spec : Arch.Spec.t)
+    (op : Ir.Tensor_op.t) : ctx =
+  let pe = spec.Arch.Spec.pe in
+  let tensors = Array.of_list (Ir.Tensor_op.tensors op) in
+  let n_tensors = Array.length tensors in
+  let accs =
+    Array.map (fun t -> Array.of_list (Ir.Tensor_op.accesses_of op t)) tensors
+  in
+  let bases = Array.map (tensor_bases op) accs in
+  let fspace =
+    Array.fold_left
+      (fun acc b -> max acc (Array.fold_left (fun a (_, e) -> a * e) 1 b))
+      1 bases
+  in
+  let index = Hashtbl.create 8 in
+  List.iteri
+    (fun i it -> Hashtbl.replace index it.Ir.Tensor_op.iname i)
+    op.Ir.Tensor_op.iters;
+  let lookup name = Hashtbl.find index name in
+  (* Staged access evaluators: one closure per access computing the
+     mixed-radix element encoding straight from an iterator-value array
+     laid out like [compiled.vals] (the layout depends only on [op], so
+     the closures are shared across every candidate's walk). *)
+  let fenc_evals =
+    Array.mapi
+      (fun ti accs_ti ->
+        let b = bases.(ti) in
+        let arity = Array.length b in
+        Array.map
+          (fun (a : Ir.Tensor_op.access) ->
+            let subs =
+              Array.of_list
+                (List.map
+                   (Isl.Aff.compile_eval ~lookup)
+                   a.Ir.Tensor_op.subscripts)
+            in
+            fun vals ->
+              let acc = ref 0 in
+              for i = 0 to arity - 1 do
+                let lo, ext = b.(i) in
+                acc := (!acc * ext) + (subs.(i) vals - lo)
+              done;
+              !acc)
+          accs_ti)
+      accs
+  in
+  let pe_size = Arch.Pe_array.size pe in
+  let kspace = pe_size * n_tensors * fspace in
+  {
+    x_spec = spec;
+    x_op = op;
+    x_adjacency = adjacency;
+    x_window = window;
+    x_validate = validate;
+    x_n_instances = Ir.Tensor_op.n_instances op;
+    x_tensors = tensors;
+    x_n_tensors = n_tensors;
+    x_outputs = Ir.Tensor_op.outputs op;
+    x_fspace = fspace;
+    x_fenc_evals = fenc_evals;
+    x_pe_base = Array.map (fun d -> (0, d)) (Arch.Pe_array.dims pe);
+    x_pe_size = pe_size;
+    x_preds = pred_pe_keys spec;
+    x_dt_spatial = Arch.Interconnect.interval spec.Arch.Spec.topology;
+    x_kspace = kspace;
+    (* Direct addressing also requires validated space bounds: only
+       validation guarantees every pkey is in range. *)
+    x_use_direct = validate && kspace > 0 && kspace <= 50_000_000;
+    x_needs = (if share then build_needs op fenc_evals else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cheap time-only profile (DSE dominance bounds).                     *)
+(* ------------------------------------------------------------------ *)
+
+type profile = { p_timestamps : int; p_conflict : bool }
+
+(* Count distinct time-stamps and detect spacetime conflicts without
+   touching tensor accesses: a fraction of the full walk's cost, enough
+   for a latency lower bound ([latency >= n_timestamps]) and for
+   discarding invalid candidates before they reach the full analysis. *)
+let time_profile (ctx : ctx) (df : Df.Dataflow.t) : profile =
+  let c = compile ctx.x_op df in
+  let r = Array.length c.space_exprs and m = Array.length c.time_exprs in
+  let p_scratch = Array.make r 0 and t_scratch = Array.make m 0 in
+  let seen_t : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let seen_tp : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let conflict = ref false in
+  iter_instances c (fun () ->
+      eval_staged c c.space_evals p_scratch;
+      eval_staged c c.time_evals t_scratch;
+      let tcode = encode c.time_base t_scratch in
+      let pkey = encode ctx.x_pe_base p_scratch in
+      if not (Hashtbl.mem seen_t tcode) then Hashtbl.add seen_t tcode ();
+      let k = (tcode * (ctx.x_pe_size + 1)) + (pkey + 1) in
+      if Hashtbl.mem seen_tp k then conflict := true
+      else Hashtbl.add seen_tp k ());
+  { p_timestamps = max 1 (Hashtbl.length seen_t); p_conflict = !conflict }
+
+(* ------------------------------------------------------------------ *)
+(* The full analysis.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_in (ctx : ctx) (df : Df.Dataflow.t) : Metrics.t =
   Obs.with_span ~args:[ ("dataflow", df.Df.Dataflow.name) ] "concrete.analyze"
   @@ fun () ->
   Obs.incr c_analyses;
+  let spec = ctx.x_spec and op = ctx.x_op in
+  let adjacency = ctx.x_adjacency and window = ctx.x_window in
+  let validate = ctx.x_validate in
   let c = compile op df in
   let pe = spec.Arch.Spec.pe in
-  if Ir.Tensor_op.n_instances op > 200_000_000 then
+  if ctx.x_n_instances > 200_000_000 then
     raise
       (Invalid_dataflow
          (Printf.sprintf
             "%s: %d instances is too large to enumerate; use Scaled.analyze \
              (CLI: --scale-dims) for layers of this size"
-            df.Df.Dataflow.name
-            (Ir.Tensor_op.n_instances op)));
+            df.Df.Dataflow.name ctx.x_n_instances));
   (* bounds validation *)
   if validate then begin
     if Df.Dataflow.n_space df <> Arch.Pe_array.rank pe then
@@ -312,7 +508,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
       (Df.Dataflow.space_bounds op df)
   end;
   let r = Array.length c.space_exprs and m = Array.length c.time_exprs in
-  let pe_base = Array.map (fun d -> (0, d)) (Arch.Pe_array.dims pe) in
+  let pe_base = ctx.x_pe_base in
   let p_scratch = Array.make r 0 and t_scratch = Array.make m 0 in
   (* pass 1: bucket instances by time-stamp code *)
   let buckets : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 4096 in
@@ -329,64 +525,31 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
           | None ->
               Hashtbl.add buckets tcode (ref [ (pkey, inst) ]);
               tcodes := tcode :: !tcodes));
-  Obs.add c_instances (Ir.Tensor_op.n_instances op);
+  Obs.add c_instances ctx.x_n_instances;
   let order = List.sort compare !tcodes in
-  let preds_enc = pred_pe_keys spec in
-  let dt_spatial = Arch.Interconnect.interval spec.Arch.Spec.topology in
-  let tensors = Array.of_list (Ir.Tensor_op.tensors op) in
-  let n_tensors = Array.length tensors in
-  let accs =
-    Array.map (fun t -> Array.of_list (Ir.Tensor_op.accesses_of op t)) tensors
-  in
-  let bases = Array.map (tensor_bases c) accs in
-  let fspace =
-    Array.fold_left
-      (fun acc b -> max acc (Array.fold_left (fun a (_, e) -> a * e) 1 b))
-      1 bases
-  in
+  let preds_enc = ctx.x_preds in
+  let dt_spatial = ctx.x_dt_spatial in
+  let tensors = ctx.x_tensors in
+  let n_tensors = ctx.x_n_tensors in
+  let fspace = ctx.x_fspace in
   (* pe/tensor/element key for the last-touch table *)
   let key ~pkey ~ti fenc = (((pkey * n_tensors) + ti) * fspace) + fenc in
-  (* Staged access evaluators: one closure per access computing the
-     mixed-radix element encoding straight from [c.vals]. *)
-  let fenc_evals =
-    Array.mapi
-      (fun ti accs_ti ->
-        let b = bases.(ti) in
-        let arity = Array.length b in
-        Array.map
-          (fun (a : Ir.Tensor_op.access) ->
-            let subs =
-              Array.of_list
-                (List.map
-                   (Isl.Aff.compile_eval ~lookup:c.lookup)
-                   a.Ir.Tensor_op.subscripts)
-            in
-            fun vals ->
-              let acc = ref 0 in
-              for i = 0 to arity - 1 do
-                let lo, ext = b.(i) in
-                acc := (!acc * ext) + (subs.(i) vals - lo)
-              done;
-              !acc)
-          accs_ti)
-      accs
-  in
   (* element encodings of the instance currently in c.vals, deduplicated *)
-  let eval_fenc ti : int list =
-    match fenc_evals.(ti) with
-    | [| f |] -> [ f c.vals ]
+  let eval_fenc ti : int array =
+    match ctx.x_fenc_evals.(ti) with
+    | [| f |] -> [| f c.vals |]
     | fs ->
-        List.sort_uniq compare
-          (Array.to_list (Array.map (fun f -> f c.vals) fs))
+        Array.of_list
+          (List.sort_uniq compare
+             (Array.to_list (Array.map (fun f -> f c.vals) fs)))
   in
   (* The last-touch / same-stamp-needs / footprint tables are the inner
      loop's only lookups.  When the (PE, tensor, element) key space is
      small enough they are flat arrays (direct addressing, no hashing);
-     otherwise hash tables.  Direct addressing also requires validated
-     space bounds: only validation guarantees every pkey is in range. *)
-  let pe_size = Arch.Pe_array.size pe in
-  let kspace = pe_size * n_tensors * fspace in
-  let use_direct = validate && kspace > 0 && kspace <= 50_000_000 in
+     otherwise hash tables. *)
+  let pe_size = ctx.x_pe_size in
+  let kspace = ctx.x_kspace in
+  let use_direct = ctx.x_use_direct in
   let lt_get, lt_set =
     if use_direct then begin
       let a = Array.make kspace min_int in
@@ -451,95 +614,115 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
   let iv = Array.make c.n_iters 0 in
   (* pass 2: walk stamps in lexicographic order, checking each element
      against the last time this PE (temporal window) or a predecessor PE
-     (spatial, exact interconnect latency) touched it *)
+     (spatial, exact interconnect latency) touched it.  The per-instance
+     element lists come from the context's shared needs table when it
+     exists; otherwise each instance is decoded and its accesses
+     re-evaluated, exactly as the table builder would have. *)
   Obs.with_span "concrete.walk" (fun () ->
-  List.iter
-    (fun tcode ->
-      let insts = !(Hashtbl.find buckets tcode) in
-      busiest := max !busiest (List.length insts);
-      let stamp_unique = ref 0 in
-      (* conflict check: two instances on one PE in one stamp *)
-      let seen_pe = Hashtbl.create 16 in
       List.iter
-        (fun (pkey, _) ->
-          if Hashtbl.mem seen_pe pkey then conflict := true
-          else Hashtbl.add seen_pe pkey ())
-        insts;
-      let needs =
-        List.map
-          (fun (pkey, inst) ->
-            decode_iters c inst iv;
-            Array.blit iv 0 c.vals 0 c.n_iters;
-            (pkey, Array.init n_tensors eval_fenc))
-          insts
-      in
-      (* same-stamp needs, for interval-0 wire sharing *)
-      if dt_spatial = 0 then begin
-        sn_next ();
-        List.iter
-          (fun (pkey, per_tensor) ->
-            Array.iteri
-              (fun ti fencs ->
-                List.iter (fun fenc -> sn_mark (key ~pkey ~ti fenc)) fencs)
-              per_tensor)
-          needs
-      end;
-      List.iter
-        (fun (pkey, per_tensor) ->
-          let plist =
-            if pkey >= 0 && pkey < Array.length preds_enc then preds_enc.(pkey)
-            else []
+        (fun tcode ->
+          let insts = !(Hashtbl.find buckets tcode) in
+          busiest := max !busiest (List.length insts);
+          let stamp_unique = ref 0 in
+          (* conflict check: two instances on one PE in one stamp *)
+          let seen_pe = Hashtbl.create 16 in
+          List.iter
+            (fun (pkey, _) ->
+              if Hashtbl.mem seen_pe pkey then conflict := true
+              else Hashtbl.add seen_pe pkey ())
+            insts;
+          let needs =
+            match ctx.x_needs with
+            | Some tabs ->
+                List.map
+                  (fun (pkey, inst) ->
+                    ( pkey,
+                      Array.init n_tensors (fun ti ->
+                          let offs, flat = tabs.(ti) in
+                          Array.sub flat
+                            offs.(inst)
+                            (offs.(inst + 1) - offs.(inst))) ))
+                  insts
+            | None ->
+                List.map
+                  (fun (pkey, inst) ->
+                    decode_iters c inst iv;
+                    Array.blit iv 0 c.vals 0 c.n_iters;
+                    (pkey, Array.init n_tensors eval_fenc))
+                  insts
           in
-          Array.iteri
-            (fun ti fencs ->
-              List.iter
-                (fun fenc ->
-                  totals.(ti) <- totals.(ti) + 1;
-                  touch ti fenc;
-                  let temporal =
-                    m > 0
-                    &&
-                    let last = lt_get (key ~pkey ~ti fenc) in
-                    last <> min_int
-                    && tcode - last <= window
-                    && same_outer tcode last
-                  in
-                  if temporal then reuse_t.(ti) <- reuse_t.(ti) + 1
-                  else begin
-                    let spatial =
-                      if dt_spatial = 0 then
-                        List.exists
-                          (fun p' -> sn_mem (key ~pkey:p' ~ti fenc))
-                          plist
-                      else
-                        List.exists
-                          (fun p' ->
-                            let last = lt_get (key ~pkey:p' ~ti fenc) in
-                            last <> min_int
-                            && tcode - last = dt_spatial
-                            && same_outer tcode last)
-                          plist
-                    in
-                    if spatial then reuse_s.(ti) <- reuse_s.(ti) + 1
-                    else incr stamp_unique
-                  end)
-                fencs)
-            per_tensor)
-        needs;
-      stamped_cycles :=
-        !stamped_cycles
-        + max 1
-            ((!stamp_unique + spec.Arch.Spec.bandwidth - 1)
-            / spec.Arch.Spec.bandwidth);
-      (* commit this stamp's touches *)
-      List.iter
-        (fun (pkey, per_tensor) ->
-          Array.iteri
-            (fun ti fencs ->
-              List.iter (fun fenc -> lt_set (key ~pkey ~ti fenc) tcode) fencs)
-            per_tensor)
-        needs)
-    order);
+          (* same-stamp needs, for interval-0 wire sharing *)
+          if dt_spatial = 0 then begin
+            sn_next ();
+            List.iter
+              (fun (pkey, per_tensor) ->
+                Array.iteri
+                  (fun ti fencs ->
+                    Array.iter
+                      (fun fenc -> sn_mark (key ~pkey ~ti fenc))
+                      fencs)
+                  per_tensor)
+              needs
+          end;
+          List.iter
+            (fun (pkey, per_tensor) ->
+              let plist =
+                if pkey >= 0 && pkey < Array.length preds_enc then
+                  preds_enc.(pkey)
+                else []
+              in
+              Array.iteri
+                (fun ti fencs ->
+                  Array.iter
+                    (fun fenc ->
+                      totals.(ti) <- totals.(ti) + 1;
+                      touch ti fenc;
+                      let temporal =
+                        m > 0
+                        &&
+                        let last = lt_get (key ~pkey ~ti fenc) in
+                        last <> min_int
+                        && tcode - last <= window
+                        && same_outer tcode last
+                      in
+                      if temporal then reuse_t.(ti) <- reuse_t.(ti) + 1
+                      else begin
+                        let spatial =
+                          if dt_spatial = 0 then
+                            List.exists
+                              (fun p' -> sn_mem (key ~pkey:p' ~ti fenc))
+                              plist
+                          else
+                            List.exists
+                              (fun p' ->
+                                let last = lt_get (key ~pkey:p' ~ti fenc) in
+                                last <> min_int
+                                && tcode - last = dt_spatial
+                                && same_outer tcode last)
+                              plist
+                        in
+                        if spatial then reuse_s.(ti) <- reuse_s.(ti) + 1
+                        else incr stamp_unique
+                      end)
+                    fencs)
+                per_tensor)
+            needs;
+          stamped_cycles :=
+            !stamped_cycles
+            + max 1
+                ((!stamp_unique + spec.Arch.Spec.bandwidth - 1)
+                / spec.Arch.Spec.bandwidth);
+          (* commit this stamp's touches *)
+          List.iter
+            (fun (pkey, per_tensor) ->
+              Array.iteri
+                (fun ti fencs ->
+                  Array.iter
+                    (fun fenc -> lt_set (key ~pkey ~ti fenc) tcode)
+                    fencs)
+                per_tensor)
+            needs)
+        order);
   if validate && !conflict then
     raise
       (Invalid_dataflow
@@ -553,7 +736,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
         let temporal_reuse = reuse_t.(ti) in
         let spatial_reuse = reuse_s.(ti) in
         let direction =
-          if List.mem tensor (Ir.Tensor_op.outputs op) then Ir.Tensor_op.Write
+          if List.mem tensor ctx.x_outputs then Ir.Tensor_op.Write
           else Ir.Tensor_op.Read
         in
         {
@@ -570,8 +753,7 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
         })
       (Array.to_list tensors)
   in
-  let n_instances = Ir.Tensor_op.n_instances op in
-  let pe_size = Arch.Pe_array.size pe in
+  let n_instances = ctx.x_n_instances in
   let n_timestamps = max 1 (Hashtbl.length buckets) in
   let partial =
     {
@@ -624,3 +806,8 @@ let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
       float_of_int (Metrics.total_unique partial) /. float_of_int n_timestamps;
     energy;
   }
+
+let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
+    ?(validate = true) ?(window = 1) (spec : Arch.Spec.t)
+    (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : Metrics.t =
+  analyze_in (context ~adjacency ~validate ~window ~share:false spec op) df

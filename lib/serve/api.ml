@@ -90,6 +90,8 @@ module Request = struct
     strict : bool;
     scale_dims : string list;
     tensors : string list; (* volumes: subset of tensors; [] = all *)
+    search : [ `Exhaustive | `Pruned | `Heuristic ]; (* dse mode *)
+    budget : int option; (* dse: heuristic evaluation cap *)
     top : int;
     deadline_ms : int option;
     format : [ `Json | `Prometheus ]; (* stats: response encoding *)
@@ -114,6 +116,8 @@ module Request = struct
       strict = false;
       scale_dims = [];
       tensors = [];
+      search = `Exhaustive;
+      budget = None;
       top = 10;
       deadline_ms = None;
       format = `Json;
@@ -167,6 +171,13 @@ module Request = struct
         ("strict", Json.Bool r.strict);
         ("scale_dims", strings r.scale_dims);
         ("tensors", strings r.tensors);
+        ( "search",
+          Json.String
+            (match r.search with
+            | `Exhaustive -> "exhaustive"
+            | `Pruned -> "pruned"
+            | `Heuristic -> "heuristic") );
+        ("budget", opt (fun n -> Json.Int n) r.budget);
         ("top", Json.Int r.top);
         ("deadline_ms", opt (fun n -> Json.Int n) r.deadline_ms);
         ( "format",
@@ -303,6 +314,21 @@ module Request = struct
                 | "tensors" ->
                     let* l = as_string_list k v in
                     Ok { r with tensors = l }
+                | "search" -> (
+                    let* s = as_string k v in
+                    match s with
+                    | "exhaustive" -> Ok { r with search = `Exhaustive }
+                    | "pruned" -> Ok { r with search = `Pruned }
+                    | "heuristic" -> Ok { r with search = `Heuristic }
+                    | _ ->
+                        Error
+                          (Bad_field
+                             (Tenet_util.Text.unknown ~what:"search" s
+                                [ "exhaustive"; "pruned"; "heuristic" ])))
+                | "budget" ->
+                    let* n = as_int k v in
+                    if n < 1 then bad "field \"budget\" must be >= 1"
+                    else Ok { r with budget = Some n }
                 | "top" ->
                     let* n = as_int k v in
                     if n < 0 then bad "field \"top\" must be >= 0"
@@ -926,9 +952,29 @@ let run_dse ~token (r : Request.t) : Response.body =
                   ok)
             else None
           in
-          outcomes :=
-            Dse.evaluate_all ?prefilter ~adjacency:r.Request.adjacency
-              ~objective:Dse.Latency spec op !cands );
+          match r.Request.search with
+          | `Exhaustive ->
+              outcomes :=
+                Dse.evaluate_all ?prefilter ~adjacency:r.Request.adjacency
+                  ~objective:Dse.Latency spec op !cands
+          | (`Pruned | `Heuristic) as mode ->
+              let mode =
+                match mode with
+                | `Pruned -> Dse.Pruned
+                | `Heuristic -> Dse.Heuristic
+              in
+              let result =
+                Dse.search ~mode ?budget:r.Request.budget ?prefilter
+                  ~adjacency:r.Request.adjacency ~objective:Dse.Latency spec
+                  op !cands
+              in
+              (* the search's own prune tiers count toward [pruned] on
+                 top of the strict prefilter's rejections *)
+              n_pruned :=
+                result.Dse.stats.Dse.pruned_precheck
+                + result.Dse.stats.Dse.pruned_symmetry
+                + result.Dse.stats.Dse.pruned_dominated;
+              outcomes := result.Dse.outcomes );
     ]
   in
   let expired, skipped = drive token stages in

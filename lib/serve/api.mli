@@ -41,6 +41,12 @@ module Request : sig
     strict : bool;
     scale_dims : string list;
     tensors : string list;  (** volumes: subset of tensors; [] = all *)
+    search : [ `Exhaustive | `Pruned | `Heuristic ];
+        (** dse only: [`Exhaustive] (default) scores every candidate;
+            [`Pruned] adds symmetry/dominance pruning with the same best
+            outcomes; [`Heuristic] additionally caps full evaluations at
+            [budget] *)
+    budget : int option;  (** dse: heuristic evaluation cap *)
     top : int;
     deadline_ms : int option;  (** processing budget; see docs/serving.md *)
     format : [ `Json | `Prometheus ];

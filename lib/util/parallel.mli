@@ -23,10 +23,17 @@ val parse_jobs : what:string -> string -> int
 (** Strict job-count parsing shared with the CLI: positive integer or
     [Failure] with a message naming [what] was being parsed. *)
 
-val map : ('a -> 'b) -> 'a list -> 'b list
-val map_array : ('a -> 'b) -> 'a array -> 'b array
+val map : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: [map f l] equals [List.map f l]
+    element-for-element at any job count.  [chunk] (default 1) is a
+    floor on how many items one pool task processes; raise it when the
+    per-item work is cheap enough that scheduling overhead would
+    dominate (the result is unchanged — batching only coarsens the
+    scheduling grain).  Raises [Invalid_argument] on [chunk < 1]. *)
 
-val init : int -> (int -> 'b) -> 'b array
+val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val init : ?chunk:int -> int -> (int -> 'b) -> 'b array
 (** [init n f] is [Array.init n f] with the calls distributed over the
     pool. *)
 

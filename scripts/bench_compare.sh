@@ -26,6 +26,13 @@
 #                    `bench/main.exe -- fig6 fig8` writes a two-section
 #                    summary, and unrestricted comparison would report
 #                    every other baseline section as missing).
+#   --ceiling s=r    require section s's wall-clock to stay at or below
+#                    r times the baseline (repeatable, or comma-joined).
+#                    Unlike the 10% regression check this also applies
+#                    under --points-only: it encodes a "must stay N x
+#                    faster than the seed" guarantee whose margin is wide
+#                    enough (see docs/performance.md) not to flake on a
+#                    loaded runner.
 #
 # Besides the per-section table (with points ratio), prints the fast-path
 # counter totals (qpoly_hits / qpoly_fallbacks) summed over the compared
@@ -37,11 +44,14 @@ cd "$(dirname "$0")/.."
 
 points_only=0
 sections=""
+ceilings=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --points-only) points_only=1; shift ;;
     --sections) sections="$2"; shift 2 ;;
     --sections=*) sections="${1#--sections=}"; shift ;;
+    --ceiling) ceilings="$ceilings,$2"; shift 2 ;;
+    --ceiling=*) ceilings="$ceilings,${1#--ceiling=}"; shift ;;
     *) break ;;
   esac
 done
@@ -100,14 +110,19 @@ while read -r name base_t base_p base_q base_f; do
     [ "$base_f_total" = "-" ] && base_f_total=0
     base_f_total=$((base_f_total + base_f))
   fi
+  ceil=$(printf '%s,' "$ceilings" \
+    | sed -n "s/.*,$name=\([0-9.]*\),.*/\1/p")
   awk -v n="$name" -v bt="$base_t" -v ct="$cur_t" -v bp="$base_p" \
-      -v cp="$cur_p" -v ponly="$points_only" '
+      -v cp="$cur_p" -v ponly="$points_only" -v ceil="$ceil" '
     BEGIN {
       t_ratio = (bt > 0) ? ct / bt : 1
       p_ratio = (bp > 0) ? cp / bp : (cp > 0 ? -1 : 1)
       flag = ""
       # wall-clock: >10% slower on a section big enough to measure
       if (!ponly && bt >= 0.1 && t_ratio > 1.10) flag = flag " TIME-REGRESSION"
+      # explicit speedup guarantee: stay at or below ceil x baseline
+      if (ceil != "" && bt > 0 && t_ratio > ceil + 0) \
+        flag = flag " CEILING-EXCEEDED"
       # enumerated points are deterministic; >10% growth means lost closed forms
       if (bp > 0 && cp > bp * 1.10) flag = flag " POINTS-REGRESSION"
       if (bp == 0 && cp > 0) flag = flag " POINTS-REGRESSION"

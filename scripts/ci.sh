@@ -157,15 +157,45 @@ TENET_COUNT_VERIFY=1 dune exec test/test_count_oracle.exe >/dev/null
 echo "== release build =="
 dune build --profile release
 
-echo "== bench smoke (fig6+fig8+serve, release, vs BENCH_seed.json) =="
+echo "== bench smoke (fig6+fig8+dse+serve, release, vs BENCH_seed.json) =="
 bench_dir="$tmp_root/bench"
 mkdir -p "$bench_dir"
 TENET_BENCH_TIMINGS="$bench_dir" \
-  dune exec --profile release bench/main.exe -- fig6 fig8 serve >/dev/null
+  dune exec --profile release bench/main.exe -- fig6 fig8 dse serve >/dev/null
 # Points-only: the enumerated-point counters are deterministic, so this
 # cannot flake on a loaded runner the way wall-clock comparison would.
-scripts/bench_compare.sh --points-only --sections fig6,fig8 \
+# The dse ceiling is the mapper's speedup guarantee: the pruned search
+# must stay at least ~3x under the exhaustive seed measurement.  Its
+# actual margin is >10x, so the gate has ample headroom.
+scripts/bench_compare.sh --points-only --sections fig6,fig8,dse \
+  --ceiling dse=0.35 \
   "$bench_dir/summary.json" BENCH_seed.json
+
+echo "== dse mapper pruning (deterministic, from summary extras) =="
+# The pruned search's work accounting is deterministic: candidate
+# generation is fixed, so the evaluated/generated ratio and the tier
+# partition must hold exactly on any machine.
+awk '
+  /"section": *"dse"/ { in_dse = 1 }
+  in_dse && /"dse_generated"/   { gen  = $2 + 0 }
+  in_dse && /"dse_evaluated"/   { eval = $2 + 0 }
+  in_dse && /"dse_pruned_precheck"/  { pc  = $2 + 0 }
+  in_dse && /"dse_pruned_symmetry"/  { sym = $2 + 0 }
+  in_dse && /"dse_pruned_dominated"/ { dom = $2 + 0 }
+  END {
+    if (gen == 0) { print "dse summary extras missing"; exit 1 }
+    if (pc + sym + dom + eval != gen) {
+      printf "dse prune partition broken: %d+%d+%d+%d != %d\n", \
+        pc, sym, dom, eval, gen
+      exit 1
+    }
+    if (eval * 4 > gen) {
+      printf "dse evaluated %d of %d candidates (> 25%%)\n", eval, gen
+      exit 1
+    }
+    printf "dse mapper: %d/%d evaluated (precheck %d, symmetry %d, \
+dominated %d)\n", eval, gen, pc, sym, dom
+  }' "$bench_dir/summary.json"
 
 echo "== serve cache speedup (warm vs cold batch) =="
 # The serve section replays a duplicate-heavy batch cold and warm; the

@@ -64,13 +64,14 @@ let test_expressible_subset () =
 
 let test_fig6_direction () =
   (* at low bandwidth, the best relation-centric dataflow must beat or
-     match the best data-centric-expressible one (Fig 6's claim) *)
+     match the best data-centric-expressible one (Fig 6's claim); one
+     [best_pair] sweep answers both sides *)
   let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
   let cands = Dse.candidates_2d op ~p:8 @ Dse.candidates_1d op ~p:64 in
   List.iter
     (fun bw ->
       let spec = Arch.Repository.tpu_like ~bandwidth:bw () in
-      match (Dse.best spec op cands, Dse.best_expressible spec op cands) with
+      match Dse.best_pair spec op cands with
       | Some b, Some be ->
           check_bool
             (Printf.sprintf "bw=%d: tenet <= data-centric" bw)
@@ -79,6 +80,17 @@ let test_fig6_direction () =
             <= be.Dse.metrics.M.Metrics.latency)
       | _ -> Alcotest.fail "search failed")
     [ 2; 8; 64 ]
+
+let test_best_pair_consistent () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let spec = Arch.Repository.tpu_like ~bandwidth:8 () in
+  let cands = Dse.candidates_2d op ~p:8 in
+  let b, be = Dse.best_pair spec op cands in
+  let name o = (Option.get o).Dse.dataflow.Df.Dataflow.name in
+  check_bool "best agrees" true
+    (String.equal (name b) (name (Dse.best spec op cands)));
+  check_bool "best_expressible agrees" true
+    (String.equal (name be) (name (Dse.best_expressible spec op cands)))
 
 let test_invalid_candidates_dropped () =
   (* a 16-wide PE request on an 8x8 array: all 2D candidates with p=16
@@ -108,6 +120,189 @@ let test_objectives () =
         (by_sbw.Dse.metrics.M.Metrics.sbw <= o.Dse.metrics.M.Metrics.sbw))
     all
 
+(* ------------------------------------------------------------------ *)
+(* Mapper soundness: the pruned and heuristic modes against the        *)
+(* exhaustive oracle.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Byte-level metric identity, name included: pruning is only sound if
+   the winner is the same mapping with the same numbers. *)
+let metrics_key (o : Dse.outcome) : string =
+  Tenet.Obs.Json.to_string (M.Metrics.to_json o.Dse.metrics)
+
+let first_expressible outcomes =
+  List.find_opt (fun o -> o.Dse.expressible) outcomes
+
+(* A spread of shapes: square (transpose symmetry live), non-square and
+   rectangular meshes (transpose disabled), 1D, lex-step adjacency
+   (symmetry disabled entirely), and outer-order permutations. *)
+let mapper_subjects () =
+  let gemm = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let conv = Ir.Kernels.conv2d ~nk:4 ~nc:4 ~nox:4 ~noy:4 ~nrx:3 ~nry:3 in
+  [
+    ( "gemm/tpu8",
+      Arch.Repository.tpu_like ~bandwidth:8 (),
+      gemm,
+      `Inner_step,
+      Dse.candidates_2d gemm ~p:8 @ Dse.candidates_1d gemm ~p:64 );
+    ( "gemm/tpu8/bw2",
+      Arch.Repository.tpu_like ~bandwidth:2 (),
+      gemm,
+      `Inner_step,
+      Dse.candidates_2d gemm ~p:8 );
+    ( "conv/tpu4/permuted",
+      Arch.Repository.tpu_like ~n:4 ~bandwidth:8 (),
+      conv,
+      `Inner_step,
+      Dse.candidates_2d ~permute_outer:true conv ~p:4 );
+    ( "gemm/mesh4x8",
+      Arch.Repository.mesh_array ~rows:4 ~cols:8 ~bandwidth:8 (),
+      gemm,
+      `Inner_step,
+      Dse.candidates_2d gemm ~p:4 );
+    ( "gemm/eyeriss",
+      Arch.Repository.eyeriss_like ~bandwidth:8 (),
+      gemm,
+      `Inner_step,
+      Dse.candidates_2d gemm ~p:8 );
+    ( "gemm/1d",
+      Arch.Repository.systolic_1d ~n:16 ~bandwidth:8 (),
+      gemm,
+      `Inner_step,
+      Dse.candidates_1d gemm ~p:16 );
+    ( "gemm/tpu8/lex",
+      Arch.Repository.tpu_like ~bandwidth:8 (),
+      gemm,
+      `Lex_step,
+      Dse.candidates_2d gemm ~p:8 );
+  ]
+
+let with_jobs n f =
+  let old = Tenet.Util.Parallel.jobs () in
+  Tenet.Util.Parallel.set_jobs n;
+  Fun.protect ~finally:(fun () -> Tenet.Util.Parallel.set_jobs old) f
+
+let test_pruned_matches_oracle () =
+  List.iter
+    (fun (name, spec, op, adjacency, cands) ->
+      let oracle =
+        Dse.search ~adjacency ~mode:Dse.Exhaustive ~objective:Dse.Latency spec
+          op cands
+      in
+      List.iter
+        (fun jobs ->
+          with_jobs jobs @@ fun () ->
+          let pruned =
+            Dse.search ~adjacency ~mode:Dse.Pruned ~objective:Dse.Latency spec
+              op cands
+          in
+          let head r = List.nth_opt r.Dse.outcomes 0 in
+          let opt_key = Option.map metrics_key in
+          Alcotest.(check (option string))
+            (Printf.sprintf "%s jobs=%d: best identical" name jobs)
+            (opt_key (head oracle)) (opt_key (head pruned));
+          Alcotest.(check (option string))
+            (Printf.sprintf "%s jobs=%d: best expressible identical" name jobs)
+            (opt_key (first_expressible oracle.Dse.outcomes))
+            (opt_key (first_expressible pruned.Dse.outcomes));
+          (* every surviving outcome, twins included, must byte-match
+             the oracle's metrics for the same dataflow *)
+          let tbl = Hashtbl.create 256 in
+          List.iter
+            (fun o ->
+              Hashtbl.replace tbl o.Dse.dataflow.Df.Dataflow.name
+                (metrics_key o))
+            oracle.Dse.outcomes;
+          List.iter
+            (fun o ->
+              match Hashtbl.find_opt tbl o.Dse.dataflow.Df.Dataflow.name with
+              | None ->
+                  Alcotest.failf "%s: %s not in oracle" name
+                    o.Dse.dataflow.Df.Dataflow.name
+              | Some k ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s: %s metrics" name
+                       o.Dse.dataflow.Df.Dataflow.name)
+                    k (metrics_key o))
+            pruned.Dse.outcomes;
+          check_bool
+            (Printf.sprintf "%s: pruning accounted" name)
+            true
+            (pruned.Dse.stats.Dse.evaluated <= oracle.Dse.stats.Dse.evaluated))
+        [ 1; 4 ])
+    (mapper_subjects ())
+
+let test_heuristic_finds_best () =
+  List.iter
+    (fun (name, spec, op, adjacency, cands) ->
+      let oracle =
+        Dse.search ~adjacency ~mode:Dse.Exhaustive ~objective:Dse.Latency spec
+          op cands
+      in
+      let budget = max 1 (List.length cands / 4) in
+      let heur =
+        Dse.search ~adjacency ~mode:Dse.Heuristic ~budget
+          ~objective:Dse.Latency spec op cands
+      in
+      check_bool
+        (Printf.sprintf "%s: within budget" name)
+        true
+        (heur.Dse.stats.Dse.evaluated <= budget);
+      match (oracle.Dse.outcomes, heur.Dse.outcomes) with
+      | [], [] -> ()
+      | o :: _, h :: _ ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: heuristic best identical" name)
+            (metrics_key o) (metrics_key h)
+      | _ -> Alcotest.failf "%s: outcome presence differs" name)
+    (mapper_subjects ())
+
+let test_search_deterministic_across_jobs () =
+  let op = Ir.Kernels.conv2d ~nk:4 ~nc:4 ~nox:4 ~noy:4 ~nrx:3 ~nry:3 in
+  let spec = Arch.Repository.tpu_like ~n:4 ~bandwidth:8 () in
+  let cands = Dse.candidates_2d ~permute_outer:true op ~p:4 in
+  let digest mode =
+    List.map metrics_key
+      (Dse.search ~mode ~objective:Dse.Latency spec op cands).Dse.outcomes
+    |> String.concat "\n" |> Digest.string |> Digest.to_hex
+  in
+  List.iter
+    (fun mode ->
+      let d1 = with_jobs 1 (fun () -> digest mode) in
+      let d4 = with_jobs 4 (fun () -> digest mode) in
+      Alcotest.(check string) "jobs 1 = jobs 4" d1 d4)
+    [ Dse.Exhaustive; Dse.Pruned; Dse.Heuristic ]
+
+let test_prechecker_matches_precheck () =
+  (* the staged prechecker used as the mapper's hard tier must agree
+     with the diagnostic-producing precheck on every candidate *)
+  let module An = Tenet.Analysis in
+  List.iter
+    (fun (name, spec, op, _, cands) ->
+      let pc = An.Checker.prechecker spec op in
+      List.iter
+        (fun df ->
+          check_bool
+            (Printf.sprintf "%s: %s" name df.Df.Dataflow.name)
+            (An.Diagnostic.errors (An.Checker.precheck spec op df) = [])
+            (pc df))
+        cands)
+    (mapper_subjects ())
+
+let test_search_stats_add_up () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let spec = Arch.Repository.tpu_like ~bandwidth:8 () in
+  let cands = Dse.candidates_2d op ~p:8 @ Dse.candidates_1d op ~p:64 in
+  let r = Dse.search ~mode:Dse.Pruned ~objective:Dse.Latency spec op cands in
+  let st = r.Dse.stats in
+  check_int "generated" (List.length cands) st.Dse.generated;
+  (* in pruned mode every candidate lands in exactly one bucket:
+     precheck-rejected, folded into a class rep (symmetry), a dominated
+     rep, or submitted for full evaluation *)
+  check_int "partition" st.Dse.generated
+    (st.Dse.pruned_precheck + st.Dse.pruned_symmetry + st.Dse.pruned_dominated
+   + st.Dse.evaluated)
+
 let () =
   Alcotest.run "dse"
     [
@@ -124,5 +319,19 @@ let () =
           Alcotest.test_case "invalid dropped" `Quick
             test_invalid_candidates_dropped;
           Alcotest.test_case "objectives" `Quick test_objectives;
+          Alcotest.test_case "best_pair consistent" `Quick
+            test_best_pair_consistent;
+        ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "pruned matches oracle" `Quick
+            test_pruned_matches_oracle;
+          Alcotest.test_case "heuristic finds best" `Quick
+            test_heuristic_finds_best;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_search_deterministic_across_jobs;
+          Alcotest.test_case "prechecker = precheck" `Quick
+            test_prechecker_matches_precheck;
+          Alcotest.test_case "stats partition" `Quick test_search_stats_add_up;
         ] );
     ]

@@ -71,6 +71,30 @@ let test_map_exception () =
           (* smallest failing index, regardless of scheduling *)
           Alcotest.(check int) "first failure wins" 7 i)
 
+let test_map_chunked () =
+  with_jobs 4 (fun () ->
+      let input = List.init 100 (fun i -> i) in
+      let expect = List.map succ input in
+      (* explicit chunking must not change results or order, whatever
+         the chunk size's relation to the input length *)
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk=%d" chunk)
+            expect
+            (Parallel.map ~chunk succ input))
+        [ 1; 2; 7; 100; 1000 ];
+      Alcotest.(check (array int))
+        "map_array chunked" (Array.init 33 succ)
+        (Parallel.map_array ~chunk:5 succ (Array.init 33 Fun.id));
+      Alcotest.(check (array int))
+        "init chunked"
+        (Array.init 65 (fun i -> i * 2))
+        (Parallel.init ~chunk:9 65 (fun i -> i * 2));
+      match Parallel.map_array ~chunk:0 succ [| 1 |] with
+      | _ -> Alcotest.fail "chunk=0 accepted"
+      | exception Invalid_argument _ -> ())
+
 let test_nested_map () =
   with_jobs 4 (fun () ->
       let got =
@@ -145,6 +169,7 @@ let () =
         [
           Alcotest.test_case "order preservation" `Quick test_map_order;
           Alcotest.test_case "empty & singleton" `Quick test_map_small_and_empty;
+          Alcotest.test_case "explicit chunking" `Quick test_map_chunked;
           Alcotest.test_case "exception propagation" `Quick test_map_exception;
           Alcotest.test_case "nested maps" `Quick test_nested_map;
         ] );
