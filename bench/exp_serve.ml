@@ -105,4 +105,46 @@ let run () =
   Bench_util.summary_extra "serve_speedup" (Json.Float speedup);
   Bench_util.summary_extra "serve_p50_ms" (Json.Float p50_ms);
   Bench_util.summary_extra "serve_p99_ms" (Json.Float p99_ms);
-  Bench_util.summary_extra "serve_throughput_rps" (Json.Float warm_rps)
+  Bench_util.summary_extra "serve_throughput_rps" (Json.Float warm_rps);
+  (* The template cache tier: one parametric workload swept over sizes.
+     Every request has a distinct result-cache fingerprint (the sizes
+     differ), but the size-abstracted template key is shared, so one
+     compiled template answers the whole sweep.  [template_reuse] is
+     (requests - templates compiled) — deterministic, no telemetry
+     needed. *)
+  let sweep =
+    List.mapi
+      (fun i (ni, nj, nk) ->
+        {
+          (Api.Request.default Api.Request.Analyze) with
+          Api.Request.id = Printf.sprintf "t%d" i;
+          sizes = [ ni; nj; nk ];
+          params = [ "i"; "j"; "k" ];
+        })
+      [
+        (64, 64, 64);
+        (96, 80, 112);
+        (80, 96, 64);
+        (112, 112, 48);
+        (48, 64, 96);
+        (64, 96, 80);
+      ]
+  in
+  Api.clear_cache ();
+  let (), sweep_s =
+    Bench_util.phase "template_batch" (fun () ->
+        List.iter
+          (fun r ->
+            let resp = Api.run r in
+            if Api.Response.is_error resp then
+              failwith ("bench request failed: " ^ r.Api.Request.id))
+          sweep)
+  in
+  let reuse = List.length sweep - Api.template_cache_entries () in
+  Bench_util.row
+    "template sweep: %d sizes in %.3f s through %d compiled template(s) \
+     (%d reused)\n"
+    (List.length sweep) sweep_s
+    (Api.template_cache_entries ())
+    reuse;
+  Bench_util.summary_extra "serve_template_reuse" (Json.Int reuse)

@@ -24,10 +24,12 @@ module Obs = Tenet.Obs
 module Json = Tenet.Obs.Json
 
 (* One-line-per-section roll-up ({section, total_s, points_enumerated,
-   qpoly_hits, qpoly_fallbacks}) written next to the per-section phase
+   qpoly_hits, qpoly_fallbacks, qpoly_parametric_hits,
+   qpoly_parametric_fallbacks}) written next to the per-section phase
    files; scripts/bench_compare.sh diffs it against the committed
    BENCH_seed.json baseline (which predates the fast-path fields — the
-   script treats them as optional). *)
+   script treats them as optional, and the parametric pair rides in the
+   pattern's open tail). *)
 let write_summary dir rows =
   let path = Filename.concat dir "summary.json" in
   let j =
@@ -36,7 +38,14 @@ let write_summary dir rows =
         ( "sections",
           Json.List
             (List.rev_map
-               (fun (name, total_s, points, qpoly, qpoly_fb, extras) ->
+               (fun ( name,
+                      total_s,
+                      points,
+                      qpoly,
+                      qpoly_fb,
+                      param,
+                      param_fb,
+                      extras ) ->
                  Json.Obj
                    ([
                       ("section", Json.String name);
@@ -44,6 +53,8 @@ let write_summary dir rows =
                       ("points_enumerated", Json.Int points);
                       ("qpoly_hits", Json.Int qpoly);
                       ("qpoly_fallbacks", Json.Int qpoly_fb);
+                      ("qpoly_parametric_hits", Json.Int param);
+                      ("qpoly_parametric_fallbacks", Json.Int param_fb);
                     ]
                    @ extras))
                rows) );
@@ -66,6 +77,8 @@ let () =
   let c_points = Obs.counter "count.points_enumerated" in
   let c_qpoly = Obs.counter "count.qpoly_hits" in
   let c_qpoly_fb = Obs.counter "count.qpoly_fallbacks" in
+  let c_param = Obs.counter "count.template_hits" in
+  let c_param_fb = Obs.counter "count.template_fallbacks" in
   let timing_files = ref [] in
   let summary_rows = ref [] in
   List.iter
@@ -90,6 +103,8 @@ let () =
               Obs.value c_points,
               Obs.value c_qpoly,
               Obs.value c_qpoly_fb,
+              Obs.value c_param,
+              Obs.value c_param_fb,
               Bench_util.summary_extras () )
             :: !summary_rows;
           match Bench_util.write_phases ~name ~total_s with

@@ -190,6 +190,14 @@ let scaled_t =
   Arg.(value & opt (some string) None & info [ "scale-dims" ] ~docv:"D,D"
          ~doc:"Extrapolate these sequential dims (for huge layers).")
 
+let params_t =
+  Arg.(value & opt (some string) None & info [ "params" ] ~docv:"D,D"
+         ~doc:"Keep these iterator dims as free size parameters: compile \
+               the dataflow once into a reusable metric template, answer \
+               the requested sizes by O(1) substitution, and print each \
+               metric's closed form in the parameters alongside the \
+               instantiated numbers (docs/performance.md).")
+
 let deadline_t =
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
          ~doc:"Processing budget: pipeline stages past the expiry are \
@@ -256,13 +264,20 @@ let wrap f = try `Ok (f ()) with
 
 let analyze_cmd =
   let run kernel sizes c_file arch bandwidth space time dataflow strict window
-      lex scale_dims deadline jobs trace stats json =
+      lex scale_dims params deadline jobs trace stats json =
     wrap (fun () ->
         apply_jobs jobs;
         let req =
-          request_of ~cmd:Api.Request.Analyze ~kernel ~sizes ~c_file ~arch
-            ~bandwidth ~space ~time ~dataflow ~strict ~window ~lex ~scale_dims
-            ~deadline
+          {
+            (request_of ~cmd:Api.Request.Analyze ~kernel ~sizes ~c_file ~arch
+               ~bandwidth ~space ~time ~dataflow ~strict ~window ~lex
+               ~scale_dims ~deadline)
+            with
+            Api.Request.params =
+              (match params with
+              | Some dims -> String.split_on_char ',' dims
+              | None -> []);
+          }
         in
         let resp =
           with_telemetry ~trace ~stats ~span:"cli.analyze" (fun () ->
@@ -273,8 +288,14 @@ let analyze_cmd =
               (fun d -> prerr_endline (An.Diagnostic.to_string d))
               b.Api.Response.diagnostics;
             match b.Api.Response.payload with
-            | Some (Api.Response.Metrics { metrics; _ }) ->
-                print_string (T.report metrics)
+            | Some (Api.Response.Metrics { metrics; forms; _ }) ->
+                print_string (T.report metrics);
+                if forms <> [] then begin
+                  print_endline "closed forms (in the size parameters):";
+                  List.iter
+                    (fun (k, v) -> Printf.printf "  %-24s %s\n" k v)
+                    forms
+                end
             | _ -> ()))
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Analyze one dataflow (Figure 2 flow).")
@@ -282,7 +303,8 @@ let analyze_cmd =
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
        $ space_t $ time_t $ dataflow_t $ strict_t $ window_t $ lex_t
-       $ scaled_t $ deadline_t $ jobs_t $ trace_t $ stats_t $ json_t))
+       $ scaled_t $ params_t $ deadline_t $ jobs_t $ trace_t $ stats_t
+       $ json_t))
 
 let volumes_cmd =
   let run kernel sizes c_file arch bandwidth space time dataflow lex deadline

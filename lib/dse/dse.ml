@@ -28,6 +28,7 @@ let c_pruned = Obs.counter "dse.candidates_pruned"
 let c_pruned_precheck = Obs.counter "dse.pruned_precheck"
 let c_pruned_symmetry = Obs.counter "dse.pruned_symmetry"
 let c_pruned_dominated = Obs.counter "dse.pruned_dominated"
+let c_template_reuse = Obs.counter "dse.template_reuse"
 
 (* ------------------------------------------------------------------ *)
 (* Design-space sizes (Section IV-A).                                  *)
@@ -322,6 +323,7 @@ type stats = {
   pruned_symmetry : int;
   pruned_dominated : int;
   evaluated : int;
+  template_reuse : int;
 }
 
 type result = { outcomes : outcome list; stats : stats }
@@ -567,5 +569,113 @@ let search ?(adjacency = `Inner_step) ?(mode = Pruned) ?budget ?(seed = 0)
         pruned_symmetry = !n_symmetry;
         pruned_dominated = !n_dominated;
         evaluated = !n_evaluated;
+        template_reuse = 0;
       };
   }
+
+(* ------------------------------------------------------------------ *)
+(* Size sweeps.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [search_sizes] amortizes a sweep across problem sizes: candidates are
+   searched in full at the first size only; the survivors are then
+   re-scored at every other size through one parametric metric template
+   per candidate ({!Tenet_model.Template}), compiled once and
+   instantiated per size in O(1).  Sizes or candidates a template
+   refuses fall back to a full concrete evaluation, so the results are
+   exactly what a fresh per-size search over the same candidates would
+   produce. *)
+let search_sizes ?(adjacency = `Inner_step) ?(mode = Pruned) ?budget ?seed
+    ?prefilter ?(objective = Latency) ?(top = 8) (spec : Arch.Spec.t)
+    (op : Ir.Tensor_op.t) (cands : Df.Dataflow.t list)
+    ~(sizes : (string * int) list list) :
+    ((string * int) list * result) list =
+  match sizes with
+  | [] -> []
+  | first :: rest ->
+      Obs.with_span "dse.search_sizes" @@ fun () ->
+      let op0 = M.Template.shrink_op op first in
+      let base =
+        search ~adjacency ~mode ?budget ?seed ?prefilter ~objective spec op0
+          cands
+      in
+      let dims = List.map fst first in
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      let survivors = take top base.outcomes in
+      (* one template per surviving candidate, shared by all sizes *)
+      let tpls =
+        List.map
+          (fun (o : outcome) ->
+            let tpl =
+              try
+                Some
+                  (M.Template.compile ~adjacency spec op o.dataflow
+                     ~params:dims)
+              with Invalid_argument _ -> None
+            in
+            (o, tpl))
+          survivors
+      in
+      let at_size (sz : (string * int) list) : result =
+        let n_reuse = ref 0 and n_eval = ref 0 and n_invalid = ref 0 in
+        let opn = M.Template.shrink_op op sz in
+        let outs =
+          List.concat_map
+            (fun ((o : outcome), tpl) ->
+              let via_template =
+                match tpl with
+                | None -> None
+                | Some tpl -> (
+                    try M.Template.try_instantiate tpl ~sizes:sz
+                    with Invalid_argument _ -> None)
+              in
+              match via_template with
+              | Some m ->
+                  incr n_reuse;
+                  Obs.incr c_template_reuse;
+                  [ { o with metrics = m } ]
+              | None -> (
+                  incr n_eval;
+                  Obs.incr c_evaluated;
+                  match
+                    M.Concrete.analyze ~adjacency spec opn o.dataflow
+                  with
+                  | m ->
+                      Obs.incr c_valid;
+                      [ { o with metrics = m } ]
+                  | exception M.Concrete.Invalid_dataflow _ ->
+                      Obs.incr c_invalid;
+                      incr n_invalid;
+                      []))
+            tpls
+        in
+        let indexed = List.mapi (fun i o -> (i, o)) outs in
+        let outcomes =
+          List.map snd
+            (List.sort
+               (fun (i, a) (j, b) ->
+                 match
+                   Float.compare (score objective a.metrics)
+                     (score objective b.metrics)
+                 with
+                 | 0 -> compare i j
+                 | c -> c)
+               indexed)
+        in
+        {
+          outcomes;
+          stats =
+            {
+              generated = List.length survivors;
+              pruned_precheck = !n_invalid;
+              pruned_symmetry = 0;
+              pruned_dominated = 0;
+              evaluated = !n_eval;
+              template_reuse = !n_reuse;
+            };
+        }
+      in
+      (first, base) :: List.map (fun sz -> (sz, at_size sz)) rest

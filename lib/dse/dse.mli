@@ -95,6 +95,10 @@ type stats = {
   pruned_dominated : int;
       (** latency lower bound exceeded the incumbent *)
   evaluated : int;  (** full concrete-engine evaluations *)
+  template_reuse : int;
+      (** candidate-size scores answered by instantiating a parametric
+          metric template instead of a full evaluation
+          ({!search_sizes}; always [0] for a single-size {!search}) *)
 }
 
 type result = { outcomes : outcome list; stats : stats }
@@ -122,3 +126,26 @@ val search :
     Per-tier prune counts are reported in [stats] and on the
     [dse.pruned_precheck] / [dse.pruned_symmetry] /
     [dse.pruned_dominated] counters. *)
+
+val search_sizes :
+  ?adjacency:[ `Inner_step | `Lex_step ] ->
+  ?mode:mode ->
+  ?budget:int ->
+  ?seed:int ->
+  ?prefilter:(Df.Dataflow.t -> bool) ->
+  ?objective:objective ->
+  ?top:int ->
+  Arch.Spec.t ->
+  Ir.Tensor_op.t ->
+  Df.Dataflow.t list ->
+  sizes:(string * int) list list ->
+  ((string * int) list * result) list
+(** A sweep amortized across problem sizes (each an iterator-extent
+    assignment applied to [op]).  The first size runs a full {!search};
+    its [top] (default 8) outcomes are then re-scored at every other
+    size through one parametric metric template per candidate
+    ({!Tenet_model.Template}) — compiled once, instantiated per size in
+    O(1), with a full concrete evaluation as fallback wherever a
+    template refuses.  Per-size [stats.template_reuse] (and the
+    [dse.template_reuse] counter) report how many candidate-size scores
+    the templates answered. *)

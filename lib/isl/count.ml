@@ -59,6 +59,8 @@ let c_closed_tail = Obs.counter "count.closed_tail_hits"
 let c_faulhaber = Obs.counter "count.faulhaber_hits"
 let c_qpoly = Obs.counter "count.qpoly_hits"
 let c_qpoly_fb = Obs.counter "count.qpoly_fallbacks"
+let c_tpl = Obs.counter "count.template_hits"
+let c_tpl_fb = Obs.counter "count.template_fallbacks"
 let c_fm = Obs.counter "count.fm_derivations"
 let c_dedup = Obs.counter "count.dedup_fallbacks"
 let c_cache_hits = Obs.counter "count.cache_hits"
@@ -171,8 +173,12 @@ let substitute ~v ~(eqc : con) (c : con) : con option =
   end
 
 (* [~elim_vis:false] keeps all visible variables alive so that iteration
-   can report full visible tuples. *)
-let compile ?(elim_vis = true) (b : Bset.t) : compiled option =
+   can report full visible tuples.  [~protect:k] additionally forbids
+   eliminating visible dims [0..k-1]: the parametric planner needs the
+   size parameters to survive compilation so the symbolic chain can stop
+   at them (a parameter folded into another dim's expression would no
+   longer be a free variable of the resulting quasi-polynomial). *)
+let compile ?(elim_vis = true) ?(protect = 0) (b : Bset.t) : compiled option =
   Obs.incr c_bset_calls;
   let nvars = Bset.nvars b in
   let nvis = b.Bset.nvis in
@@ -258,7 +264,7 @@ let compile ?(elim_vis = true) (b : Bset.t) : compiled option =
             Array.iteri
               (fun v coeff ->
                 if
-                  alive.(v)
+                  alive.(v) && v >= protect
                   && abs coeff = 1
                   && (v >= nvis || (elim_vis && determined_expr c ~except:v))
                 then begin
@@ -1440,3 +1446,172 @@ let mem_union (bs : Bset.t list) (p : int array) : bool =
   List.exists (fun b -> mem_bset b p) bs
 
 let is_empty_union (bs : Bset.t list) : bool = List.for_all is_empty_bset bs
+
+(* ------------------------------------------------------------------ *)
+(* Parametric counting: cardinality as a quasi-polynomial in the       *)
+(* leading visible dims (the "size parameters").                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Parameters get a conservative assumed range when the caller supplies
+   none.  The range matters twice: it feeds the interval certification
+   of every symbolic side condition (so it must be bounded — interval
+   arithmetic on machine ints would otherwise overflow at high degree),
+   and it defines the region where the returned quasi-polynomial is
+   guaranteed exact. *)
+let default_param_range = (1, 4096)
+
+let count_bset_param ~n_params ?assume (b : Bset.t) : Qpoly.t option =
+  assert (n_params >= 0 && n_params <= b.Bset.nvis);
+  let assume =
+    match assume with
+    | Some a ->
+        assert (Array.length a = n_params);
+        Array.iter (fun (lo, hi) -> assert (lo <= hi)) a;
+        a
+    | None -> Array.make n_params default_param_range
+  in
+  let nvars = Bset.nvars b in
+  let range_cons =
+    List.concat
+      (List.init n_params (fun p ->
+           let lo, hi = assume.(p) in
+           let a_lo = Array.make nvars 0 in
+           a_lo.(p) <- 1;
+           let a_hi = Array.make nvars 0 in
+           a_hi.(p) <- -1;
+           [
+             { a = a_lo; k = -lo; eq = false };
+             { a = a_hi; k = hi; eq = false };
+           ]))
+  in
+  let b = Bset.add_cons b range_cons in
+  (* Under TENET_COUNT_VERIFY, spot-check the closed form against the
+     concrete engine at a few in-range parameter assignments (each of
+     which is itself cross-checked by [count_bset]'s own sanitizer). *)
+  let verify qp =
+    if verify_mode () && n_params > 0 then
+      List.iter
+        (fun step ->
+          Obs.incr c_verify_checks;
+          let vals = Array.map (fun (lo, hi) -> min (lo + step) hi) assume in
+          let fixed = ref b in
+          Array.iteri (fun p v -> fixed := Bset.fix !fixed ~dim:p v) vals;
+          let reference = count_bset !fixed in
+          let fast = Qpoly.eval (fun p -> vals.(p)) qp in
+          if reference <> fast then begin
+            Obs.incr c_verify_mismatches;
+            let at =
+              String.concat ","
+                (Array.to_list (Array.map string_of_int vals))
+            in
+            raise
+              (Verify_mismatch
+                 {
+                   fast;
+                   reference;
+                   set =
+                     Printf.sprintf "parametric template instantiated at (%s)"
+                       at;
+                 })
+          end)
+        [ 0; 3 ]
+  in
+  (* A plan that resists symbolically can still yield an exact template
+     when the set is empty for {e every} in-range parameter value (the
+     emptiness query ranges over the parameter box too) — the usual case
+     for inclusion–exclusion intersection terms of disjoint unions. *)
+  let fallback () =
+    if is_empty_bset b then begin
+      Obs.incr c_tpl;
+      Some Qpoly.zero
+    end
+    else begin
+      Obs.incr c_tpl_fb;
+      None
+    end
+  in
+  match compile ~protect:n_params b with
+  | None ->
+      (* empty for every parameter value *)
+      Obs.incr c_tpl;
+      Some Qpoly.zero
+  | Some cp -> (
+      match make_plan ~symbolic:true cp with
+      | exception Empty_set ->
+          Obs.incr c_tpl;
+          Some Qpoly.zero
+      | exception Unbounded _ -> fallback ()
+      | plan ->
+          (* The greedy ordering seats bounded visible vars lowest-index
+             first, so the protected parameters land at positions
+             [0..n_params); check defensively rather than assume it. *)
+          let seated =
+            plan.nvis_positions >= n_params
+            &&
+            let ok = ref true in
+            for p = 0 to n_params - 1 do
+              if plan.order.(p) <> p then ok := false
+            done;
+            !ok
+          in
+          if plan.dedup || (not plan.sat_proven) || not seated then
+            fallback ()
+          else (
+            match plan.sym.(n_params) with
+            | None -> fallback ()
+            | Some qp ->
+                (* [sym.(n_params)] counts the visible suffix past the
+                   parameters as a quasi-polynomial in positions
+                   [0..n_params) — which, seated, are the parameter dims
+                   themselves. *)
+                verify qp;
+                Obs.incr c_tpl;
+                Some qp))
+
+let count_union_param ~n_params ?assume (bs : Bset.t list) : Qpoly.t option =
+  match bs with
+  | [] -> Some Qpoly.zero
+  | [ b ] -> count_bset_param ~n_params ?assume b
+  | _ ->
+      let arr = Array.of_list bs in
+      let n = Array.length arr in
+      let same_arity =
+        let nv = arr.(0).Bset.nvis in
+        Array.for_all (fun (b : Bset.t) -> b.Bset.nvis = nv) arr
+      in
+      if n > 4 || not same_arity then begin
+        Obs.incr c_tpl_fb;
+        None
+      end
+      else begin
+        (* Inclusion–exclusion, mirroring [count_union]'s fast path:
+           every intersection must itself admit a parametric closed
+           form, else the whole union falls back. *)
+        let acc = ref (Some Qpoly.zero) in
+        for i = 0 to (1 lsl n) - 2 do
+          match !acc with
+          | None -> ()
+          | Some sofar ->
+              let m = i + 1 in
+              let parts = ref [] and bits = ref 0 in
+              for j = n - 1 downto 0 do
+                if m land (1 lsl j) <> 0 then begin
+                  parts := arr.(j) :: !parts;
+                  incr bits
+                end
+              done;
+              let inter =
+                match !parts with
+                | b :: rest -> List.fold_left Bset.meet b rest
+                | [] -> assert false
+              in
+              acc :=
+                (match count_bset_param ~n_params ?assume inter with
+                | None -> None
+                | Some qp ->
+                    Some
+                      (if !bits land 1 = 1 then Qpoly.add sofar qp
+                       else Qpoly.sub sofar qp))
+        done;
+        !acc
+      end

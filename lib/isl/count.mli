@@ -31,6 +31,35 @@ val make_mem_bset : Bset.t -> int array -> bool
 
 val make_mem_union : Bset.t list -> int array -> bool
 
+(** {2 Parametric counting}
+
+    The parametric planner treats the {e leading} [n_params] visible
+    dimensions as free size parameters and returns the cardinality of
+    the remaining visible dimensions as a quasi-polynomial in those
+    parameters: compile once, then answer any concrete size by
+    {!Qpoly.eval} — no re-planning and no enumeration.  [None] means the
+    set resisted symbolic treatment (dedup plan, unprovable existential
+    suffix, unsupported bound shape); callers fall back to the concrete
+    path.  The [count.template_hits] / [count.template_fallbacks]
+    counters record the split. *)
+
+val count_bset_param :
+  n_params:int -> ?assume:(int * int) array -> Bset.t -> Qpoly.t option
+(** [count_bset_param ~n_params ~assume b] is the count of [b]'s visible
+    dims past the first [n_params], as a quasi-polynomial in variables
+    [0..n_params-1].  [assume] gives each parameter's inclusive range
+    (default [(1, 4096)] per parameter): the result is certified exact
+    for every parameter assignment inside it.  Under
+    [TENET_COUNT_VERIFY=1] each template is additionally spot-checked
+    against the concrete engine at in-range assignments
+    ({!Verify_mismatch} on disagreement). *)
+
+val count_union_param :
+  n_params:int -> ?assume:(int * int) array -> Bset.t list -> Qpoly.t option
+(** Parametric cardinality of a union via inclusion–exclusion (at most 4
+    same-arity disjuncts, like {!count_union}'s fast path); [None] when
+    any intersection term resists. *)
+
 val cache_clear : unit -> unit
 (** Drop every memoized cardinality/emptiness result.  Counting results
     are deterministic, so this only matters for benchmarks and tests that

@@ -397,13 +397,13 @@ let min_ge (env : int -> int * int) (t : t) (k : int) : bool =
 let prove_ge (env : int -> int * int) (a : t) (k : int) : bool =
   match is_const a with Some c -> c >= k | None -> min_ge env a k
 
-let to_string (t : t) : string =
+let to_string_with (name : int -> string) (t : t) : string =
   let base_str = function
-    | Var v -> Printf.sprintf "x%d" v
+    | Var v -> name v
     | Floor { fnum; fden } ->
         let terms =
           String.concat " + "
-            (List.map (fun (v, c) -> Printf.sprintf "%d*x%d" c v) fnum.lt)
+            (List.map (fun (v, c) -> Printf.sprintf "%d*%s" c (name v)) fnum.lt)
         in
         Printf.sprintf "floor((%s + %d)/%d)" terms fnum.lk fden
   in
@@ -424,3 +424,5 @@ let to_string (t : t) : string =
              else if c = Q.one then mono_str m
              else Printf.sprintf "%s*%s" (Q.to_string c) (mono_str m))
            t)
+
+let to_string (t : t) : string = to_string_with (Printf.sprintf "x%d") t

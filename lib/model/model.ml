@@ -182,3 +182,10 @@ let analyze_with ?(engine : engine = `Concrete) ?(adjacency = `Inner_step)
   match engine with
   | `Relational -> analyze ~adjacency ~validate spec op df
   | `Concrete -> Concrete.analyze ~adjacency ~validate spec op df
+
+let analyze_template ?adjacency ?validate ?window spec op df ~params :
+    Template.t =
+  Template.compile ?adjacency ?validate ?window spec op df ~params
+
+let instantiate (t : Template.t) ~sizes : Metrics.t =
+  Template.instantiate t ~sizes

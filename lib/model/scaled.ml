@@ -21,55 +21,21 @@ module Df = Tenet_dataflow
 module Obs = Tenet_obs
 
 let c_corners = Obs.counter "scaled.corners_evaluated"
+let c_template_exact = Obs.counter "scaled.template_exact"
+let c_interpolated = Obs.counter "scaled.interpolated"
 
 type spec_dim = { dim : string; sample_lo : int; sample_hi : int }
 
 (* Default samples: two and four periods of the dim's tiling (or 4 and 8
    iterations when untiled), clamped to the full extent. *)
 let default_samples (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) dim =
-  let _, hi = Ir.Tensor_op.iter_bounds op dim in
-  let lo, _ = Ir.Tensor_op.iter_bounds op dim in
+  let lo, hi = Ir.Tensor_op.iter_bounds op dim in
   let extent = hi - lo + 1 in
-  (* find a modulus applied to this dim in the stamps, if any *)
-  let rec modulus_of (e : Tenet_isl.Aff.t) =
-    match e with
-    | Tenet_isl.Aff.Mod (Tenet_isl.Aff.Var d, p) when String.equal d dim ->
-        Some p
-    | Tenet_isl.Aff.Fdiv (Tenet_isl.Aff.Var d, p) when String.equal d dim ->
-        Some p
-    | Tenet_isl.Aff.Var _ | Tenet_isl.Aff.Int _ -> None
-    | Tenet_isl.Aff.Neg a
-    | Tenet_isl.Aff.Abs a
-    | Tenet_isl.Aff.Fdiv (a, _)
-    | Tenet_isl.Aff.Mod (a, _) ->
-        modulus_of a
-    | Tenet_isl.Aff.Add (a, b)
-    | Tenet_isl.Aff.Sub (a, b)
-    | Tenet_isl.Aff.Mul (a, b) -> (
-        match modulus_of a with Some p -> Some p | None -> modulus_of b)
-  in
-  let period =
-    List.fold_left
-      (fun acc e -> match acc with Some _ -> acc | None -> modulus_of e)
-      None
-      (df.Df.Dataflow.space @ df.Df.Dataflow.time)
-  in
-  let base = match period with Some p -> p | None -> 4 in
+  let base = match Template.period_of df dim with Some p -> p | None -> 4 in
   let s_lo = min extent (2 * base) and s_hi = min extent (4 * base) in
   { dim; sample_lo = s_lo; sample_hi = s_hi }
 
-let shrink_op (op : Ir.Tensor_op.t) (assignment : (string * int) list) :
-    Ir.Tensor_op.t =
-  {
-    op with
-    Ir.Tensor_op.iters =
-      List.map
-        (fun it ->
-          match List.assoc_opt it.Ir.Tensor_op.iname assignment with
-          | Some extent -> { it with Ir.Tensor_op.hi = it.Ir.Tensor_op.lo + extent - 1 }
-          | None -> it)
-        op.Ir.Tensor_op.iters;
-  }
+let shrink_op = Template.shrink_op
 
 (* The integer metrics we extrapolate, flattened to a float vector. *)
 let to_vector (m : Metrics.t) : float array =
@@ -160,10 +126,33 @@ let of_vector (template : Metrics.t) (bw : int) (energy : Arch.Energy.t)
     energy = energy_total;
   }
 
-(* Multilinear (tensor-product linear) extrapolation from 2^h corners. *)
+(* Multilinear (tensor-product linear) extrapolation from 2^h corners.
+
+   When no explicit [spec_dims] override the sampling (callers that pass
+   one are deliberately exercising the interpolant), a parametric
+   {!Template} is tried first: where its per-residue-class fit covers
+   the full extents the answer is *exact* — byte-identical to a concrete
+   analysis, including [latency_stamped] and [max_utilization], which
+   the interpolant only approximates.  The corner interpolant remains
+   the fallback for sizes or classes the template refuses. *)
 let analyze ?(adjacency : Df.Spacetime.adjacency = `Inner_step)
     ?(validate = true) ?spec_dims (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
     (df : Df.Dataflow.t) ~(scale_dims : string list) : Metrics.t =
+  let template_first () =
+    if spec_dims <> None || scale_dims = [] then None
+    else
+      match
+        Template.compile ~adjacency ~validate spec op df ~params:scale_dims
+      with
+      | exception Invalid_argument _ -> None
+      | tpl -> Template.try_instantiate tpl ~sizes:[]
+  in
+  match template_first () with
+  | Some m ->
+      Obs.incr c_template_exact;
+      m
+  | None ->
+  Obs.incr c_interpolated;
   let sdims =
     match spec_dims with
     | Some s -> s

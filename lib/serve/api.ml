@@ -48,6 +48,8 @@ let version = 1
 let c_requests = Obs.counter "serve.requests"
 let c_cache_hits = Obs.counter "serve.cache_hits"
 let c_cache_misses = Obs.counter "serve.cache_misses"
+let c_template_cache_hits = Obs.counter "serve.template_cache_hits"
+let c_template_cache_misses = Obs.counter "serve.template_cache_misses"
 let c_deadline_expired = Obs.counter "serve.deadline_expired"
 
 (* Pre-registered so the per-request observation never takes the
@@ -89,6 +91,7 @@ module Request = struct
     window : int;
     strict : bool;
     scale_dims : string list;
+    params : string list; (* analyze: dims kept as template parameters *)
     tensors : string list; (* volumes: subset of tensors; [] = all *)
     search : [ `Exhaustive | `Pruned | `Heuristic ]; (* dse mode *)
     budget : int option; (* dse: heuristic evaluation cap *)
@@ -115,6 +118,7 @@ module Request = struct
       window = 1;
       strict = false;
       scale_dims = [];
+      params = [];
       tensors = [];
       search = `Exhaustive;
       budget = None;
@@ -170,6 +174,7 @@ module Request = struct
         ("window", Json.Int r.window);
         ("strict", Json.Bool r.strict);
         ("scale_dims", strings r.scale_dims);
+        ("params", strings r.params);
         ("tensors", strings r.tensors);
         ( "search",
           Json.String
@@ -311,6 +316,9 @@ module Request = struct
                 | "scale_dims" ->
                     let* l = as_string_list k v in
                     Ok { r with scale_dims = l }
+                | "params" ->
+                    let* l = as_string_list k v in
+                    Ok { r with params = l }
                 | "tensors" ->
                     let* l = as_string_list k v in
                     Ok { r with tensors = l }
@@ -382,7 +390,13 @@ module Response = struct
   }
 
   type payload =
-    | Metrics of { dataflow : Df.Dataflow.t; metrics : M.Metrics.t }
+    | Metrics of {
+        dataflow : Df.Dataflow.t;
+        metrics : M.Metrics.t;
+        forms : (string * string) list;
+            (* closed forms per metric component; non-empty only when the
+               request kept [params] and the template covered the size *)
+      }
     | Volumes of {
         dataflow : Df.Dataflow.t;
         tensors :
@@ -445,13 +459,22 @@ module Response = struct
     | Ir.Tensor_op.Write -> "out"
 
   let payload_json = function
-    | Metrics { dataflow; metrics } ->
+    | Metrics { dataflow; metrics; forms } ->
         Json.Obj
-          [
-            ("kind", Json.String "metrics");
-            ("dataflow", dataflow_json dataflow);
-            ("metrics", M.Metrics.to_json metrics);
-          ]
+          ([
+             ("kind", Json.String "metrics");
+             ("dataflow", dataflow_json dataflow);
+             ("metrics", M.Metrics.to_json metrics);
+           ]
+          @
+          match forms with
+          | [] -> []
+          | fs ->
+              [
+                ( "closed_forms",
+                  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) fs)
+                );
+              ])
     | Volumes { dataflow; tensors } ->
         Json.Obj
           [
@@ -616,8 +639,46 @@ let global_cache : Response.body Cache.t Lazy.t =
   lazy (Cache.create ~bytes:(cache_budget_bytes ()) ())
 
 let result_cache () = Lazy.force global_cache
-let clear_cache () = Cache.clear (result_cache ())
 let cache_stats () = Cache.stats (result_cache ())
+
+(* ------------------------------------------------------------------ *)
+(* The template cache tier.                                            *)
+(*                                                                     *)
+(* Requests that keep [params] share one compiled metric template per  *)
+(* dataflow *structure*: the key is the request fingerprint with the   *)
+(* [sizes] field abstracted away, re-anchored on the extents of the    *)
+(* dims that are NOT parameters (those stay baked into the template).  *)
+(* A hit answers any concrete size by O(1) substitution — no counting, *)
+(* no enumeration — where the template's per-class fit covers it.      *)
+(* ------------------------------------------------------------------ *)
+
+let template_mutex = Mutex.create ()
+let template_cache : (string, M.Template.t) Hashtbl.t = Hashtbl.create 16
+
+let template_cache_entries () =
+  Mutex.lock template_mutex;
+  let n = Hashtbl.length template_cache in
+  Mutex.unlock template_mutex;
+  n
+
+let clear_cache () =
+  Cache.clear (result_cache ());
+  Mutex.lock template_mutex;
+  Hashtbl.reset template_cache;
+  Mutex.unlock template_mutex
+
+let template_key (r : Request.t) op =
+  let fixed =
+    List.filter_map
+      (fun d ->
+        if List.mem d r.Request.params then None
+        else
+          let lo, hi = Ir.Tensor_op.iter_bounds op d in
+          Some (Printf.sprintf "%s=%d" d (hi - lo + 1)))
+      (Ir.Tensor_op.iter_names op)
+  in
+  Request.fingerprint { r with Request.sizes = [] }
+  ^ "|" ^ String.concat "," fixed
 
 (* Gauges contributed by the server loop (inflight), spliced into
    [stats] responses when serving. *)
@@ -717,6 +778,13 @@ let stats_payload () : Json.t =
              ("misses", Json.Int c.Cache.misses);
              ("evictions", Json.Int c.Cache.evictions);
            ] );
+       ( "template_cache",
+         Json.Obj
+           [
+             ("entries", Json.Int (template_cache_entries ()));
+             ("hits", Json.Int (Obs.value c_template_cache_hits));
+             ("misses", Json.Int (Obs.value c_template_cache_misses));
+           ] );
        ( "pool",
          Json.Obj
            [
@@ -749,6 +817,8 @@ let prometheus_text () : string =
       ("serve_cache_entries", float_of_int c.Cache.entries);
       ("serve_cache_bytes", float_of_int c.Cache.bytes);
       ("serve_cache_budget_bytes", float_of_int c.Cache.budget);
+      ( "serve_template_cache_entries",
+        float_of_int (template_cache_entries ()) );
     ]
     @ List.map
         (fun (k, v) -> ("serve_" ^ k, float_of_int v))
@@ -822,22 +892,88 @@ let close_stages (r : Request.t) ~expired ~skipped ?(diagnostics = [])
 
 exception Strict_failed of An.Diagnostic.t list
 
-let compute_metrics (r : Request.t) spec op df : M.Metrics.t =
+(* Analyze through the template tier: look up (or compile and insert)
+   the size-abstracted template, then instantiate it at the request's
+   own extents.  Sizes below a class's validity floor fall back to one
+   concrete evaluation, exactly like an uncached request. *)
+let analyze_via_template (r : Request.t) spec op df :
+    M.Metrics.t * (string * string) list =
   let adjacency = r.Request.adjacency in
-  if r.Request.scale_dims <> [] then begin
+  let known = Ir.Tensor_op.iter_names op in
+  List.iter
+    (fun d ->
+      if not (List.mem d known) then
+        raise (Bad (Tenet_util.Text.unknown ~what:"param" d known)))
+    r.Request.params;
+  let key = template_key r op in
+  let probe () =
+    Mutex.lock template_mutex;
+    let t = Hashtbl.find_opt template_cache key in
+    Mutex.unlock template_mutex;
+    t
+  in
+  let tpl =
+    match probe () with
+    | Some t ->
+        Obs.incr c_template_cache_hits;
+        t
+    | None ->
+        Obs.incr c_template_cache_misses;
+        let t =
+          try
+            M.Template.compile ~adjacency ~window:r.Request.window spec op df
+              ~params:r.Request.params
+          with Invalid_argument msg -> raise (Bad msg)
+        in
+        (* insert-if-absent: a racing compile of the same key built the
+           same (deterministic) template; keep the first *)
+        Mutex.lock template_mutex;
+        let t =
+          match Hashtbl.find_opt template_cache key with
+          | Some existing -> existing
+          | None ->
+              Hashtbl.add template_cache key t;
+              t
+        in
+        Mutex.unlock template_mutex;
+        t
+  in
+  let sizes =
+    List.map
+      (fun d ->
+        let lo, hi = Ir.Tensor_op.iter_bounds op d in
+        (d, hi - lo + 1))
+      r.Request.params
+  in
+  match M.Template.try_instantiate tpl ~sizes with
+  | Some m -> (m, M.Template.closed_forms tpl ~sizes)
+  | None ->
+      (M.Concrete.analyze ~adjacency ~window:r.Request.window spec op df, [])
+
+let compute_metrics (r : Request.t) spec op df :
+    M.Metrics.t * (string * string) list =
+  let adjacency = r.Request.adjacency in
+  if r.Request.params <> [] then begin
+    if r.Request.scale_dims <> [] then
+      raise (Bad "fields \"params\" and \"scale_dims\" are mutually exclusive");
+    analyze_via_template r spec op df
+  end
+  else if r.Request.scale_dims <> [] then begin
     let known = Ir.Tensor_op.iter_names op in
     List.iter
       (fun d ->
         if not (List.mem d known) then
           raise (Bad (Tenet_util.Text.unknown ~what:"scale dim" d known)))
       r.Request.scale_dims;
-    M.Scaled.analyze ~adjacency spec op df ~scale_dims:r.Request.scale_dims
+    ( M.Scaled.analyze ~adjacency spec op df ~scale_dims:r.Request.scale_dims,
+      [] )
   end
   else
-    match r.Request.engine with
-    | `Relational -> M.Model.analyze ~adjacency spec op df
-    | `Concrete ->
-        M.Concrete.analyze ~adjacency ~window:r.Request.window spec op df
+    ( (match r.Request.engine with
+      | `Relational -> M.Model.analyze ~adjacency spec op df
+      | `Concrete ->
+          M.Concrete.analyze ~adjacency ~window:r.Request.window spec op df),
+      [] )
 
 let run_analyze ~token (r : Request.t) : Response.body =
   let op = op_of r in
@@ -862,7 +998,8 @@ let run_analyze ~token (r : Request.t) : Response.body =
   let expired, skipped = drive token stages in
   close_stages r ~expired ~skipped ~diagnostics:!diags
     (Option.map
-       (fun m -> Response.Metrics { dataflow = df; metrics = m })
+       (fun (m, forms) ->
+         Response.Metrics { dataflow = df; metrics = m; forms })
        !metrics)
 
 let run_volumes ~token (r : Request.t) : Response.body =

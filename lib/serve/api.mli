@@ -40,6 +40,14 @@ module Request : sig
     window : int;
     strict : bool;
     scale_dims : string list;
+    params : string list;
+        (** analyze only: iterator dims kept as free parameters.  The
+            request is answered through a compiled metric template
+            ({!Tenet_model.Template}) cached across sizes — one
+            template per dataflow structure answers every concrete
+            extent of the [params] dims in O(1) — and the response
+            carries the template's closed forms.  Empty (the default)
+            preserves the exact legacy behavior. *)
     tensors : string list;  (** volumes: subset of tensors; [] = all *)
     search : [ `Exhaustive | `Pruned | `Heuristic ];
         (** dse only: [`Exhaustive] (default) scores every candidate;
@@ -92,6 +100,12 @@ module Response : sig
     | Metrics of {
         dataflow : Tenet_dataflow.Dataflow.t;
         metrics : Tenet_model.Metrics.t;
+        forms : (string * string) list;
+            (** closed forms per metric component, rendered in the
+                size parameters; non-empty only when the request kept
+                [params] and the template covered the size (the JSON
+                encoding omits the field when empty, so param-free
+                responses are byte-identical to older builds) *)
       }
     | Volumes of {
         dataflow : Tenet_dataflow.Dataflow.t;
@@ -155,7 +169,14 @@ val run_json : Json.t -> Response.t
 (** {2 The result cache} *)
 
 val clear_cache : unit -> unit
+(** Drop both tiers: the result cache and the template cache. *)
+
 val cache_stats : unit -> Cache.stats
+
+val template_cache_entries : unit -> int
+(** Number of compiled metric templates resident in the template cache
+    tier.  Hits and misses are on the [serve.template_cache_hits] /
+    [serve.template_cache_misses] counters. *)
 
 val set_extra_gauges : (unit -> (string * int) list) -> unit
 (** Installed by the server loop so [stats] responses include its

@@ -157,19 +157,52 @@ TENET_COUNT_VERIFY=1 dune exec test/test_count_oracle.exe >/dev/null
 echo "== release build =="
 dune build --profile release
 
-echo "== bench smoke (fig6+fig8+dse+serve, release, vs BENCH_seed.json) =="
+echo "== bench smoke (fig6+fig8+dse+serve+table3, release, vs BENCH_seed.json) =="
 bench_dir="$tmp_root/bench"
 mkdir -p "$bench_dir"
 TENET_BENCH_TIMINGS="$bench_dir" \
-  dune exec --profile release bench/main.exe -- fig6 fig8 dse serve >/dev/null
+  dune exec --profile release bench/main.exe -- fig6 fig8 dse serve table3 \
+  >/dev/null
 # Points-only: the enumerated-point counters are deterministic, so this
 # cannot flake on a loaded runner the way wall-clock comparison would.
 # The dse ceiling is the mapper's speedup guarantee: the pruned search
 # must stay at least ~3x under the exhaustive seed measurement.  Its
-# actual margin is >10x, so the gate has ample headroom.
-scripts/bench_compare.sh --points-only --sections fig6,fig8,dse \
-  --ceiling dse=0.35 \
+# actual margin is >10x, so the gate has ample headroom.  The table3
+# ceiling encodes the parametric path: the section (validity tables
+# plus a template compile + O(1) re-instantiation) must stay at least
+# 10x under the seed's analyze-everything measurement.
+scripts/bench_compare.sh --points-only --sections fig6,fig8,dse,table3 \
+  --ceiling dse=0.35 --ceiling table3=0.1 \
   "$bench_dir/summary.json" BENCH_seed.json
+
+echo "== parametric template re-instantiation (table3, zero points) =="
+# The table3 section compiles the GEMM workload into a metric template
+# and re-instantiates it at a size never analyzed before; the second
+# size must be answered by pure substitution — zero enumerated points.
+awk '
+  /"section": *"table3"/ { in_t3 = 1 }
+  in_t3 && /"table3_reinstantiation_points"/ { found = 1; pts = $2 + 0 }
+  END {
+    if (!found) { print "table3_reinstantiation_points missing"; exit 1 }
+    if (pts != 0) {
+      printf "template re-instantiation enumerated %d points (want 0)\n", pts
+      exit 1
+    }
+    print "table3 re-instantiation: 0 points enumerated (pure substitution)"
+  }' "$bench_dir/summary.json"
+
+echo "== dse size-sweep template reuse =="
+# The dse section re-scores the top candidates at two more problem
+# sizes through per-candidate metric templates; at least one
+# candidate-size score must come from template instantiation.
+awk '
+  /"section": *"dse"/ { in_dse = 1 }
+  in_dse && /"dse_template_reuse"/ { found = 1; reuse = $2 + 0 }
+  END {
+    if (!found) { print "dse_template_reuse missing"; exit 1 }
+    if (reuse < 1) { print "dse size sweep reused no templates"; exit 1 }
+    printf "dse size sweep: %d scores via template instantiation\n", reuse
+  }' "$bench_dir/summary.json"
 
 echo "== dse mapper pruning (deterministic, from summary extras) =="
 # The pruned search's work accounting is deterministic: candidate

@@ -232,6 +232,65 @@ let test_pruned_matches_oracle () =
         [ 1; 4 ])
     (mapper_subjects ())
 
+let test_search_sizes_template_reuse () =
+  (* the conv sweep across sizes: the first size pays a full search, the
+     rest must be answered mostly by template reuse — and every reused
+     score must byte-match a fresh concrete evaluation at that size *)
+  let spec = Arch.Repository.tpu_like ~n:4 () in
+  let op = Ir.Kernels.conv2d ~nk:4 ~nc:12 ~nox:12 ~noy:12 ~nrx:3 ~nry:3 in
+  (* a thinned candidate pool keeps the base search and the per-template
+     fits affordable; reuse behavior is independent of pool size *)
+  let cands =
+    List.filteri (fun i _ -> i mod 10 = 0) (Dse.candidates_2d op ~p:4)
+  in
+  let sizes =
+    [
+      [ ("c", 12); ("ox", 12); ("oy", 12) ];
+      [ ("c", 12); ("ox", 20); ("oy", 16) ];
+      [ ("c", 12); ("ox", 16); ("oy", 20) ];
+    ]
+  in
+  let results =
+    Dse.search_sizes ~mode:Dse.Pruned ~objective:Dse.Latency ~top:4 spec op
+      cands ~sizes
+  in
+  check_int "one result per size" (List.length sizes) (List.length results);
+  let rest = List.tl results in
+  check_bool "template reuse on later sizes" true
+    (List.exists (fun (_, r) -> r.Dse.stats.Dse.template_reuse > 0) rest);
+  List.iter
+    (fun (sz, r) ->
+      check_bool "prune/stat accounting partitions the survivors" true
+        (r.Dse.stats.Dse.template_reuse + r.Dse.stats.Dse.evaluated
+        = r.Dse.stats.Dse.generated);
+      List.iter
+        (fun (o : Dse.outcome) ->
+          let opn = M.Template.shrink_op op sz in
+          let reference = M.Concrete.analyze spec opn o.Dse.dataflow in
+          Alcotest.(check string)
+            (Printf.sprintf "%s at %s"
+               o.Dse.dataflow.Df.Dataflow.name
+               (String.concat ","
+                  (List.map
+                     (fun (d, e) -> Printf.sprintf "%s=%d" d e)
+                     sz)))
+            (Tenet.Obs.Json.to_string (M.Metrics.to_json reference))
+            (metrics_key o))
+        r.Dse.outcomes)
+    rest;
+  (* first entry is the full search at the first size: identical to a
+     direct search on the resized op *)
+  let direct =
+    Dse.search ~mode:Dse.Pruned ~objective:Dse.Latency spec
+      (M.Template.shrink_op op (List.hd sizes))
+      cands
+  in
+  let _, base = List.hd results in
+  Alcotest.(check (list string))
+    "base search identical to direct search"
+    (List.map metrics_key direct.Dse.outcomes)
+    (List.map metrics_key base.Dse.outcomes)
+
 let test_heuristic_finds_best () =
   List.iter
     (fun (name, spec, op, adjacency, cands) ->
@@ -326,6 +385,8 @@ let () =
         [
           Alcotest.test_case "pruned matches oracle" `Quick
             test_pruned_matches_oracle;
+          Alcotest.test_case "search_sizes template reuse" `Quick
+            test_search_sizes_template_reuse;
           Alcotest.test_case "heuristic finds best" `Quick
             test_heuristic_finds_best;
           Alcotest.test_case "deterministic across jobs" `Quick

@@ -183,6 +183,67 @@ let test_cache_hit_byte_identical () =
   check_int "one hit" (before + 1) (Api.cache_stats ()).Cache.hits;
   check_bool "a real payload" true (contains l1 "\"kind\":\"metrics\"")
 
+(* --- the template cache tier --- *)
+
+let metrics_of_response (resp : Api.Response.t) =
+  match resp.Api.Response.body.Api.Response.payload with
+  | Some (Api.Response.Metrics { metrics; forms; _ }) -> (metrics, forms)
+  | _ -> Alcotest.fail "expected a metrics payload"
+
+(* Two analyze requests differing only in the extents of the [params]
+   dims share one compiled template; both answers are byte-identical to
+   the param-free path, and the parametric responses carry closed
+   forms. *)
+let test_template_cache_tier () =
+  Api.clear_cache ();
+  check_int "tier starts empty" 0 (Api.template_cache_entries ());
+  let parametric ~id sizes =
+    {
+      (small_analyze ~id ~sizes ()) with
+      Api.Request.params = [ "i"; "j"; "k" ];
+    }
+  in
+  let line1 = Protocol.response_line (Api.run (parametric ~id:"p1" [ 64; 64; 64 ])) in
+  check_bool "closed forms rendered" true (contains line1 "closed_forms");
+  let r2 = parametric ~id:"p2" [ 48; 40; 56 ] in
+  let m2, forms2 = metrics_of_response (Api.run r2) in
+  check_int "one template serves both sizes" 1 (Api.template_cache_entries ());
+  check_bool "second size has forms too" true (forms2 <> []);
+  let plain, no_forms =
+    metrics_of_response (Api.run (small_analyze ~id:"p3" ~sizes:[ 48; 40; 56 ] ()))
+  in
+  check_bool "no params, no forms" true (no_forms = []);
+  check_string "byte-identical to the concrete engine"
+    (Json.to_string (M.Metrics.to_json plain))
+    (Json.to_string (M.Metrics.to_json m2));
+  (* params below the template's validity floor fall back to a concrete
+     evaluation: correct answer, no forms *)
+  let small, small_forms =
+    metrics_of_response (Api.run (parametric ~id:"p4" [ 5; 5; 5 ]))
+  in
+  check_bool "fallback has no forms" true (small_forms = []);
+  let plain_small, _ =
+    metrics_of_response (Api.run (small_analyze ~id:"p5" ~sizes:[ 5; 5; 5 ] ()))
+  in
+  check_string "fallback byte-identical"
+    (Json.to_string (M.Metrics.to_json plain_small))
+    (Json.to_string (M.Metrics.to_json small));
+  (* conflicting size-abstraction requests are refused, not guessed *)
+  let conflict =
+    {
+      (small_analyze ~id:"p6" ()) with
+      Api.Request.params = [ "i" ];
+      scale_dims = [ "j" ];
+    }
+  in
+  check_bool "params+scale_dims rejected" true
+    (Api.Response.is_error (Api.run conflict));
+  let unknown =
+    { (small_analyze ~id:"p7" ()) with Api.Request.params = [ "q" ] }
+  in
+  check_bool "unknown param rejected" true
+    (Api.Response.is_error (Api.run unknown))
+
 let test_errors_not_cached () =
   Api.clear_cache ();
   let r =
@@ -712,6 +773,8 @@ let () =
           Alcotest.test_case "hit byte-identical" `Quick
             test_cache_hit_byte_identical;
           Alcotest.test_case "errors not cached" `Quick test_errors_not_cached;
+          Alcotest.test_case "template cache tier" `Quick
+            test_template_cache_tier;
         ] );
       ( "deadline",
         [
