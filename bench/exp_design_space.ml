@@ -76,6 +76,8 @@ let run_dse () =
     (Json.Int st.Dse.pruned_precheck);
   Bench_util.summary_extra "dse_pruned_symmetry"
     (Json.Int st.Dse.pruned_symmetry);
+  Bench_util.summary_extra "dse_pruned_capacity"
+    (Json.Int st.Dse.pruned_capacity);
   Bench_util.summary_extra "dse_pruned_dominated"
     (Json.Int st.Dse.pruned_dominated);
   (match outcomes with
@@ -94,4 +96,26 @@ let run_dse () =
           o.Dse.metrics.M.Metrics.latency
           o.Dse.metrics.M.Metrics.avg_utilization
           (if o.Dse.expressible then "data-centric" else "TENET-only"))
-    outcomes
+    outcomes;
+  (* Capacity-constrained rerun: a 256-byte scratchpad makes the 8x8
+     mappings provably infeasible, so the TN014 tier (not the evaluator)
+     rejects them before any scoring. *)
+  let gemm = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let tight =
+    Arch.Spec.with_capacities ~scratchpad_bytes:256
+      (Arch.Repository.tpu_like ~bandwidth:16 ())
+  in
+  let gcands = Dse.candidates_2d gemm ~p:8 in
+  let cap_result, cap_dt =
+    Bench_util.phase "dse.search_capacity" (fun () ->
+        Dse.search ~mode:Dse.Pruned ~objective:Dse.Latency tight gemm gcands)
+  in
+  let cst = cap_result.Dse.stats in
+  Printf.printf
+    "capacity-constrained gemm (scratchpad 256 B): %d generated, %d \
+     capacity-pruned, %d evaluated in %.2fs\n"
+    cst.Dse.generated cst.Dse.pruned_capacity cst.Dse.evaluated cap_dt;
+  Bench_util.summary_extra "dse_cap_generated" (Json.Int cst.Dse.generated);
+  Bench_util.summary_extra "dse_cap_pruned_capacity"
+    (Json.Int cst.Dse.pruned_capacity);
+  Bench_util.summary_extra "dse_cap_evaluated" (Json.Int cst.Dse.evaluated)

@@ -11,9 +11,9 @@ module Json = Tenet.Obs.Json
 
 let entry pe op (df : Df.Dataflow.t) =
   let ok =
-    match Df.Dataflow.validate op df pe with
-    | Ok () -> "valid"
-    | Error v -> "INVALID: " ^ Df.Dataflow.violation_to_string v
+    match Df.Dataflow.first_violation op df pe with
+    | None -> "valid"
+    | Some msg -> "INVALID: " ^ msg
   in
   Printf.printf "  %-26s %-60s %-14s %s\n" df.Df.Dataflow.name
     (Df.Dataflow.to_string df |> fun s ->

@@ -479,19 +479,61 @@ let check_cmd =
         |> List.iter (fun line -> Printf.printf "%s%s\n" prefix line))
       ds
   in
-  let run kernel sizes c_file arch bandwidth space time dataflow all lex jobs
-      trace stats json =
+  let run kernel sizes c_file arch bandwidth space time dataflow all
+      capacities explain lex jobs trace stats json =
     wrap (fun () ->
+        (match explain with
+        | None -> ()
+        | Some code -> (
+            match An.Diagnostic.explain code with
+            | Some text ->
+                let head =
+                  match
+                    List.find_opt
+                      (fun (c, _, _, _) -> c = code)
+                      An.Diagnostic.registry
+                  with
+                  | Some (_, sev, title, _) ->
+                      Printf.sprintf "%s (%s, %s)" code title
+                        (An.Diagnostic.severity_to_string sev)
+                  | None -> code
+                in
+                Printf.printf "%s\n\n%s\n" head text;
+                exit 0
+            | None ->
+                failwith
+                  (T.Util.Text.unknown ~what:"diagnostic code" code
+                     (List.map
+                        (fun (c, _, _, _) -> c)
+                        An.Diagnostic.registry))));
         apply_jobs jobs;
         let adjacency = if lex then `Lex_step else `Inner_step in
         if all then begin
           (* the zoo x repository sweep keeps its dedicated path (and its
              stable --json shape, which scripts/ci.sh greps) *)
+          let subjects = An.Checker.zoo_subjects () in
+          let subjects =
+            if capacities then
+              (* generous defaults: roomy enough that every zoo subject
+                 stays clean, tight enough to be meaningful (ci.sh runs
+                 this sweep as the TN014-TN018 smoke test) *)
+              List.map
+                (fun (s : An.Checker.subject) ->
+                  {
+                    s with
+                    An.Checker.s_spec =
+                      Arch.Spec.with_capacities
+                        ~scratchpad_bytes:(1 lsl 22) ~pe_regs:64
+                        ~link_width:8 ~pe_ports:8 ~max_fanout:64
+                        ~dram_bw:4096 s.An.Checker.s_spec;
+                  })
+                subjects
+            else subjects
+          in
           let had_errors =
             with_telemetry ~trace ~stats ~span:"cli.check" (fun () ->
                 let results =
-                  An.Checker.check_subjects ~adjacency
-                    (An.Checker.zoo_subjects ())
+                  An.Checker.check_subjects ~adjacency subjects
                 in
                 let failing =
                   List.filter
@@ -562,6 +604,15 @@ let check_cmd =
               match b.Api.Response.diagnostics with
               | [] -> print_endline "ok: all checks passed"
               | ds -> diag_lines "" ds);
+          (* info-level capacity lint: a spec with no declared capacities
+             makes TN014-TN018 vacuous; human output only, so the --json
+             response stays the byte-stable API object *)
+          if not json then
+            (try
+               List.iter
+                 (fun d -> print_endline (An.Diagnostic.to_string d))
+                 (An.Capacity.lint (Arch.Repository.find arch))
+             with _ -> ());
           if
             An.Diagnostic.errors resp.Api.Response.body.Api.Response.diagnostics
             <> []
@@ -572,10 +623,12 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Statically check a (kernel, dataflow, architecture) triple: Θ \
-          validity, causality, interconnect well-formedness, reuse \
-          feasibility.  With --all, sweep the whole Table III zoo across \
-          the architecture repository.  Exits nonzero if any error \
-          diagnostic is found.")
+          validity, causality, interconnect well-formedness, reuse and \
+          resource feasibility.  With --all, sweep the whole Table III \
+          zoo across the architecture repository ($(b,--capacities) adds \
+          generous capacity declarations so TN014-TN018 run).  \
+          $(b,--explain CODE) documents one diagnostic code.  Exits \
+          nonzero if any error diagnostic is found.")
     Term.(
       ret
         (const run $ kernel_t $ sizes_t $ c_file_t $ arch_t $ bandwidth_t
@@ -585,6 +638,22 @@ let check_cmd =
            & info [ "all" ]
                ~doc:"Check every zoo dataflow on every matching-rank \
                      repository architecture.")
+       $ Arg.(
+           value & flag
+           & info [ "capacities" ]
+               ~doc:
+                 "With $(b,--all): annotate every architecture with \
+                  generous default capacities so the resource checks \
+                  TN014-TN018 run (4 MiB scratchpad, 64 registers, 8-wide \
+                  links, 8 ports, fan-out 64, 4096 words/cycle DRAM).")
+       $ Arg.(
+           value
+           & opt (some string) None
+           & info [ "explain" ] ~docv:"CODE"
+               ~doc:
+                 "Print the documentation paragraph for one diagnostic \
+                  code (e.g. TN014) and exit; unknown codes get a \
+                  nearest-match suggestion.")
        $ lex_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
 let batch_cmd =

@@ -522,14 +522,17 @@ let with_count_verify (f : unit -> 'a) : ('a, D.t) result =
 (* Drivers.                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* The full battery for one (op, dataflow, arch) triple. *)
+(* The full battery for one (op, dataflow, arch) triple.  The result is
+   sorted by (code, witness, message) so a report is byte-identical
+   however the individual checks are scheduled. *)
 let check ?(adjacency = `Inner_step) (spec : Arch.Spec.t)
     (op : Ir.Tensor_op.t) (df : Df.Dataflow.t) : D.t list =
   Obs.incr c_checks;
   Obs.with_span "analysis.check" @@ fun () ->
   let pe = spec.Arch.Spec.pe in
+  let sorted = List.sort D.compare_diag in
   let lints = check_iterator_names op df in
-  if D.errors lints <> [] then lints
+  if D.errors lints <> [] then sorted lints
   else begin
     let empty_domain = check_domain op in
     let base =
@@ -540,7 +543,7 @@ let check ?(adjacency = `Inner_step) (spec : Arch.Spec.t)
     (* An empty domain makes the interval and counting checks vacuous
        (and their bound arithmetic meaningless), so stop at the lints. *)
     if Df.Dataflow.rank_violation df pe <> None || empty_domain <> [] then
-      base
+      sorted base
     else begin
       let bounds = check_bounds op df pe in
       let base =
@@ -548,8 +551,19 @@ let check ?(adjacency = `Inner_step) (spec : Arch.Spec.t)
         @ check_conflicts op df @ check_causality op df
       in
       (* Reuse feasibility presumes stamps inside the array. *)
-      if bounds = [] then base @ check_reuse_feasibility ~adjacency spec op df
-      else base
+      let base =
+        if bounds = [] then
+          base @ check_reuse_feasibility ~adjacency spec op df
+        else base
+      in
+      (* Resource feasibility (TN014-TN018) presumes a structurally
+         clean mapping: capacity demand is only meaningful when Θ is
+         injective and lands inside the array. *)
+      let base =
+        if D.errors base = [] then base @ Capacity.check spec op df
+        else base
+      in
+      sorted base
     end
   end
 

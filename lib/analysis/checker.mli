@@ -5,7 +5,8 @@
     one — the battery of properties TENET's metrics implicitly assume:
     Θ single-valuedness and injectivity, space-stamp containment,
     schedule causality over RAW dependences, interconnect
-    well-formedness, reuse feasibility, plus empty-domain and
+    well-formedness, reuse feasibility, resource feasibility against
+    declared capacities ({!Capacity}), plus empty-domain and
     arity/rank lints.  See {!Diagnostic.registry} for the code table
     and [docs/analysis.md] for the prose. *)
 
@@ -17,8 +18,12 @@ val check :
   Tenet_ir.Tensor_op.t ->
   Tenet_dataflow.Dataflow.t ->
   D.t list
-(** Run the full battery.  Returns all findings, cheap lints first;
-    empty list means the triple checks clean. *)
+(** Run the full battery.  Returns all findings sorted by
+    (code, witness, message) — byte-stable at any [--jobs]; empty list
+    means the triple checks clean.  Capacity diagnostics (TN014-TN018)
+    run only when the spec declares capacities and the structural
+    checks pass; the TN019 lint is a CLI concern ({!Capacity.lint}) and
+    is never emitted here. *)
 
 val precheck :
   Tenet_arch.Spec.t ->

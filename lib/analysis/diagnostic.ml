@@ -7,7 +7,7 @@
 
 module Json = Tenet_obs.Json
 
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 type witness = {
   wspace : string; (* what the point ranges over, e.g. "S[i,j,k] -> S[i',j',k']" *)
@@ -59,7 +59,119 @@ let registry : (string * severity * string * string) list =
     ( "TN013", Warning, "deadline-exceeded",
       "a serve/batch request ran past its deadline_ms; pipeline stages \
        past the expiry were skipped and the response is partial" );
+    ( "TN014", Error, "buffer-overflow",
+      "the live working set exceeds a declared buffer capacity (per-PE \
+       registers or chip-level scratchpad)" );
+    ( "TN015", Error, "link-contention",
+      "an interconnect wire carries more distinct transfers in one cycle \
+       than its declared width" );
+    ( "TN016", Error, "port-conflict",
+      "a PE demands more operand ports in one cycle than it declares" );
+    ( "TN017", Error, "fanout-overflow",
+      "a wire feeds more destinations in one cycle than its declared \
+       multicast fan-out" );
+    ( "TN018", Error, "dram-oversubscription",
+      "per-cycle off-chip working-set inflow exceeds the declared DRAM \
+       bandwidth" );
+    ( "TN019", Info, "no-capacities-declared",
+      "the architecture declares no resource capacities, so the \
+       feasibility checks TN014-TN018 are vacuous" );
   ]
+
+(* One documentation paragraph per code: the single source behind both
+   `tenet check --explain TNxxx` and the docs/analysis.md table, so the
+   CLI and the manual cannot drift apart. *)
+let explanations : (string * string) list =
+  [
+    ( "TN001",
+      "The dataflow's space stamp has a different number of coordinates \
+       than the PE array has dimensions, so instances cannot be placed at \
+       all.  Fix the space tuple or pick an architecture of matching rank." );
+    ( "TN002",
+      "Some loop instance's space stamp lies outside the PE array: the \
+       witness is a concrete iteration point and the PE it would land on.  \
+       Either shrink the spatial extent (tile) or widen the array." );
+    ( "TN003",
+      "Theta is not injective: two distinct instances map to the same \
+       (PE, time) stamp, i.e. one MAC would have to do two jobs in one \
+       cycle.  The witness is such a pair." );
+    ( "TN004",
+      "A read-after-write dependence is scheduled backwards: the reading \
+       instance runs strictly before the writing instance in time.  The \
+       witness is the offending (writer, reader) pair." );
+    ( "TN005",
+      "The interconnect relation is malformed: endpoints outside the \
+       array, a rank that does not match the array, or self-loop wires at \
+       transfer interval >= 1 (same-PE reuse is the temporal channel)." );
+    ( "TN006",
+      "The volume model would credit spatial reuse along PE pairs no \
+       physical wire connects (self-loops or out-of-array endpoints of a \
+       custom topology), silently deflating traffic.  The witness is a \
+       credited (stamp, element) pair." );
+    ( "TN007",
+      "The iteration domain is empty (some iterator has hi < lo); every \
+       metric is trivially zero.  Usually a sign of a bad size override." );
+    ( "TN008",
+      "An iterator with extent > 1 appears in no space or time \
+       coordinate, so distinct instances collapse onto shared stamps." );
+    ( "TN009",
+      "A stamp coordinate references a name that is not an iterator of \
+       the operation; the dataflow cannot be evaluated." );
+    ( "TN010",
+      "A space coordinate is the same constant over the whole domain \
+       while the array dimension is wider than one PE, leaving the rest \
+       of that dimension idle." );
+    ( "TN011",
+      "A raw spacetime relation (e.g. a hand-written Theta) maps one \
+       instance to several stamps; Theta must be single-valued." );
+    ( "TN012",
+      "The symbolic counting fast path disagreed with plain enumeration \
+       under TENET_COUNT_VERIFY=1.  This is an engine bug, not a model \
+       property; report it with the offending set." );
+    ( "TN013",
+      "A serve/batch request ran past its deadline_ms budget; pipeline \
+       stages past the expiry were skipped and the response is partial \
+       (see docs/serving.md)." );
+    ( "TN014",
+      "The live working set overflows a declared buffer: per PE, the \
+       distinct tensor elements an instance touches in one cycle exceed \
+       pe_regs; or chip-wide, the distinct elements resident in one cycle \
+       exceed scratchpad_bytes (4 bytes per word).  Occupancy is the \
+       cardinality of a slice of the data-assignment relation; when \
+       Qpoly.prove_ge certifies the bound symbolically the verdict is \
+       exact for all sizes, otherwise per-timestamp enumeration decides \
+       it.  The witness is the peak (PE, time) or time stamp." );
+    ( "TN015",
+      "Two or more distinct transfers ride the same interconnect wire in \
+       the same cycle, exceeding the declared link_width.  Transfers \
+       attribute each fetched element to its lexicographically least \
+       holding neighbor, mirroring the simulator's sharing rule.  The \
+       witness is a (time, source PE, destination PE) triple." );
+    ( "TN016",
+      "One instance demands more operand ports (reads plus writes) in \
+       its execution cycle than the declared pe_ports.  The demand is \
+       the operation's access count, so the verdict is exact for all \
+       sizes.  The witness is a concrete instance." );
+    ( "TN017",
+      "A single wire would have to feed more destination PEs in one \
+       cycle than the declared max_fanout allows.  The witness is the \
+       peak (time, source PE) pair." );
+    ( "TN018",
+      "The per-cycle inflow of new tensor elements onto the chip (the \
+       working-set delta between consecutive time stamps, the same \
+       fetch-on-first-use assumption lib/sim/offchip makes) exceeds the \
+       declared dram_bw words per cycle.  The witness is the peak time \
+       stamp." );
+    ( "TN019",
+      "The architecture declares no capacity fields (scratchpad_bytes, \
+       pe_regs, link_width, pe_ports, max_fanout, dram_bw), so the \
+       resource-feasibility checks TN014-TN018 are vacuous and the \
+       dataflow is only checked for logical validity.  Declare \
+       capacities (or pass --capacities to the check sweep) to enable \
+       them.  Info-level: never fails a check." );
+  ]
+
+let explain code = List.assoc_opt code explanations
 
 let severity_of_code code =
   let rec go = function
@@ -93,7 +205,25 @@ let witness ?(note = "") ~space point : witness =
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
 
-let severity_to_string = function Error -> "error" | Warning -> "warning"
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Total order for byte-stable reports: code first, then witness (absent
+   witnesses sort before present ones, then by space and point), then
+   message.  [Checker.check] sorts its output with this, so a report is
+   identical at any --jobs level or check-scheduling order. *)
+let compare_diag (a : t) (b : t) : int =
+  let c = String.compare a.code b.code in
+  if c <> 0 then c
+  else
+    let wkey = function
+      | None -> ("", [||], "")
+      | Some w -> (w.wspace, w.wpoint, w.wnote)
+    in
+    let c = compare (wkey a.witness) (wkey b.witness) in
+    if c <> 0 then c else String.compare a.message b.message
 
 let to_string (d : t) : string =
   let w =

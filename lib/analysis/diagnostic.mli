@@ -5,7 +5,7 @@
     concrete point, a machine-readable witness.  The code registry is
     append-only and mirrored in [docs/analysis.md]. *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 type witness = {
   wspace : string;
@@ -32,8 +32,20 @@ val make : ?witness:witness -> string -> string -> t
 
 val witness : ?note:string -> space:string -> int array -> witness
 
+val explanations : (string * string) list
+(** One documentation paragraph per published code — the single source
+    behind [tenet check --explain] and the docs/analysis.md table. *)
+
+val explain : string -> string option
+(** The paragraph for a code, when the code is registered. *)
+
 val is_error : t -> bool
 val errors : t list -> t list
 val severity_to_string : severity -> string
+
+val compare_diag : t -> t -> int
+(** Total order by (code, witness, message), used to keep reports
+    byte-stable regardless of check scheduling. *)
+
 val to_string : t -> string
 val to_json : t -> Tenet_obs.Json.t

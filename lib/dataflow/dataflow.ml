@@ -64,9 +64,9 @@ let space_bounds (op : Ir.Tensor_op.t) (df : t) : (int * int) list =
 (* Validity primitives.                                                *)
 (*                                                                     *)
 (* Fine-grained, witness-producing facts about a dataflow.  These are  *)
-(* the single source of truth for both the legacy {!validate} entry    *)
-(* point and the structured checker in [lib/analysis], so the two can  *)
-(* never disagree.                                                     *)
+(* the single source of truth for {!first_violation} and for the       *)
+(* structured checker in [lib/analysis], so the two can never          *)
+(* disagree.                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let rank_violation (df : t) (pe : Arch.Pe_array.t) : (int * int) option =
@@ -181,48 +181,32 @@ let conflict_witness (op : Ir.Tensor_op.t) (df : t) :
   in
   go 0
 
-(* ------------------------------------------------------------------ *)
-(* Validation.                                                         *)
-(* ------------------------------------------------------------------ *)
-
-type violation =
-  | Out_of_array of string (* a space stamp escapes the PE array *)
-  | Pe_conflict of string (* two instances share a spacetime-stamp *)
-  | Rank_mismatch of string
-
-let violation_to_string = function
-  | Out_of_array s | Pe_conflict s | Rank_mismatch s -> s
-
 (* A dataflow is valid on an architecture iff (1) the space-stamp rank
    matches the PE array rank, (2) every instance lands inside the array,
-   and (3) no two instances share a spacetime-stamp (each PE has one MAC).
-
-   Thin shim over the validity primitives above; prefer
-   [Analysis.Checker.check], which reports every finding as a structured
-   diagnostic with a concrete witness point. *)
-let validate (op : Ir.Tensor_op.t) (df : t) (pe : Arch.Pe_array.t) :
-    (unit, violation) result =
+   and (3) no two instances share a spacetime-stamp (each PE has one
+   MAC).  [first_violation] renders the first failing fact; callers
+   wanting structured findings with witness points should use
+   [Analysis.Checker.check] instead. *)
+let first_violation (op : Ir.Tensor_op.t) (df : t) (pe : Arch.Pe_array.t) :
+    string option =
   match rank_violation df pe with
   | Some (r, ar) ->
-      Error
-        (Rank_mismatch
-           (Printf.sprintf "%s: space-stamp rank %d vs PE array rank %d"
-              df.name r ar))
+      Some
+        (Printf.sprintf "%s: space-stamp rank %d vs PE array rank %d" df.name
+           r ar)
   | None -> (
       match bounds_violation op df pe with
       | Some (i, (lo, hi), extent) ->
-          Error
-            (Out_of_array
-               (Printf.sprintf "%s: space dim %d spans [%d, %d] outside [0, %d)"
-                  df.name i lo hi extent))
+          Some
+            (Printf.sprintf "%s: space dim %d spans [%d, %d] outside [0, %d)"
+               df.name i lo hi extent)
       | None -> (
           match conflict_counts op df with
           | Some (pairs, stamps) ->
-              Error
-                (Pe_conflict
-                   (Printf.sprintf "%s: %d instances map to %d spacetime-stamps"
-                      df.name pairs stamps))
-          | None -> Ok ()))
+              Some
+                (Printf.sprintf "%s: %d instances map to %d spacetime-stamps"
+                   df.name pairs stamps)
+          | None -> None))
 
 let to_string df =
   let s = String.concat ", " (List.map Isl.Aff.to_string df.space) in

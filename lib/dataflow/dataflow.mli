@@ -37,10 +37,9 @@ val space_bounds : Ir.Tensor_op.t -> t -> (int * int) list
 (** {2 Validity primitives}
 
     Fine-grained, witness-producing facts about a dataflow on an
-    architecture.  They are the shared foundation of the legacy
-    {!validate} entry point and of the structured checker in
-    [lib/analysis] ([Analysis.Checker]), so the two can never
-    disagree. *)
+    architecture.  They are the shared foundation of
+    {!first_violation} and of the structured checker in [lib/analysis]
+    ([Analysis.Checker]), so the two can never disagree. *)
 
 val rank_violation : t -> Arch.Pe_array.t -> (int * int) option
 (** [(space-stamp rank, PE-array rank)] when they differ. *)
@@ -69,22 +68,12 @@ val conflict_witness :
 (** A concrete conflicting pair: [(n, n', shared stamp)] with [n] lex
     before [n'], found by sampling [Θ ∘ Θ'⁻¹] off the diagonal. *)
 
-type violation =
-  | Out_of_array of string
-  | Pe_conflict of string
-  | Rank_mismatch of string
-
-val violation_to_string : violation -> string
-
-val validate :
-  Ir.Tensor_op.t -> t -> Arch.Pe_array.t -> (unit, violation) result
-(** A dataflow is valid iff the space-stamp rank matches the array, every
-    instance lands inside it, and no two instances share a
-    spacetime-stamp (one MAC per PE per cycle).
-
-    @deprecated Thin shim over the validity primitives above, kept for
-    the [violation] API.  Prefer [Analysis.Checker.check], which reports
-    every finding (including causality and reuse-feasibility) as a
-    structured diagnostic with a concrete witness point. *)
+val first_violation : Ir.Tensor_op.t -> t -> Arch.Pe_array.t -> string option
+(** The first failing validity fact (rank, then containment, then
+    injectivity), rendered as a message — [None] when the dataflow is
+    valid on the array.  A convenience over the primitives above for
+    engine entry points that only need a fail-fast error string; prefer
+    [Analysis.Checker.check] for structured findings (including
+    causality and reuse-feasibility) with concrete witness points. *)
 
 val to_string : t -> string

@@ -28,6 +28,7 @@ let c_pruned = Obs.counter "dse.candidates_pruned"
 let c_pruned_precheck = Obs.counter "dse.pruned_precheck"
 let c_pruned_symmetry = Obs.counter "dse.pruned_symmetry"
 let c_pruned_dominated = Obs.counter "dse.pruned_dominated"
+let c_pruned_capacity = Obs.counter "dse.pruned_capacity"
 let c_template_reuse = Obs.counter "dse.template_reuse"
 
 (* ------------------------------------------------------------------ *)
@@ -321,6 +322,7 @@ type stats = {
   generated : int;
   pruned_precheck : int;
   pruned_symmetry : int;
+  pruned_capacity : int;
   pruned_dominated : int;
   evaluated : int;
   template_reuse : int;
@@ -370,6 +372,26 @@ let search ?(adjacency = `Inner_step) ?(mode = Pruned) ?budget ?(seed = 0)
              Obs.incr c_pruned_precheck
            end;
            ok)
+  in
+  (* Tier 1.5: resource feasibility.  Candidates the declared
+     capacities provably cannot host are rejected before any scoring;
+     the predicate errs toward keeping (only proofs prune), so the
+     surviving ranking matches the unpruned oracle on every feasible
+     candidate.  No-op when the spec declares no capacities. *)
+  let n_capacity = ref 0 in
+  let live =
+    match (mode, Tenet_analysis.Capacity.feasible spec op) with
+    | Exhaustive, _ | _, None -> live
+    | (Pruned | Heuristic), Some feasible ->
+        List.filter
+          (fun (_, df) ->
+            let ok = feasible df in
+            if not ok then begin
+              incr n_capacity;
+              Obs.incr c_pruned_capacity
+            end;
+            ok)
+          live
   in
   (* Tier 2: symmetry classes.  The metric-equality arguments behind
      [sym_key] hold under [`Inner_step] adjacency only, so grouping is
@@ -567,6 +589,7 @@ let search ?(adjacency = `Inner_step) ?(mode = Pruned) ?budget ?(seed = 0)
         generated;
         pruned_precheck = !n_precheck;
         pruned_symmetry = !n_symmetry;
+        pruned_capacity = !n_capacity;
         pruned_dominated = !n_dominated;
         evaluated = !n_evaluated;
         template_reuse = 0;
@@ -672,6 +695,7 @@ let search_sizes ?(adjacency = `Inner_step) ?(mode = Pruned) ?budget ?seed
               generated = List.length survivors;
               pruned_precheck = !n_invalid;
               pruned_symmetry = 0;
+              pruned_capacity = 0;
               pruned_dominated = 0;
               evaluated = !n_eval;
               template_reuse = !n_reuse;

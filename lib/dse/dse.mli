@@ -92,6 +92,14 @@ type stats = {
   pruned_precheck : int;
       (** rejected by the prefilter or the checker's precheck *)
   pruned_symmetry : int;  (** folded into an equivalent class rep *)
+  pruned_capacity : int;
+      (** rejected by a resource-infeasibility proof
+          ({!Tenet_analysis.Capacity.feasible}): the declared capacities
+          cannot hold the candidate's working set.  Only proven-infeasible
+          candidates are dropped, so the surviving ranking is identical
+          to the unpruned oracle's on every feasible candidate.  Always
+          [0] when the spec declares no capacities or in [Exhaustive]
+          mode. *)
   pruned_dominated : int;
       (** latency lower bound exceeded the incumbent *)
   evaluated : int;  (** full concrete-engine evaluations *)
@@ -125,7 +133,7 @@ val search :
     dominance bounds apply only to the [Latency] objective.
     Per-tier prune counts are reported in [stats] and on the
     [dse.pruned_precheck] / [dse.pruned_symmetry] /
-    [dse.pruned_dominated] counters. *)
+    [dse.pruned_capacity] / [dse.pruned_dominated] counters. *)
 
 val search_sizes :
   ?adjacency:[ `Inner_step | `Lex_step ] ->

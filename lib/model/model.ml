@@ -12,7 +12,7 @@ let c_relational = Obs.counter "model.relational_analyses"
 
 exception Invalid_dataflow of string
 
-(* Entry-point note (mirroring the Dataflow.validate shim pattern):
+(* Entry-point note:
    [analyze] and [analyze_with] below keep their signatures and remain
    the engine-level primitives, but they are now the bottom layer under
    Tenet_serve.Api.run — the one request-level entry point the CLI,
@@ -54,10 +54,9 @@ let analyze ?(adjacency = `Inner_step) ?(validate = true)
   @@ fun () ->
   Obs.incr c_relational;
   if validate then begin
-    match Df.Dataflow.validate op df spec.Arch.Spec.pe with
-    | Ok () -> ()
-    | Error v ->
-        raise (Invalid_dataflow (Df.Dataflow.violation_to_string v))
+    match Df.Dataflow.first_violation op df spec.Arch.Spec.pe with
+    | None -> ()
+    | Some msg -> raise (Invalid_dataflow msg)
   end;
   let th = Obs.with_span "model.theta" (fun () -> Df.Dataflow.theta op df) in
   let channels =

@@ -1110,6 +1110,7 @@ let run_dse ~token (r : Request.t) : Response.body =
               n_pruned :=
                 result.Dse.stats.Dse.pruned_precheck
                 + result.Dse.stats.Dse.pruned_symmetry
+                + result.Dse.stats.Dse.pruned_capacity
                 + result.Dse.stats.Dse.pruned_dominated;
               outcomes := result.Dse.outcomes );
     ]

@@ -49,6 +49,14 @@ type result = {
   utilization : float; (* instances / (PEs * cycles), the Fig 11 metric *)
   traffic : tensor_traffic list;
   stalled_cycles : int; (* cycles beyond one per stamp *)
+  (* peak occupancy probes, the ground truth for the capacity checker's
+     TN014/TN015 verdicts (Analysis.Capacity; cross-checked under
+     TENET_CHECK_VERIFY=1).  Kept out of to_string/to_json so existing
+     transcripts stay byte-identical. *)
+  peak_pe_live : int; (* max distinct elements in one PE's registers *)
+  peak_chip_live : int; (* max distinct (tensor, element) in one stamp *)
+  peak_link_load : int; (* max transfers over one edge in one stamp *)
+  peak_fanout : int; (* max destinations of one element from one PE *)
 }
 
 let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
@@ -109,6 +117,8 @@ let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
   let fetches = Array.make n_tensors 0 in
   let writebacks = Array.make n_tensors 0 in
   let cycles = ref 0 and busy = ref 0 and stalls = ref 0 in
+  let peak_pe = ref 0 and peak_chip = ref 0 in
+  let peak_link = ref 0 and peak_fan = ref 0 in
   let iv = Array.make c.C.n_iters 0 in
   let fs_of inst ti =
     C.decode_iters c inst iv;
@@ -151,6 +161,15 @@ let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
       let written_now : (int * int array, unit) Hashtbl.t =
         Hashtbl.create 16
       in
+      (* per-edge and per-(source, element) transfer tallies this stamp,
+         feeding the peak_link_load / peak_fanout probes; a transfer is
+         an element a PE needs, does not hold, and receives from its
+         lex-least capable predecessor (the same attribution the
+         capacity checker uses) *)
+      let edge_load : (int * int, int ref) Hashtbl.t = Hashtbl.create 32 in
+      let fan_load : (int * int * int array, int ref) Hashtbl.t =
+        Hashtbl.create 32
+      in
       let reads = ref 0 and writes = ref 0 in
       List.iter
         (fun (pkey, per_tensor) ->
@@ -159,25 +178,37 @@ let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
               let reg = (pkey * n_tensors) + ti in
               let held = reg_elements reg in
               let have_local f = List.exists (fun g -> compare g f = 0) held in
-              let have_neighbor f =
+              let neighbor_supplier f =
                 match Hashtbl.find_opt preds pkey with
-                | None -> false
+                | None -> None
                 | Some ps ->
-                    if interval = 0 then
-                      List.exists
-                        (fun p' ->
-                          match Hashtbl.find_opt stamp_needs (p', ti) with
-                          | None -> false
-                          | Some fs' ->
-                              List.exists (fun g -> compare g f = 0) fs')
-                        ps
-                    else
-                      List.exists
-                        (fun p' ->
-                          List.exists
-                            (fun g -> compare g f = 0)
-                            (reg_elements ((p' * n_tensors) + ti)))
-                        ps
+                    List.fold_left
+                      (fun acc p' ->
+                        let has =
+                          if interval = 0 then
+                            match Hashtbl.find_opt stamp_needs (p', ti) with
+                            | None -> false
+                            | Some fs' ->
+                                List.exists (fun g -> compare g f = 0) fs'
+                          else
+                            List.exists
+                              (fun g -> compare g f = 0)
+                              (reg_elements ((p' * n_tensors) + ti))
+                        in
+                        if not has then acc
+                        else
+                          match acc with
+                          | Some b when b <= p' -> acc
+                          | _ -> Some p')
+                      None ps
+              in
+              let note_transfer q f =
+                (match Hashtbl.find_opt edge_load (q, pkey) with
+                | Some n -> incr n
+                | None -> Hashtbl.add edge_load (q, pkey) (ref 1));
+                match Hashtbl.find_opt fan_load (q, ti, f) with
+                | Some n -> incr n
+                | None -> Hashtbl.add fan_load (q, ti, f) (ref 1)
               in
               if is_output.(ti) then begin
                 (* evict partial sums leaving the array: those about to
@@ -220,26 +251,38 @@ let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
                   evicted;
                 List.iter
                   (fun f ->
-                    if not (have_local f || have_neighbor f) then
-                      if Hashtbl.mem initialized (ti, f) then begin
-                        (* reload an existing partial sum *)
-                        incr reads;
-                        fetches.(ti) <- fetches.(ti) + 1;
-                        record tensors.(ti) f
-                      end)
+                    if not (have_local f) then
+                      match neighbor_supplier f with
+                      | Some q -> note_transfer q f
+                      | None ->
+                          if Hashtbl.mem initialized (ti, f) then begin
+                            (* reload an existing partial sum *)
+                            incr reads;
+                            fetches.(ti) <- fetches.(ti) + 1;
+                            record tensors.(ti) f
+                          end)
                   fs
               end
               else
                 List.iter
                   (fun f ->
-                    if not (have_local f || have_neighbor f) then begin
-                      incr reads;
-                      fetches.(ti) <- fetches.(ti) + 1;
-                      record tensors.(ti) f
-                    end)
+                    if not (have_local f) then
+                      match neighbor_supplier f with
+                      | Some q -> note_transfer q f
+                      | None ->
+                          incr reads;
+                          fetches.(ti) <- fetches.(ti) + 1;
+                          record tensors.(ti) f)
                   fs)
             per_tensor)
         needs;
+      peak_chip := max !peak_chip (Hashtbl.length used_now);
+      Hashtbl.iter
+        (fun _ n -> if !n > !peak_link then peak_link := !n)
+        edge_load;
+      Hashtbl.iter
+        (fun _ n -> if !n > !peak_fan then peak_fan := !n)
+        fan_load;
       let step_cycles =
         max 1
           ((!reads + !writes + spec.Arch.Spec.bandwidth - 1)
@@ -263,6 +306,20 @@ let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
               in
               regs.(reg) <- take window (fs :: regs.(reg)))
             per_tensor)
+        needs;
+      (* post-commit register occupancy of the PEs active this stamp *)
+      List.iter
+        (fun (pkey, per_tensor) ->
+          let live =
+            List.fold_left
+              (fun a (ti, _) ->
+                a
+                + List.length
+                    (List.sort_uniq compare
+                       (reg_elements ((pkey * n_tensors) + ti))))
+              0 per_tensor
+          in
+          if live > !peak_pe then peak_pe := live)
         needs)
     order;
   (* final drain: all live output partial sums return to the scratchpad *)
@@ -311,6 +368,10 @@ let run ?(window = 1) ?trace (spec : Arch.Spec.t) (op : Ir.Tensor_op.t)
              })
            tensors);
     stalled_cycles = !stalls;
+    peak_pe_live = !peak_pe;
+    peak_chip_live = !peak_chip;
+    peak_link_load = !peak_link;
+    peak_fanout = !peak_fan;
   }
 
 let to_string r =

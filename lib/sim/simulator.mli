@@ -25,6 +25,18 @@ type result = {
   utilization : float;  (** instances / (PEs x cycles) *)
   traffic : tensor_traffic list;
   stalled_cycles : int;
+  peak_pe_live : int;
+      (** max distinct elements resident in one PE's registers after a
+          stamp commits — the machine-observed TN014 (per-PE) demand *)
+  peak_chip_live : int;
+      (** max distinct (tensor, element) pairs alive in one stamp — the
+          TN014 (scratchpad) demand *)
+  peak_link_load : int;
+      (** max transfers carried by one interconnect edge in one stamp
+          (lex-least-supplier attribution) — the TN015 demand *)
+  peak_fanout : int;
+      (** max destinations one (source PE, element) pair feeds in one
+          stamp — the TN017 demand *)
 }
 
 val run :

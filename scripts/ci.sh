@@ -25,6 +25,13 @@ echo "== model checker sweep (tenet check --all) =="
 dune exec -- tenet check --all --json \
   | grep -q '"failing": 0' || { echo "check sweep failed"; exit 1; }
 
+echo "== capacity sweep (tenet check --all --capacities) =="
+# The same sweep with generous resource capacities annotated onto every
+# architecture: the zoo must also be resource-feasible (TN014-TN018),
+# not just structurally valid.
+dune exec -- tenet check --all --capacities --json \
+  | grep -q '"failing": 0' || { echo "capacity sweep failed"; exit 1; }
+
 echo "== serve protocol golden (tenet batch --jobs 4) =="
 # 50+ mixed requests (analyze/volumes/dse/check, duplicates for the
 # result cache, one malformed line, one unknown field, one bad
@@ -154,6 +161,12 @@ echo "== counting sanitizer shard (TENET_COUNT_VERIFY=1) =="
 # against enumeration; any disagreement raises Count.Verify_mismatch.
 TENET_COUNT_VERIFY=1 dune exec test/test_count_oracle.exe >/dev/null
 
+echo "== capacity sanitizer shard (TENET_CHECK_VERIFY=1) =="
+# The capacity checker's peak enumeration is cross-checked against the
+# cycle-level simulator's observed peaks on the full zoo sweep; the two
+# implement the same attribution from independent code paths.
+TENET_CHECK_VERIFY=1 dune exec test/test_check_verify.exe >/dev/null
+
 echo "== release build =="
 dune build --profile release
 
@@ -214,20 +227,34 @@ awk '
   in_dse && /"dse_evaluated"/   { eval = $2 + 0 }
   in_dse && /"dse_pruned_precheck"/  { pc  = $2 + 0 }
   in_dse && /"dse_pruned_symmetry"/  { sym = $2 + 0 }
+  in_dse && /"dse_pruned_capacity"/  { cap = $2 + 0 }
   in_dse && /"dse_pruned_dominated"/ { dom = $2 + 0 }
+  in_dse && /"dse_cap_generated"/        { cgen  = $2 + 0 }
+  in_dse && /"dse_cap_pruned_capacity"/  { ccap  = $2 + 0 }
+  in_dse && /"dse_cap_evaluated"/        { ceval = $2 + 0 }
   END {
     if (gen == 0) { print "dse summary extras missing"; exit 1 }
-    if (pc + sym + dom + eval != gen) {
-      printf "dse prune partition broken: %d+%d+%d+%d != %d\n", \
-        pc, sym, dom, eval, gen
+    if (pc + sym + cap + dom + eval != gen) {
+      printf "dse prune partition broken: %d+%d+%d+%d+%d != %d\n", \
+        pc, sym, cap, dom, eval, gen
       exit 1
     }
     if (eval * 4 > gen) {
       printf "dse evaluated %d of %d candidates (> 25%%)\n", eval, gen
       exit 1
     }
+    if (cgen == 0) { print "dse capacity-run extras missing"; exit 1 }
+    if (ccap < 1) {
+      print "capacity tier pruned nothing on the tight-scratchpad run"
+      exit 1
+    }
+    if (ccap + ceval > cgen) {
+      printf "dse capacity run overcounts: %d+%d > %d\n", ccap, ceval, cgen
+      exit 1
+    }
     printf "dse mapper: %d/%d evaluated (precheck %d, symmetry %d, \
-dominated %d)\n", eval, gen, pc, sym, dom
+capacity %d, dominated %d); capacity run: %d/%d pruned\n", \
+      eval, gen, pc, sym, cap, dom, ccap, cgen
   }' "$bench_dir/summary.json"
 
 echo "== serve cache speedup (warm vs cold batch) =="

@@ -381,6 +381,234 @@ let test_suggestions () =
     (Tenet.Util.Text.suggest "transformer" [ "gemm"; "conv" ]);
   check_int "damerau" 1 (Tenet.Util.Text.edit_distance "conv" "cnov")
 
+(* --- TN014-TN019: resource feasibility ----------------------------- *)
+
+let generous spec =
+  Arch.Spec.with_capacities ~scratchpad_bytes:(1 lsl 22) ~pe_regs:64
+    ~link_width:8 ~pe_ports:8 ~max_fanout:64 ~dram_bw:4096 spec
+
+(* generous capacities on every subject: the whole sweep stays clean,
+   so the zoo is certified resource-feasible, not just structurally
+   valid.  The non-conv subset keeps the runtime small; scripts/ci.sh
+   runs the full sweep through `tenet check --all --capacities`. *)
+let test_capacity_sweep_clean () =
+  let subjects =
+    List.filter
+      (fun (s : An.Checker.subject) -> s.An.Checker.s_kernel <> "conv")
+      (An.Checker.zoo_subjects ())
+    |> List.map (fun (s : An.Checker.subject) ->
+           { s with An.Checker.s_spec = generous s.An.Checker.s_spec })
+  in
+  check_bool "enough subjects" true (List.length subjects >= 30);
+  List.iter
+    (fun ((s : An.Checker.subject), ds) ->
+      match ds with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s / %s / %s: %s" s.An.Checker.s_arch
+               s.An.Checker.s_kernel s.An.Checker.s_df.Df.Dataflow.name
+               (An.Diagnostic.to_string d)))
+    (An.Checker.check_subjects subjects)
+
+let gemm8 () = Ir.Kernels.gemm ~ni:8 ~nj:8 ~nk:8
+
+let test_tn014_pe_regs () =
+  let op = gemm8 () in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let spec =
+    Arch.Spec.with_capacities ~pe_regs:1
+      (Arch.Repository.find "tpu-8x8-systolic")
+  in
+  let d = find_code "TN014" (An.Checker.check spec op df) in
+  let w = witness_of d in
+  (* the witness is a full (p.., t..) stamp of the dataflow *)
+  check_int "stamp arity"
+    (Df.Dataflow.n_space df + Df.Dataflow.n_time df)
+    (Array.length w.An.Diagnostic.wpoint);
+  (* gemm touches Y, A and B at every instance: 3 live words > 1 *)
+  check_bool "mentions demand" true (contains d.An.Diagnostic.message "3");
+  (* at 64 registers the same subject is clean *)
+  check_int "clean at 64" 0
+    (List.length
+       (An.Checker.check
+          (Arch.Spec.with_capacities ~pe_regs:64
+             (Arch.Repository.find "tpu-8x8-systolic"))
+          op df))
+
+let test_tn014_scratchpad () =
+  let op = gemm8 () in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let spec =
+    Arch.Spec.with_capacities ~scratchpad_bytes:16
+      (Arch.Repository.find "tpu-8x8-systolic")
+  in
+  let d = find_code "TN014" (An.Checker.check spec op df) in
+  let w = witness_of d in
+  check_int "time witness" (Df.Dataflow.n_time df)
+    (Array.length w.An.Diagnostic.wpoint);
+  check_bool "mentions bytes" true
+    (contains d.An.Diagnostic.message "scratchpad_bytes = 16")
+
+(* a 1D pipeline where each PE pulls two tensors from its left
+   neighbor every stamp: the edge carries 2 transfers, a 1-wide link
+   overflows *)
+let shift2_op () =
+  Ir.Tensor_op.make ~name:"shift2"
+    ~iters:[ ("t", 0, 3); ("i", 0, 3) ]
+    ~accesses:
+      Ir.Tensor_op.
+        [
+          {
+            tensor = "Y";
+            subscripts = Isl.Aff.[ Var "i"; Var "t" ];
+            direction = Write;
+          };
+          {
+            tensor = "A";
+            subscripts = Isl.Aff.[ Sub (Var "i", Var "t") ];
+            direction = Read;
+          };
+          {
+            tensor = "B";
+            subscripts =
+              Isl.Aff.[ Mul (Int 2, Sub (Var "i", Var "t")) ];
+            direction = Read;
+          };
+        ]
+    ()
+
+let shift2_df () =
+  Df.Dataflow.make ~name:"shift2-flow"
+    ~space:Isl.Aff.[ Var "i" ]
+    ~time:Isl.Aff.[ Var "t" ]
+
+let test_tn015_link_contention () =
+  let op = shift2_op () and df = shift2_df () in
+  let spec = Arch.Spec.with_capacities ~link_width:1 (d1_spec ~n:4 ()) in
+  let d = find_code "TN015" (An.Checker.check spec op df) in
+  let w = witness_of d in
+  (* witness = (t, source PE, destination PE): a real wire, one hop *)
+  check_int "triple arity" 3 (Array.length w.An.Diagnostic.wpoint);
+  check_int "one hop" 1
+    (w.An.Diagnostic.wpoint.(2) - w.An.Diagnostic.wpoint.(1));
+  (* a 2-wide link fits both tensors *)
+  let wide = Arch.Spec.with_capacities ~link_width:2 (d1_spec ~n:4 ()) in
+  check_bool "clean at 2" true
+    (not (List.mem "TN015" (codes (An.Checker.check wide op df))))
+
+let test_tn016_pe_ports () =
+  let op = gemm8 () in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let spec =
+    Arch.Spec.with_capacities ~pe_ports:1
+      (Arch.Repository.find "tpu-8x8-systolic")
+  in
+  let d = find_code "TN016" (An.Checker.check spec op df) in
+  ignore (witness_of d);
+  (* the demand is the access count of the op, independent of size *)
+  check_bool "mentions access count" true
+    (contains d.An.Diagnostic.message
+       (string_of_int (List.length op.Ir.Tensor_op.accesses)))
+
+let test_tn017_fanout () =
+  (* every PE reads the same A[t] each stamp over an all-to-all
+     interval-0 fabric: the lex-least PE feeds the other 3 *)
+  let op =
+    Ir.Tensor_op.make ~name:"bcast"
+      ~iters:[ ("t", 0, 3); ("i", 0, 3) ]
+      ~accesses:
+        Ir.Tensor_op.
+          [
+            {
+              tensor = "Y";
+              subscripts = Isl.Aff.[ Var "i"; Var "t" ];
+              direction = Write;
+            };
+            { tensor = "A"; subscripts = [ Isl.Aff.Var "t" ]; direction = Read };
+          ]
+      ()
+  in
+  let df = shift2_df () in
+  let rel =
+    P.map "{ PE[i] -> PE[j] : 0 <= i < 4 and 0 <= j < 4 and i != j }"
+  in
+  let spec =
+    Arch.Spec.with_capacities ~max_fanout:1 (custom_spec ~n:4 ~rel ~interval:0)
+  in
+  let d = find_code "TN017" (An.Checker.check spec op df) in
+  let w = witness_of d in
+  (* witness = (t, source PE); PE 0 is the lex-least holder *)
+  check_int "pair arity" 2 (Array.length w.An.Diagnostic.wpoint);
+  check_int "lex-least source" 0 w.An.Diagnostic.wpoint.(1);
+  check_bool "three destinations" true (contains d.An.Diagnostic.message "3")
+
+let test_tn018_dram () =
+  let op = gemm8 () in
+  let df = Df.Zoo.gemm_ij_p_ijk_t () in
+  let spec =
+    Arch.Spec.with_capacities ~dram_bw:1
+      (Arch.Repository.find "tpu-8x8-systolic")
+  in
+  let d = find_code "TN018" (An.Checker.check spec op df) in
+  let w = witness_of d in
+  check_int "time witness" (Df.Dataflow.n_time df)
+    (Array.length w.An.Diagnostic.wpoint)
+
+let test_tn019_lint () =
+  let spec = d1_spec () in
+  (match An.Capacity.lint spec with
+  | [ d ] ->
+      check_bool "code" true (String.equal d.An.Diagnostic.code "TN019");
+      check_bool "info" true (d.An.Diagnostic.severity = An.Diagnostic.Info);
+      check_bool "not an error" true (not (An.Diagnostic.is_error d));
+      ignore (witness_of d)
+  | ds -> Alcotest.fail (Printf.sprintf "expected one TN019, got %d" (List.length ds)));
+  (* a spec with any capacity declared does not lint *)
+  check_int "declared -> silent" 0
+    (List.length (An.Capacity.lint (Arch.Spec.with_capacities ~pe_regs:4 spec)));
+  (* the checker itself never emits TN019 (CLI-only concern) *)
+  let op = gemm8 () in
+  let ds = An.Checker.check spec op (Df.Zoo.gemm_k_p_ij_t ()) in
+  check_bool "no TN019 from check" true
+    (not (List.exists (fun d -> d.An.Diagnostic.code = "TN019") ds))
+
+(* --- ordering: reports are byte-stable ------------------------------ *)
+
+let test_diagnostic_order () =
+  (* a subject with several findings: collapsing k produces TN003 +
+     TN008 at least *)
+  let op = gemm8 () in
+  let df =
+    Df.Dataflow.make ~name:"no-k"
+      ~space:Isl.Aff.[ Var "i" ]
+      ~time:Isl.Aff.[ Var "j" ]
+  in
+  let ds = An.Checker.check (d1_spec ()) op df in
+  check_bool "several findings" true (List.length ds >= 2);
+  let sorted = List.sort An.Diagnostic.compare_diag ds in
+  check_bool "already sorted" true (ds = sorted);
+  (* stable across runs *)
+  check_bool "deterministic" true
+    (ds = An.Checker.check (d1_spec ()) op df);
+  (* compare_diag is a total order keyed by code first *)
+  let cs = codes ds in
+  check_bool "codes ascending" true (cs = List.sort String.compare cs)
+
+let test_explanations_cover_registry () =
+  List.iter
+    (fun (c, _, _, _) ->
+      match An.Diagnostic.explain c with
+      | Some text -> check_bool (c ^ " documented") true (String.length text > 40)
+      | None -> Alcotest.fail (c ^ ": no explanation"))
+    An.Diagnostic.registry;
+  List.iter
+    (fun (c, _) ->
+      check_bool (c ^ " registered") true
+        (List.exists (fun (c', _, _, _) -> c = c') An.Diagnostic.registry))
+    An.Diagnostic.explanations;
+  check_bool "unknown code" true (An.Diagnostic.explain "TN999" = None)
+
 let test_zoo_find () =
   let df = Df.Zoo.find "gemm/(IJ-P | J,IJK-T)" in
   check_bool "qualified" true (String.length df.Df.Dataflow.name > 0);
@@ -431,6 +659,22 @@ let () =
           Alcotest.test_case "diagnostic json" `Quick test_diagnostic_json;
           Alcotest.test_case "registry codes" `Quick
             test_registry_codes_unique;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "generous sweep clean" `Quick
+            test_capacity_sweep_clean;
+          Alcotest.test_case "TN014 pe regs" `Quick test_tn014_pe_regs;
+          Alcotest.test_case "TN014 scratchpad" `Quick test_tn014_scratchpad;
+          Alcotest.test_case "TN015 link contention" `Quick
+            test_tn015_link_contention;
+          Alcotest.test_case "TN016 pe ports" `Quick test_tn016_pe_ports;
+          Alcotest.test_case "TN017 fanout" `Quick test_tn017_fanout;
+          Alcotest.test_case "TN018 dram" `Quick test_tn018_dram;
+          Alcotest.test_case "TN019 lint" `Quick test_tn019_lint;
+          Alcotest.test_case "diagnostic order" `Quick test_diagnostic_order;
+          Alcotest.test_case "explanations cover registry" `Quick
+            test_explanations_cover_registry;
         ] );
       ( "satellites",
         [

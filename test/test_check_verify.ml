@@ -1,0 +1,63 @@
+(* Differential sanitizer for the capacity checker (TN014/TN015/TN017):
+   the analytic peak enumeration in {!Tenet_analysis.Capacity} and the
+   cycle-level machine in {!Tenet_sim.Simulator} implement the same
+   transfer attribution (lex-least supplying predecessor, window-1
+   registers) from independent code paths.  Their observed peaks must
+   agree exactly on every zoo subject.
+
+   The default run covers a light subset; set TENET_CHECK_VERIFY=1 for
+   the full zoo sweep (scripts/ci.sh runs one such shard). *)
+
+module An = Tenet.Analysis
+module Sim = Tenet.Sim
+
+let check_int = Alcotest.(check int)
+
+let full_sweep () =
+  match Sys.getenv_opt "TENET_CHECK_VERIFY" with
+  | Some "1" -> true
+  | _ -> false
+
+let subjects () =
+  let all = An.Checker.zoo_subjects () in
+  if full_sweep () then all
+  else
+    List.filter
+      (fun (s : An.Checker.subject) -> s.An.Checker.s_kernel <> "conv")
+      all
+
+let test_peaks_agree () =
+  let subs = subjects () in
+  Alcotest.(check bool) "enough subjects" true (List.length subs >= 30);
+  List.iter
+    (fun (s : An.Checker.subject) ->
+      let label what =
+        Printf.sprintf "%s / %s / %s: %s" s.An.Checker.s_arch
+          s.An.Checker.s_kernel
+          s.An.Checker.s_df.Tenet.Dataflow.Dataflow.name what
+      in
+      let pk =
+        An.Capacity.enumerate_peaks s.An.Checker.s_spec s.An.Checker.s_op
+          s.An.Checker.s_df
+      in
+      let r =
+        Sim.Simulator.run ~window:1 s.An.Checker.s_spec s.An.Checker.s_op
+          s.An.Checker.s_df
+      in
+      check_int (label "peak per-PE live") r.Sim.Simulator.peak_pe_live
+        pk.An.Capacity.pe_live;
+      check_int (label "peak chip live") r.Sim.Simulator.peak_chip_live
+        pk.An.Capacity.chip_live;
+      check_int (label "peak link load") r.Sim.Simulator.peak_link_load
+        pk.An.Capacity.link_load;
+      check_int (label "peak fanout") r.Sim.Simulator.peak_fanout
+        pk.An.Capacity.fanout)
+    subs
+
+let () =
+  Alcotest.run "check-verify"
+    [
+      ( "differential",
+        [ Alcotest.test_case "sim peaks = capacity peaks" `Quick
+            test_peaks_agree ] );
+    ]

@@ -17,9 +17,9 @@ let test_compile_os () =
   let df = Cc.to_dataflow gemm (Cc.gemm_output_stationary ~p:8 ()) in
   check_int "space dims" 2 (Df.Dataflow.n_space df);
   check_int "time dims" 3 (Df.Dataflow.n_time df);
-  match Df.Dataflow.validate gemm df (Arch.Pe_array.d2 8 8) with
-  | Ok () -> ()
-  | Error v -> Alcotest.fail (Df.Dataflow.violation_to_string v)
+  match Df.Dataflow.first_violation gemm df (Arch.Pe_array.d2 8 8) with
+  | None -> ()
+  | Some msg -> Alcotest.fail msg
 
 let test_compute_centric_is_expressible () =
   (* Table I containment: every compute-centric schedule lands in the
@@ -104,7 +104,8 @@ let prop_compiled_valid =
       in
       let df = Cc.to_dataflow op sched in
       Dse.data_centric_expressible df
-      && Df.Dataflow.validate op df (Arch.Pe_array.make [| p; q |]) = Ok ())
+      && Df.Dataflow.first_violation op df (Arch.Pe_array.make [| p; q |])
+         = None)
 
 let () =
   Alcotest.run "compute"

@@ -359,8 +359,70 @@ let test_search_stats_add_up () =
      precheck-rejected, folded into a class rep (symmetry), a dominated
      rep, or submitted for full evaluation *)
   check_int "partition" st.Dse.generated
-    (st.Dse.pruned_precheck + st.Dse.pruned_symmetry + st.Dse.pruned_dominated
-   + st.Dse.evaluated)
+    (st.Dse.pruned_precheck + st.Dse.pruned_symmetry + st.Dse.pruned_capacity
+   + st.Dse.pruned_dominated + st.Dse.evaluated)
+
+(* --- the capacity prune tier (TN014-TN018 as a mapper filter) ------- *)
+
+let generous spec =
+  Arch.Spec.with_capacities ~scratchpad_bytes:(1 lsl 22) ~pe_regs:64
+    ~link_width:8 ~pe_ports:8 ~max_fanout:64 ~dram_bw:4096 spec
+
+let test_capacity_prune_oracle () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let cands = Dse.candidates_2d op ~p:8 @ Dse.candidates_1d op ~p:64 in
+  (* generous capacities: nothing is provably infeasible, so the pruned
+     search returns the oracle's best byte-for-byte *)
+  let spec = generous (Arch.Repository.tpu_like ~bandwidth:8 ()) in
+  let oracle =
+    Dse.search ~mode:Dse.Exhaustive ~objective:Dse.Latency spec op cands
+  in
+  let pruned =
+    Dse.search ~mode:Dse.Pruned ~objective:Dse.Latency spec op cands
+  in
+  check_int "no prune at generous caps" 0
+    pruned.Dse.stats.Dse.pruned_capacity;
+  let opt_key r = Option.map metrics_key (List.nth_opt r.Dse.outcomes 0) in
+  Alcotest.(check (option string))
+    "best identical" (opt_key oracle) (opt_key pruned)
+
+let test_capacity_prune_fires () =
+  let op = Ir.Kernels.gemm ~ni:16 ~nj:16 ~nk:16 in
+  let cands = Dse.candidates_2d op ~p:8 in
+  (* a 64-byte scratchpad cannot hold any 8x8 mapping's working set:
+     the tier must reject candidates, and only with a proof — every
+     survivor's metrics still byte-match the oracle *)
+  let spec =
+    Arch.Spec.with_capacities ~scratchpad_bytes:64
+      (Arch.Repository.tpu_like ~bandwidth:8 ())
+  in
+  let oracle =
+    Dse.search ~mode:Dse.Exhaustive ~objective:Dse.Latency spec op cands
+  in
+  let pruned =
+    Dse.search ~mode:Dse.Pruned ~objective:Dse.Latency spec op cands
+  in
+  let st = pruned.Dse.stats in
+  check_bool "tier fires" true (st.Dse.pruned_capacity > 0);
+  check_int "partition with capacity tier" st.Dse.generated
+    (st.Dse.pruned_precheck + st.Dse.pruned_symmetry + st.Dse.pruned_capacity
+   + st.Dse.pruned_dominated + st.Dse.evaluated);
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      Hashtbl.replace tbl o.Dse.dataflow.Df.Dataflow.name (metrics_key o))
+    oracle.Dse.outcomes;
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt tbl o.Dse.dataflow.Df.Dataflow.name with
+      | None ->
+          Alcotest.failf "%s not in oracle" o.Dse.dataflow.Df.Dataflow.name
+      | Some k ->
+          Alcotest.(check string) o.Dse.dataflow.Df.Dataflow.name k
+            (metrics_key o))
+    pruned.Dse.outcomes;
+  (* exhaustive mode never applies the tier *)
+  check_int "oracle untouched" 0 oracle.Dse.stats.Dse.pruned_capacity
 
 let () =
   Alcotest.run "dse"
@@ -394,5 +456,9 @@ let () =
           Alcotest.test_case "prechecker = precheck" `Quick
             test_prechecker_matches_precheck;
           Alcotest.test_case "stats partition" `Quick test_search_stats_add_up;
+          Alcotest.test_case "capacity prune = oracle" `Quick
+            test_capacity_prune_oracle;
+          Alcotest.test_case "capacity prune fires" `Quick
+            test_capacity_prune_fires;
         ] );
     ]
