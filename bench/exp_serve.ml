@@ -81,7 +81,7 @@ let run () =
   Api.clear_cache ();
   let (), cold_s = Bench_util.phase "cold_batch" run_batch in
   let (), warm_s = Bench_util.phase "warm_batch" run_batch in
-  let c = Api.cache_stats () in
+  let c = (Api.cache_tiers ()).Api.result in
   let speedup = cold_s /. Float.max warm_s 1e-9 in
   Bench_util.row "%d requests (%d distinct x%d)\n" (List.length batch)
     (List.length batch / dup) dup;
@@ -140,11 +140,10 @@ let run () =
               failwith ("bench request failed: " ^ r.Api.Request.id))
           sweep)
   in
-  let reuse = List.length sweep - Api.template_cache_entries () in
+  let templates = (Api.cache_tiers ()).Api.template_entries in
+  let reuse = List.length sweep - templates in
   Bench_util.row
     "template sweep: %d sizes in %.3f s through %d compiled template(s) \
      (%d reused)\n"
-    (List.length sweep) sweep_s
-    (Api.template_cache_entries ())
-    reuse;
+    (List.length sweep) sweep_s templates reuse;
   Bench_util.summary_extra "serve_template_reuse" (Json.Int reuse)

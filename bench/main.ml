@@ -5,6 +5,9 @@
 
 let sections : (string * string * (unit -> unit)) list =
   [
+    (* serve_mp first: it forks server processes, and the OCaml runtime
+       cannot fork once any other section has spawned pool domains *)
+    ("serve_mp", "Scale-out serving throughput (pre-fork fleet)", Exp_serve_mp.run);
     ("fig1", "Figure 1 motivation (1D-CONV reuse)", Exp_fig1.run);
     ("table_design_space", "Section IV-A design-space sizes", Exp_design_space.run);
     ("table3", "Table III dataflow zoo", Exp_table3.run);

@@ -656,15 +656,58 @@ let check_cmd =
                   nearest-match suggestion.")
        $ lex_t $ jobs_t $ trace_t $ stats_t $ json_t))
 
+(* Flags shared by batch and serve: the scale-out knobs.  Each layers
+   over Config.load (), so the precedence is flag > TENET_SERVE_* env >
+   default. *)
+let workers_t =
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+         ~doc:"Pre-fork $(docv) worker processes and fan requests out \
+               over socketpairs (default \\$TENET_SERVE_WORKERS, or 1: \
+               in-process).  Output stays byte-identical to a \
+               single-process run.")
+
+let cache_dir_t =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist the result cache in $(docv) (default \
+               \\$TENET_SERVE_CACHE_DIR, or off): loaded on startup, \
+               merged back atomically on shutdown, shareable across \
+               replicas.")
+
+let serve_config ?queue ?workers ?cache_dir ?shed_low ?shed_normal
+    ?access_log ?sample ?socket () : Server.Config.t =
+  let cfg = Server.Config.load () in
+  let opt v default = Option.value v ~default in
+  {
+    cfg with
+    Server.Config.queue_limit = opt queue cfg.Server.Config.queue_limit;
+    workers = opt workers cfg.Server.Config.workers;
+    cache_dir =
+      (match cache_dir with
+      | Some _ -> cache_dir
+      | None -> cfg.Server.Config.cache_dir);
+    shed_low =
+      (match shed_low with
+      | Some _ -> shed_low
+      | None -> cfg.Server.Config.shed_low);
+    shed_normal =
+      (match shed_normal with
+      | Some _ -> shed_normal
+      | None -> cfg.Server.Config.shed_normal);
+    access_log;
+    access_log_sample = opt sample 1;
+    socket;
+  }
+
 let batch_cmd =
-  let run file jobs trace stats =
+  let run file jobs workers cache_dir trace stats =
     wrap (fun () ->
         apply_jobs jobs;
+        let cfg = serve_config ?workers ?cache_dir () in
         with_telemetry ~trace ~stats ~span:"cli.batch" (fun () ->
             let ic = if file = "-" then stdin else open_in file in
             Fun.protect
               ~finally:(fun () -> if file <> "-" then close_in ic)
-              (fun () -> Server.batch ic stdout)))
+              (fun () -> Server.run_batch cfg ic stdout)))
   in
   let file_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
@@ -676,26 +719,29 @@ let batch_cmd =
        ~doc:
          "Evaluate a file of serve-protocol requests (one JSON object per \
           line, docs/serving.md) and print one response per line, in input \
-          order.  Deterministic at any --jobs count, and identical to \
-          running each request one-shot.")
-    Term.(ret (const run $ file_t $ jobs_t $ trace_t $ stats_t))
+          order.  Deterministic at any --jobs or --workers count, and \
+          identical to running each request one-shot.")
+    Term.(ret (const run $ file_t $ jobs_t $ workers_t $ cache_dir_t
+               $ trace_t $ stats_t))
 
 let serve_cmd =
-  let run socket queue jobs access_log sample =
+  let run socket queue workers cache_dir shed_low shed_normal jobs
+      access_log sample =
     wrap (fun () ->
         apply_jobs jobs;
         (match sample with
         | Some n when n < 1 ->
             failwith "--access-log-sample must be a positive integer"
         | _ -> ());
-        (match access_log with
-        | Some path -> Access_log.configure ?sample path
-        | None ->
-            if sample <> None then
-              failwith "--access-log-sample requires --access-log");
+        if access_log = None && sample <> None then
+          failwith "--access-log-sample requires --access-log";
+        let cfg =
+          serve_config ?queue ?workers ?cache_dir ?shed_low ?shed_normal
+            ?access_log ?sample ?socket ()
+        in
         Fun.protect
           ~finally:(fun () -> Access_log.disable ())
-          (fun () -> Server.serve ?queue_limit:queue ?socket ()))
+          (fun () -> Server.run cfg))
   in
   let socket_t =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
@@ -707,11 +753,24 @@ let serve_cmd =
            ~doc:"Bound on waiting requests before the service answers \
                  'overloaded' (default \\$TENET_SERVE_QUEUE, or 64).")
   in
+  let shed_low_t =
+    Arg.(value & opt (some int) None & info [ "shed-low" ] ~docv:"N"
+           ~doc:"Queue depth at which low-priority requests shed \
+                 (default \\$TENET_SERVE_SHED_LOW, or half the queue \
+                 limit).")
+  in
+  let shed_normal_t =
+    Arg.(value & opt (some int) None & info [ "shed-normal" ] ~docv:"N"
+           ~doc:"Queue depth at which normal-priority requests shed \
+                 (default \\$TENET_SERVE_SHED_NORMAL, or the queue limit \
+                 itself, i.e. only at the hard bound).")
+  in
   let access_log_t =
     Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
            ~doc:"Append one JSON line per completed request (id, trace, \
                  fingerprint, status, cache outcome, latency, queue wait; \
-                 see docs/serving.md).")
+                 see docs/serving.md).  With --workers, each worker \
+                 appends to FILE.w0, FILE.w1, ...")
   in
   let sample_t =
     Arg.(value & opt (some int) None & info [ "access-log-sample" ] ~docv:"N"
@@ -723,10 +782,13 @@ let serve_cmd =
        ~doc:
          "Run the persistent analysis service: JSON-lines requests on \
           stdin (or --socket), responses in completion order correlated \
-          by id, per-request deadlines, backpressure, a cross-request \
-          result cache, live stats with Prometheus exposition, and an \
-          optional access log (docs/serving.md).")
-    Term.(ret (const run $ socket_t $ queue_t $ jobs_t $ access_log_t
+          by id, per-request deadlines, graduated load shedding, a \
+          two-level result cache (in-memory LRU plus optional persistent \
+          tier), a pre-forked worker fleet (--workers), live stats with \
+          Prometheus exposition, and an optional access log \
+          (docs/serving.md).")
+    Term.(ret (const run $ socket_t $ queue_t $ workers_t $ cache_dir_t
+               $ shed_low_t $ shed_normal_t $ jobs_t $ access_log_t
                $ sample_t))
 
 let archs_cmd =

@@ -25,6 +25,11 @@
 module Obs = Tenet_obs
 module Json = Tenet_obs.Json
 
+(* Swallowed writes stay visible: the counter shows up in stats and the
+   Prometheus exposition, so a log silently losing lines (full disk,
+   revoked file) is still diagnosable. *)
+let c_write_errors = Obs.counter "serve.access_log_errors"
+
 type sink = {
   oc : out_channel;
   mutex : Mutex.t;
@@ -107,6 +112,6 @@ let record ~(id : string) ~(trace : string) ~(cmd : string)
            output_string s.oc line;
            output_char s.oc '\n';
            flush s.oc
-         with Sys_error _ -> ());
+         with Sys_error _ -> Obs.incr c_write_errors);
         Mutex.unlock s.mutex
       end

@@ -37,4 +37,7 @@ val record :
 (** Emit one log line (subject to sampling).  Must be called for every
     completed request even when the log is disabled: it also clears the
     per-domain queue-wait stash so a stale value cannot attach to the
-    next request executing on the domain.  Never raises on I/O errors. *)
+    next request executing on the domain.  Never raises on I/O errors;
+    swallowed write failures are counted on the
+    [serve.access_log_errors] counter so lost lines stay visible in
+    stats and the Prometheus exposition. *)

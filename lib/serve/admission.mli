@@ -1,0 +1,48 @@
+(** Graduated admission control: queue-depth watermarks shed
+    low-priority and deadline-expired work before the hard queue limit
+    sheds everything.  Each shed increments a per-tier [serve.shed_*]
+    counter plus the legacy [serve.overloaded] total; the response kind
+    stays [Overloaded].  See docs/serving.md ("Admission control"). *)
+
+type priority = [ `High | `Normal | `Low ]
+type reason = Hard_limit | Normal_priority | Low_priority | Expired
+type verdict = Admit | Shed of reason
+
+val priority_to_string : priority -> string
+val priority_of_string : string -> priority option
+val known_priorities : string list
+
+val decide :
+  queue_limit:int ->
+  shed_low:int ->
+  shed_normal:int ->
+  depth:int ->
+  priority:priority ->
+  verdict
+(** The watermark policy at submission time: at or past [queue_limit]
+    everything sheds; past [shed_normal] normal priority sheds; past
+    [shed_low] low priority sheds.  High priority only hits the hard
+    limit.  Watermarks come resolved from {!Config.shed_low_watermark}
+    / {!Config.shed_normal_watermark}. *)
+
+val expired_in_queue : deadline_ms:int option -> waited_ms:float -> bool
+(** Whether a request's whole deadline elapsed while it waited in the
+    queue.  Callers apply this only to requests admitted under pressure
+    (depth at or past the low watermark at submission). *)
+
+val note : reason -> unit
+(** Count one shed: the per-tier counter plus [serve.overloaded]. *)
+
+val message :
+  queue_limit:int ->
+  shed_low:int ->
+  shed_normal:int ->
+  waited_ms:float ->
+  reason ->
+  string
+(** The human-readable response message.  [Hard_limit] keeps the legacy
+    "work queue is full" wording byte-for-byte. *)
+
+val counts : unit -> (string * int) list
+(** Lifetime shed totals per tier, for the stats payload:
+    [("hard", _); ("normal", _); ("low", _); ("expired", _)]. *)

@@ -97,6 +97,7 @@ module Request = struct
     budget : int option; (* dse: heuristic evaluation cap *)
     top : int;
     deadline_ms : int option;
+    priority : Admission.priority; (* admission tier under load *)
     format : [ `Json | `Prometheus ]; (* stats: response encoding *)
   }
 
@@ -124,6 +125,7 @@ module Request = struct
       budget = None;
       top = 10;
       deadline_ms = None;
+      priority = `Normal;
       format = `Json;
     }
 
@@ -185,6 +187,7 @@ module Request = struct
         ("budget", opt (fun n -> Json.Int n) r.budget);
         ("top", Json.Int r.top);
         ("deadline_ms", opt (fun n -> Json.Int n) r.deadline_ms);
+        ("priority", Json.String (Admission.priority_to_string r.priority));
         ( "format",
           Json.String
             (match r.format with `Json -> "json" | `Prometheus -> "prometheus")
@@ -345,6 +348,15 @@ module Request = struct
                     let* n = as_int k v in
                     if n < 0 then bad "field \"deadline_ms\" must be >= 0"
                     else Ok { r with deadline_ms = Some n }
+                | "priority" -> (
+                    let* s = as_string k v in
+                    match Admission.priority_of_string s with
+                    | Some p -> Ok { r with priority = p }
+                    | None ->
+                        Error
+                          (Bad_field
+                             (Tenet_util.Text.unknown ~what:"priority" s
+                                Admission.known_priorities)))
                 | "format" -> (
                     let* s = as_string k v in
                     match s with
@@ -370,10 +382,13 @@ module Request = struct
 
   (* The cache key: the canonical encoding with the semantically inert
      fields blanked ([format] only changes the stats encoding, and stats
-     responses are never cached). *)
+     responses are never cached; [priority] only changes the admission
+     tier, never the result). *)
   let fingerprint (r : t) : string =
     Json.to_string
-      (to_json { r with id = ""; deadline_ms = None; format = `Json })
+      (to_json
+         { r with id = ""; deadline_ms = None; priority = `Normal;
+           format = `Json })
 end
 
 (* ------------------------------------------------------------------ *)
@@ -417,7 +432,15 @@ module Response = struct
     error : (error_kind * string) option;
   }
 
-  type t = { api_version : int; id : string; body : body }
+  type t = {
+    api_version : int;
+    id : string;
+    body : body;
+    raw : string option;
+        (* serialized body bytes from the persistent cache; when
+           present, serialization splices them verbatim so a replayed
+           response is byte-identical to the run that produced it *)
+  }
 
   let error_kind_to_string = function
     | Bad_request -> "bad_request"
@@ -536,9 +559,20 @@ module Response = struct
         ]
 
   let to_json (r : t) : Json.t =
+    let fields =
+      match r.raw with
+      | Some s -> (
+          (* Disk-cached bytes are validated on load to re-encode
+             byte-identically (see [load_disk_cache]), so going through
+             the printer here still reproduces them exactly. *)
+          match Json.parse s with
+          | Json.Obj fs -> fs
+          | _ | (exception Json.Parse_error _) -> body_fields r.body)
+      | None -> body_fields r.body
+    in
     Json.Obj
       ([ ("api_version", Json.Int r.api_version); ("id", Json.String r.id) ]
-      @ body_fields r.body)
+      @ fields)
 
   let ok_body ?(diagnostics = []) payload =
     { status = `Ok; payload = Some payload; diagnostics; error = None }
@@ -547,7 +581,7 @@ module Response = struct
     { status = `Error; payload = None; diagnostics; error = Some (kind, message) }
 
   let error ~id kind message =
-    { api_version = version; id; body = error_body kind message }
+    { api_version = version; id; body = error_body kind message; raw = None }
 
   let is_error (r : t) = r.body.error <> None
 end
@@ -635,11 +669,81 @@ let cache_budget_bytes () =
             (Printf.sprintf "bad %s %S: expected a non-negative integer \
                              number of megabytes" cache_env s))
 
-let global_cache : Response.body Cache.t Lazy.t =
+(* Entries are either typed bodies (results computed in this process)
+   or raw serialized body bytes reloaded from the persistent tier —
+   kept as bytes end-to-end so a warm restart replays responses
+   byte-identical to the run that produced them. *)
+type cached = Cached_body of Response.body | Cached_raw of string
+
+let global_cache : cached Cache.t Lazy.t =
   lazy (Cache.create ~bytes:(cache_budget_bytes ()) ())
 
 let result_cache () = Lazy.force global_cache
 let cache_stats () = Cache.stats (result_cache ())
+
+(* ------------------------------------------------------------------ *)
+(* The persistent tier (Disk_cache): loaded under the same LRU, saved  *)
+(* from it.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let c_disk_rejected = Obs.counter "serve.disk_cache_rejected"
+
+(* Where the persistent tier lives (set by [load_disk_cache]) and how
+   many entries it contributed, for the stats payload. *)
+let disk_mutex = Mutex.create ()
+let disk_dir : string option ref = ref None
+let disk_loaded : int ref = ref 0
+
+let load_disk_cache ~dir : int =
+  let cache = result_cache () in
+  let accepted =
+    List.fold_left
+      (fun n (e : Disk_cache.entry) ->
+        (* Accept only entries whose bytes are a JSON object with "ok"
+           status that re-encode byte-identically: anything else (torn
+           writes that still parse, hand-edited files, a printer drift
+           across versions) would break the byte-identity contract the
+           raw path exists for, so it is recomputed instead. *)
+        match Json.parse e.Disk_cache.body with
+        | exception Json.Parse_error _ ->
+            Obs.incr c_disk_rejected;
+            n
+        | j ->
+            let ok_status =
+              match Json.member "status" j with
+              | Some (Json.String "ok") -> true
+              | _ -> false
+            in
+            if ok_status && Json.to_string j = e.Disk_cache.body then begin
+              Cache.add cache ~key:e.Disk_cache.key
+                ~size:(String.length e.Disk_cache.body)
+                (Cached_raw e.Disk_cache.body);
+              n + 1
+            end
+            else begin
+              Obs.incr c_disk_rejected;
+              n
+            end)
+      0 (Disk_cache.load ~dir)
+  in
+  Mutex.lock disk_mutex;
+  disk_dir := Some dir;
+  disk_loaded := accepted;
+  Mutex.unlock disk_mutex;
+  accepted
+
+let save_disk_cache ~dir : int =
+  let entries =
+    Cache.fold (result_cache ()) ~init:[] ~f:(fun acc ~key ~size:_ v ->
+        let body =
+          match v with
+          | Cached_raw s -> s
+          | Cached_body b ->
+              Json.to_string (Json.Obj (Response.body_fields b))
+        in
+        { Disk_cache.key; body } :: acc)
+  in
+  Disk_cache.merge_save ~dir entries
 
 (* ------------------------------------------------------------------ *)
 (* The template cache tier.                                            *)
@@ -764,32 +868,74 @@ let lifetime_ms_json (h : Obs.histogram) : Json.t =
       ("max_ms", ms (Obs.hist_max h));
     ]
 
+(* The unified view of every cache tier — in-memory result LRU,
+   template tier, persistent disk tier — consumed by the stats payload,
+   the Prometheus gauges and the benches through one structured
+   record instead of one accessor per tier. *)
+type cache_tiers = {
+  result : Cache.stats;
+  template_entries : int;
+  template_hits : int;
+  template_misses : int;
+  tiers_disk_dir : string option;
+  disk_entries_loaded : int;
+}
+
+let cache_tiers () : cache_tiers =
+  Mutex.lock disk_mutex;
+  let dir = !disk_dir and loaded = !disk_loaded in
+  Mutex.unlock disk_mutex;
+  {
+    result = cache_stats ();
+    template_entries = template_cache_entries ();
+    template_hits = Obs.value c_template_cache_hits;
+    template_misses = Obs.value c_template_cache_misses;
+    tiers_disk_dir = dir;
+    disk_entries_loaded = loaded;
+  }
+
+let cache_tiers_json (t : cache_tiers) : Json.t =
+  Json.Obj
+    [
+      ( "result",
+        Json.Obj
+          [
+            ("entries", Json.Int t.result.Cache.entries);
+            ("bytes", Json.Int t.result.Cache.bytes);
+            ("budget_bytes", Json.Int t.result.Cache.budget);
+            ("hits", Json.Int t.result.Cache.hits);
+            ("misses", Json.Int t.result.Cache.misses);
+            ("evictions", Json.Int t.result.Cache.evictions);
+          ] );
+      ( "template",
+        Json.Obj
+          [
+            ("entries", Json.Int t.template_entries);
+            ("hits", Json.Int t.template_hits);
+            ("misses", Json.Int t.template_misses);
+          ] );
+      ( "disk",
+        Json.Obj
+          [
+            ( "dir",
+              match t.tiers_disk_dir with
+              | None -> Json.Null
+              | Some d -> Json.String d );
+            ("entries_loaded", Json.Int t.disk_entries_loaded);
+            ("rejected", Json.Int (Obs.value c_disk_rejected));
+          ] );
+    ]
+
 let stats_payload () : Json.t =
-  let c = cache_stats () in
   Json.Obj
     ([
-       ( "cache",
-         Json.Obj
-           [
-             ("entries", Json.Int c.Cache.entries);
-             ("bytes", Json.Int c.Cache.bytes);
-             ("budget_bytes", Json.Int c.Cache.budget);
-             ("hits", Json.Int c.Cache.hits);
-             ("misses", Json.Int c.Cache.misses);
-             ("evictions", Json.Int c.Cache.evictions);
-           ] );
-       ( "template_cache",
-         Json.Obj
-           [
-             ("entries", Json.Int (template_cache_entries ()));
-             ("hits", Json.Int (Obs.value c_template_cache_hits));
-             ("misses", Json.Int (Obs.value c_template_cache_misses));
-           ] );
+       ("caches", cache_tiers_json (cache_tiers ()));
        ( "pool",
          Json.Obj
            [
              ("jobs", Json.Int (Parallel.jobs ()));
              ("queued", Json.Int (Parallel.waiting ()));
+             ("running", Json.Int (Parallel.running ()));
            ] );
        ( "queue",
          Json.Obj
@@ -797,6 +943,11 @@ let stats_payload () : Json.t =
              ("depth", Json.Int (Parallel.waiting ()));
              ( "overloaded",
                Json.Int (Obs.value (Obs.counter "serve.overloaded")) );
+             ( "shed",
+               Json.Obj
+                 (List.map
+                    (fun (k, v) -> (k, Json.Int v))
+                    (Admission.counts ())) );
              ("wait", lifetime_ms_json h_queue_wait);
            ] );
      ]
@@ -808,17 +959,20 @@ let stats_payload () : Json.t =
    histograms (cumulative buckets) from lib/obs, plus the serving
    gauges and the result cache's own counters. *)
 let prometheus_text () : string =
-  let c = cache_stats () in
+  let t = cache_tiers () in
+  let c = t.result in
   let gauges =
     [
       ("serve_queue_depth", float_of_int (Parallel.waiting ()));
       ("serve_pool_jobs", float_of_int (Parallel.jobs ()));
       ("serve_pool_workers", float_of_int (Parallel.spawned_workers ()));
+      ("serve_pool_running", float_of_int (Parallel.running ()));
       ("serve_cache_entries", float_of_int c.Cache.entries);
       ("serve_cache_bytes", float_of_int c.Cache.bytes);
       ("serve_cache_budget_bytes", float_of_int c.Cache.budget);
-      ( "serve_template_cache_entries",
-        float_of_int (template_cache_entries ()) );
+      ("serve_template_cache_entries", float_of_int t.template_entries);
+      ( "serve_disk_cache_entries_loaded",
+        float_of_int t.disk_entries_loaded );
     ]
     @ List.map
         (fun (k, v) -> ("serve_" ^ k, float_of_int v))
@@ -1189,7 +1343,7 @@ let run (r : Request.t) : Response.t =
       "serve.request"
     @@ fun () ->
     let respond body =
-      { Response.api_version = version; id = r.Request.id; body }
+      { Response.api_version = version; id = r.Request.id; body; raw = None }
     in
     if r.Request.cmd = Request.Stats then
       (* never cached: the whole point is the live gauges *)
@@ -1198,10 +1352,27 @@ let run (r : Request.t) : Response.t =
       let key = Request.fingerprint r in
       let cache = result_cache () in
       match Cache.find cache key with
-      | Some body ->
+      | Some (Cached_body body) ->
           Obs.incr c_cache_hits;
           cache_outcome := `Hit;
           respond body
+      | Some (Cached_raw s) ->
+          Obs.incr c_cache_hits;
+          cache_outcome := `Hit;
+          (* a warm-restart hit: replay the persisted bytes verbatim;
+             the skeleton body only feeds the access log's status field *)
+          {
+            Response.api_version = version;
+            id = r.Request.id;
+            body =
+              {
+                Response.status = `Ok;
+                payload = None;
+                diagnostics = [];
+                error = None;
+              };
+            raw = Some s;
+          }
       | None ->
           Obs.incr c_cache_misses;
           cache_outcome := `Miss;
@@ -1255,7 +1426,8 @@ let run (r : Request.t) : Response.t =
                  (List.exists
                     (fun d -> d.An.Diagnostic.code = "TN013")
                     body.Response.diagnostics)
-          then Cache.add cache ~key ~size:(body_size body) body;
+          then
+            Cache.add cache ~key ~size:(body_size body) (Cached_body body);
           respond body
     end
   in
@@ -1281,11 +1453,14 @@ let run (r : Request.t) : Response.t =
     ~latency_ms:(1e3 *. latency_s) ();
   resp
 
-(* Decode a raw JSON request and run it: the shared core of the batch
-   runner, the server loop and the CLI.  Never raises. *)
-let run_json (j : Json.t) : Response.t =
+(* Total decode to either a typed request or a ready-to-send error
+   response (the [id] recovered from the raw object when possible):
+   the typed half of the server loop's request handling — admission
+   control and the inline-stats path match on the decoded request, not
+   on raw JSON members. *)
+let decode (j : Json.t) : (Request.t, Response.t) result =
   match Request.of_json j with
-  | Ok r -> run r
+  | Ok r -> Ok r
   | Error e ->
       let id =
         match Json.member "id" j with Some (Json.String s) -> s | _ -> ""
@@ -1295,4 +1470,9 @@ let run_json (j : Json.t) : Response.t =
         | Request.Bad_version _ -> Response.Unsupported_version
         | Request.Bad_field _ -> Response.Bad_request
       in
-      Response.error ~id kind (Request.decode_error_message e)
+      Error (Response.error ~id kind (Request.decode_error_message e))
+
+(* Decode a raw JSON request and run it: the shared core of the batch
+   runner, the server loop and the CLI.  Never raises. *)
+let run_json (j : Json.t) : Response.t =
+  match decode j with Ok r -> run r | Error resp -> resp

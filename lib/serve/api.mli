@@ -57,6 +57,11 @@ module Request : sig
     budget : int option;  (** dse: heuristic evaluation cap *)
     top : int;
     deadline_ms : int option;  (** processing budget; see docs/serving.md *)
+    priority : Admission.priority;
+        (** admission tier under load (default [`Normal]): low-priority
+            work sheds first at the graduated watermarks, high-priority
+            work sheds only at the hard queue limit.  Never affects the
+            result — the cache fingerprint blanks it. *)
     format : [ `Json | `Prometheus ];
         (** stats responses only: JSON payload (default) or Prometheus
             text exposition *)
@@ -82,9 +87,9 @@ module Request : sig
       is required. *)
 
   val fingerprint : t -> string
-  (** The result-cache key: the canonical encoding with [id] and
-      [deadline_ms] (the two fields that do not affect the result)
-      blanked. *)
+  (** The result-cache key: the canonical encoding with the fields that
+      do not affect the result — [id], [deadline_ms], [priority] and
+      [format] — blanked. *)
 end
 
 module Response : sig
@@ -131,7 +136,17 @@ module Response : sig
     error : (error_kind * string) option;
   }
 
-  type t = { api_version : int; id : string; body : body }
+  type t = {
+    api_version : int;
+    id : string;
+    body : body;
+    raw : string option;
+        (** serialized body bytes replayed from the persistent cache;
+            when present, {!to_json} splices them verbatim (they are
+            validated on load to re-encode byte-identically) so
+            warm-restart responses match the original run byte for
+            byte.  [None] everywhere else. *)
+  }
 
   val error_kind_to_string : error_kind -> string
 
@@ -166,17 +181,59 @@ val run_json : Json.t -> Response.t
     [Bad_request] / [Unsupported_version] error responses with the [id]
     recovered from the raw object when possible. *)
 
+val decode : Json.t -> (Request.t, Response.t) result
+(** The decode half of {!run_json}: either the typed request or the
+    ready-to-send error response.  The server loops use it so admission
+    control and the inline-stats fast path match on typed requests
+    rather than raw JSON members. *)
+
 (** {2 The result cache} *)
 
 val clear_cache : unit -> unit
-(** Drop both tiers: the result cache and the template cache. *)
+(** Drop both in-memory tiers: the result cache and the template cache
+    (the persistent tier on disk is untouched). *)
+
+type cache_tiers = {
+  result : Cache.stats;  (** the in-memory result LRU *)
+  template_entries : int;
+  template_hits : int;
+  template_misses : int;
+  tiers_disk_dir : string option;
+      (** where the persistent tier was loaded from; [None] when
+          disabled *)
+  disk_entries_loaded : int;
+}
+(** One structured view of every cache tier — the result LRU, the
+    template tier and the persistent disk tier. *)
+
+val cache_tiers : unit -> cache_tiers
+val cache_tiers_json : cache_tiers -> Json.t
 
 val cache_stats : unit -> Cache.stats
+(** Deprecated: the result-LRU slice of {!cache_tiers}.  New callers
+    read [(cache_tiers ()).result]. *)
 
 val template_cache_entries : unit -> int
-(** Number of compiled metric templates resident in the template cache
-    tier.  Hits and misses are on the [serve.template_cache_hits] /
+(** Deprecated: the template slice of {!cache_tiers}.  Hits and misses
+    are on the [serve.template_cache_hits] /
     [serve.template_cache_misses] counters. *)
+
+(** {2 The persistent tier}
+
+    The on-disk half of the two-level result cache ({!Disk_cache}):
+    load seeds the in-memory LRU with raw serialized bodies (validated
+    to re-encode byte-identically; damaged entries are dropped and
+    counted on [serve.disk_cache_rejected]), save exports the LRU and
+    merges it with the on-disk state atomically. *)
+
+val load_disk_cache : dir:string -> int
+(** Seed the result cache from [dir]; returns accepted entries.  A
+    missing or damaged cache loads as 0 — never an error. *)
+
+val save_disk_cache : dir:string -> int
+(** Export the result cache into [dir] (merge + atomic rename; see
+    {!Disk_cache.merge_save}); returns the entries written.  Raises on
+    I/O failure. *)
 
 val set_extra_gauges : (unit -> (string * int) list) -> unit
 (** Installed by the server loop so [stats] responses include its

@@ -85,6 +85,10 @@ let add c ~key ~size value =
         Hashtbl.add c.tbl key { value; size; stamp = c.tick };
         c.bytes <- c.bytes + size)
 
+let fold c ~init ~f =
+  locked c (fun () ->
+      Hashtbl.fold (fun key e acc -> f acc ~key ~size:e.size e.value) c.tbl init)
+
 let clear c =
   locked c (fun () ->
       Hashtbl.reset c.tbl;

@@ -18,6 +18,11 @@ val add : 'v t -> key:string -> size:int -> 'v -> unit
 (** Insert, evicting least-recently-used entries until the budget holds.
     Values larger than the whole budget are not stored. *)
 
+val fold : 'v t -> init:'a -> f:('a -> key:string -> size:int -> 'v -> 'a) -> 'a
+(** Fold over every resident entry (unspecified order) under the cache
+    lock — [f] must not call back into the cache.  Powers the export to
+    the persistent tier ({!Disk_cache}). *)
+
 val clear : 'v t -> unit
 (** Drop every entry (hit/miss/eviction counters are kept). *)
 

@@ -1,0 +1,138 @@
+(* The persistent tier of the result cache (docs/serving.md).
+
+   Layout: one JSON-lines file per directory, [results-v1.jsonl].  The
+   first line is a version header; every following line is one entry
+
+     {"key":"<canonical request fingerprint>","body":"<body JSON>"}
+
+   where [body] is the serialized response-body object (the exact bytes
+   [Api] appends after the per-request envelope), carried as a JSON
+   string.  Storing serialized bytes rather than re-encoded structures
+   is what makes warm-restart responses byte-identical: nothing is ever
+   parsed and re-printed on the replay path.
+
+   Writes are atomic: the whole file is rendered to a process-unique
+   temp name in the same directory and renamed over the target, so a
+   writer killed mid-write leaves either the previous file or the new
+   one, never a torn hybrid (the crash-safety tests kill writers at
+   random points and assert exactly this).  Concurrent writers — the
+   fleet's worker processes persisting at shutdown — serialize through
+   a lock file and merge with the on-disk state before renaming, so the
+   last rename still contains every worker's entries.
+
+   Loads are tolerant: a missing file, a foreign version header or a
+   torn/garbage line loads as "everything up to the damage" rather than
+   an error — a cache is an accelerator, never a correctness input. *)
+
+module Json = Tenet_obs.Json
+
+let version = 1
+
+type entry = { key : string; body : string }
+
+let file ~dir = Filename.concat dir (Printf.sprintf "results-v%d.jsonl" version)
+let lock_file ~dir = Filename.concat dir "cache.lock"
+
+let header_line () =
+  Json.to_string (Json.Obj [ ("tenet_disk_cache", Json.Int version) ])
+
+let entry_line (e : entry) =
+  Json.to_string
+    (Json.Obj [ ("key", Json.String e.key); ("body", Json.String e.body) ])
+
+let parse_entry (j : Json.t) : entry option =
+  match (Json.member "key" j, Json.member "body" j) with
+  | Some (Json.String key), Some (Json.String body) -> Some { key; body }
+  | _ -> None
+
+let ensure_dir (dir : string) : unit =
+  (* mkdir -p, innermost last; EEXIST from a concurrent creator is fine *)
+  let rec mk d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk dir
+
+let load ~dir : entry list =
+  let path = file ~dir in
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+        (fun () ->
+          let header_ok =
+            match input_line ic with
+            | exception End_of_file -> false
+            | line -> (
+                match Json.parse line with
+                | exception Json.Parse_error _ -> false
+                | j -> (
+                    match Json.member "tenet_disk_cache" j with
+                    | Some (Json.Int v) -> v = version
+                    | _ -> false))
+          in
+          if not header_ok then []
+          else
+            let rec go acc =
+              match input_line ic with
+              | exception End_of_file -> List.rev acc
+              | line -> (
+                  match Json.parse line with
+                  | exception Json.Parse_error _ ->
+                      (* torn tail from a non-atomic writer: keep what
+                         parsed, drop the rest *)
+                      List.rev acc
+                  | j -> (
+                      match parse_entry j with
+                      | Some e -> go (e :: acc)
+                      | None -> List.rev acc))
+            in
+            go [])
+
+let save ~dir (entries : entry list) : unit =
+  ensure_dir dir;
+  let path = file ~dir in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try
+     output_string oc (header_line ());
+     output_char oc '\n';
+     List.iter
+       (fun e ->
+         output_string oc (entry_line e);
+         output_char oc '\n')
+       (List.sort (fun a b -> compare a.key b.key) entries);
+     close_out oc
+   with e ->
+     (try close_out_noerr oc with _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let with_lock ~dir f =
+  ensure_dir dir;
+  let fd =
+    Unix.openfile (lock_file ~dir) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
+
+let merge_save ~dir (entries : entry list) : int =
+  with_lock ~dir (fun () ->
+      (* union, newcomers winning: a fresh result for the same key
+         supersedes whatever an earlier writer persisted *)
+      let tbl = Hashtbl.create 256 in
+      List.iter (fun e -> Hashtbl.replace tbl e.key e.body) (load ~dir);
+      List.iter (fun e -> Hashtbl.replace tbl e.key e.body) entries;
+      let merged = Hashtbl.fold (fun key body acc -> { key; body } :: acc) tbl [] in
+      save ~dir merged;
+      List.length merged)

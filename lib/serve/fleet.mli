@@ -1,0 +1,46 @@
+(** The pre-fork worker fleet behind [tenet serve --workers N] and
+    [tenet batch --workers N] (docs/serving.md, "Scaling out").
+
+    [create] forks N worker processes over socketpairs, each running a
+    sequential JSON-lines request loop; the parent is a single-threaded
+    [select] pump that parses, admits ({!Admission}) and dispatches, and
+    reassembles responses.  Forking must precede any domain spawn — the
+    OCaml 5 runtime cannot fork once other domains exist — so fleets are
+    created before the first parallel map; [create] fails with a clear
+    message otherwise.
+
+    Workers inherit the parent's warm in-memory cache (the parent loads
+    the persistent tier before forking) and persist their own cache
+    slice on shutdown, merged through {!Disk_cache.merge_save}'s lock.
+    The shutdown signal is fd closure, so cached work survives even a
+    SIGKILL of the front end. *)
+
+type t
+
+val create : Config.t -> t
+(** Fork [Config.workers] workers.  Must run before any domain is
+    spawned; raises [Failure] with an explanatory message if the
+    parallel pool already started. *)
+
+val session : t -> in_channel -> out_channel -> unit
+(** Serve one client connection through the fleet: graduated admission
+    at arrival, deadline-expired shedding at dispatch under pressure,
+    least-loaded dispatch with a bounded per-worker pipeline,
+    completion-order responses.  [stats] requests are answered inline
+    by the parent.  Returns when the client closes its input and every
+    dispatched request has been answered.  A worker death surfaces as
+    [Internal] error responses for its in-flight requests (counted on
+    [serve.worker_failures]); the fleet keeps serving on the rest. *)
+
+val shutdown : t -> unit
+(** Half-close every worker's socketpair, wait for the workers to
+    persist their cache slice and exit, and reap them. *)
+
+val serve : Config.t -> in_channel -> out_channel -> unit
+(** [create] + one {!session} + [shutdown]. *)
+
+val batch : Config.t -> in_channel -> out_channel -> unit
+(** Fan a batch out round-robin and reassemble in input order: output
+    is byte-identical to the single-process batch of the same lines.
+    No admission control — batch is offline.  Raises [Failure] if a
+    worker dies mid-batch. *)

@@ -26,8 +26,18 @@ let is_stats (j : Json.t) : bool =
   | Some (Json.String "stats") -> true
   | _ -> false
 
+(* The typed front half of the server loops: one total decode up front,
+   so stats detection, admission priority and deadline handling all
+   read typed fields instead of probing raw JSON members (the
+   stringly-typed [is_stats] probe predates this and survives only for
+   compatibility). *)
+let parse_request (line : string) : (Api.Request.t, Api.Response.t) result =
+  match parse_line line with
+  | Error resp -> Error resp
+  | Ok j -> Api.decode j
+
 let response_line (resp : Api.Response.t) : string =
   Json.to_string (Api.Response.to_json resp)
 
 let handle_line (line : string) : Api.Response.t =
-  match parse_line line with Ok j -> Api.run_json j | Error resp -> resp
+  match parse_request line with Ok r -> Api.run r | Error resp -> resp

@@ -14,8 +14,15 @@ val request_id : Json.t -> string
 (** The raw object's ["id"] when it is a string, [""] otherwise. *)
 
 val is_stats : Json.t -> bool
-(** Whether the raw object is a [stats] admin request (answered inline
-    by the server, bypassing the work queue). *)
+(** Deprecated: the stringly-typed stats probe on raw JSON.  The server
+    loops now decode first with {!parse_request} and match the typed
+    [cmd] instead. *)
+
+val parse_request : string -> (Api.Request.t, Api.Response.t) result
+(** Total decode of one line to a typed request; [Error] carries the
+    ready-to-send [Bad_request] / [Unsupported_version] response
+    (malformed JSON, unknown fields, bad version), with the [id]
+    recovered from the raw object when possible. *)
 
 val response_line : Api.Response.t -> string
 (** One compact JSON line, no trailing newline. *)

@@ -1,32 +1,45 @@
 (* The persistent analysis service and the offline batch runner.
 
-   `tenet serve` reads JSON-lines requests from stdin (or a Unix socket)
-   and schedules them onto the Tenet_util.Parallel worker pool through
-   its bounded submission queue:
+   Both entry points are driven by one {!Config.t} record ({!run} for
+   the service, {!run_batch} for the batch runner); the config layers
+   TENET_SERVE_* environment overrides over compiled defaults and the
+   CLI layers its flags on top, so every knob has exactly one spelling
+   per layer (docs/serving.md).
 
-   - Backpressure: when the queue is full, the request is answered
-     immediately with an `overloaded` error response instead of
-     buffering without bound; requests already in flight keep running.
-   - Admin traffic: `stats` requests are answered inline by the reader
-     thread, bypassing the queue, so the service can be observed even
-     while saturated.
-   - Responses are written in completion order, one JSON line each,
-     under a write mutex; clients correlate them by `id`.
+   `tenet serve` reads JSON-lines requests from stdin (or a Unix
+   socket).  With [workers = 1] it schedules them onto the
+   Tenet_util.Parallel pool through its bounded submission queue; with
+   [workers > 1] it pre-forks a {!Fleet} of worker processes and
+   dispatches over socketpairs instead.  Either way:
+
+   - Graduated admission ({!Admission}): under queue pressure,
+     low-priority work sheds at the low watermark, normal work at the
+     normal watermark, and everything but stats at the hard queue
+     limit; deadline-expired requests admitted under pressure shed at
+     dispatch.  Every shed is a real [overloaded] response — requests
+     already in flight keep running.
+   - Admin traffic: `stats` requests are answered inline by the reader,
+     bypassing the queue, so the service can be observed even while
+     saturated.
+   - Responses are written in completion order, one JSON line each;
+     clients correlate them by `id`.
+   - With [cache_dir] set, the persistent result cache is loaded before
+     serving (pre-fork, so fleet workers inherit it warm) and merged
+     back on session end.
 
    `batch` is the deterministic offline variant: it reads every request
-   line, evaluates them with the order-preserving Parallel.map (so a
-   batch at any --jobs count produces the byte-identical output of the
-   same requests run one-shot), and prints responses in input order. *)
+   line, evaluates them with the order-preserving Parallel.map — or the
+   round-robin fleet fan-out, which reassembles to the identical order —
+   and prints responses in input order, so a batch at any --jobs or
+   --workers count produces the byte-identical output of the same
+   requests run one-shot. *)
 
 module Obs = Tenet_obs
 module Parallel = Tenet_util.Parallel
-
-let c_overloaded = Obs.counter "serve.overloaded"
+module Config = Config
 
 (* Same cell as the one [Api.stats_payload] reports quantiles for. *)
 let h_queue_wait = Obs.histogram "serve.queue_wait"
-
-let queue_env = "TENET_SERVE_QUEUE"
 
 (* OCaml's default SIGPIPE disposition terminates the whole process, so
    without this a client that disconnects while a response is being
@@ -38,17 +51,24 @@ let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ | Sys_error _ -> ()
 
-let default_queue_limit () =
-  match Sys.getenv_opt queue_env with
-  | None | Some "" -> 64
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | _ ->
-          failwith
-            (Printf.sprintf
-               "bad %s %S: expected a positive integer queue limit" queue_env
-               s))
+let default_queue_limit () = (Config.load ()).Config.queue_limit
+
+(* Load the persistent tier, if configured.  Damaged or missing caches
+   load as empty; only a malformed directory path is a real error. *)
+let load_persistent (cfg : Config.t) : unit =
+  match cfg.Config.cache_dir with
+  | Some dir -> ignore (Api.load_disk_cache ~dir)
+  | None -> ()
+
+(* Merge the in-memory result cache back to disk.  Persistence must
+   never take the service down, so I/O failures are swallowed here (the
+   entries survive in memory; the next save retries). *)
+let save_persistent (cfg : Config.t) : unit =
+  match cfg.Config.cache_dir with
+  | Some dir -> (
+      try ignore (Api.save_disk_cache ~dir)
+      with Sys_error _ | Unix.Unix_error _ | Failure _ -> ())
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Batch.                                                              *)
@@ -62,12 +82,7 @@ let read_lines (ic : in_channel) : string list =
   in
   go []
 
-let batch (ic : in_channel) (oc : out_channel) : unit =
-  ignore_sigpipe ();
-  (* Telemetry is always on for the runners: responses never embed it
-     (stats is pull-only), recording is bounded (span ring buffer), and
-     a batch/serve process without it cannot be observed at all. *)
-  if not (Obs.enabled ()) then Obs.enable ();
+let batch_single (ic : in_channel) (oc : out_channel) : unit =
   let lines =
     List.filter (fun l -> not (Protocol.is_comment l)) (read_lines ic)
   in
@@ -79,14 +94,39 @@ let batch (ic : in_channel) (oc : out_channel) : unit =
     responses;
   flush oc
 
+let run_batch (cfg : Config.t) (ic : in_channel) (oc : out_channel) : unit =
+  Config.validate cfg;
+  ignore_sigpipe ();
+  (* Telemetry is always on for the runners: responses never embed it
+     (stats is pull-only), recording is bounded (span ring buffer), and
+     a batch/serve process without it cannot be observed at all. *)
+  if not (Obs.enabled ()) then Obs.enable ();
+  load_persistent cfg;
+  if cfg.Config.workers > 1 then
+    (* forks: must come before any domain spawn, hence before any
+       single-process Parallel.map in this process *)
+    Fleet.batch cfg ic oc
+  else begin
+    batch_single ic oc;
+    save_persistent cfg
+  end
+
+let batch (ic : in_channel) (oc : out_channel) : unit =
+  (* legacy entry point: fixed defaults, in-process, no persistence *)
+  run_batch Config.default ic oc
+
 (* ------------------------------------------------------------------ *)
 (* Serve.                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let serve_channels ?(queue_limit = default_queue_limit ()) (ic : in_channel)
-    (oc : out_channel) : unit =
-  ignore_sigpipe ();
-  if not (Obs.enabled ()) then Obs.enable ();
+(* The in-process session (workers = 1): requests go straight onto the
+   domain pool's bounded queue; admission reads the pool's waiting
+   count as its depth. *)
+let serve_session (cfg : Config.t) (ic : in_channel) (oc : out_channel) :
+    unit =
+  let queue_limit = cfg.Config.queue_limit in
+  let shed_low = Config.shed_low_watermark cfg in
+  let shed_normal = Config.shed_normal_watermark cfg in
   Parallel.set_queue_limit queue_limit;
   let write_mutex = Mutex.create () in
   let respond resp =
@@ -124,68 +164,148 @@ let serve_channels ?(queue_limit = default_queue_limit ()) (ic : in_channel)
     Mutex.unlock inflight_mutex
   in
   Api.set_extra_gauges (fun () -> [ ("inflight", !inflight) ]);
+  let shed reason ~id ~waited_ms =
+    Admission.note reason;
+    respond
+      (Api.Response.error ~id Api.Response.Overloaded
+         (Admission.message ~queue_limit ~shed_low ~shed_normal ~waited_ms
+            reason))
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> drain ()
     | line when Protocol.is_comment line -> loop ()
     | line ->
-        (match Protocol.parse_line line with
+        (match Protocol.parse_request line with
         | Error resp -> respond resp
-        | Ok j when Protocol.is_stats j ->
+        | Ok req when req.Api.Request.cmd = Api.Request.Stats ->
             (* answered inline: observable even while saturated *)
-            respond (Api.run_json j)
-        | Ok j ->
-            incr_inflight ();
-            let submitted = Obs.now () in
-            let task () =
-              (* Queue wait: submission to start of execution.  Stashed
-                 for the access log before the request runs on this
-                 domain. *)
-              let wait_s = Obs.now () -. submitted in
-              Obs.observe_h h_queue_wait wait_s;
-              Access_log.stash_queue_wait_ms (1e3 *. wait_s);
-              Fun.protect ~finally:decr_inflight (fun () ->
-                  respond (Api.run_json j))
-            in
-            if not (Parallel.try_submit task) then begin
-              decr_inflight ();
-              Obs.incr c_overloaded;
-              respond
-                (Api.Response.error ~id:(Protocol.request_id j)
-                   Api.Response.Overloaded
-                   (Printf.sprintf
-                      "work queue is full (limit %d); retry later or raise \
-                       %s"
-                      queue_limit queue_env))
-            end);
+            respond (Api.run req)
+        | Ok req -> (
+            let depth = Parallel.waiting () in
+            match
+              Admission.decide ~queue_limit ~shed_low ~shed_normal ~depth
+                ~priority:req.Api.Request.priority
+            with
+            | Admission.Shed reason ->
+                shed reason ~id:req.Api.Request.id ~waited_ms:0.
+            | Admission.Admit ->
+                incr_inflight ();
+                let submitted = Obs.now () in
+                (* pressure is judged at admission: a request that got
+                   in under a calm queue keeps its deadline semantics
+                   (TN013 partial response), one admitted under
+                   pressure may shed at dispatch instead *)
+                let pressure = depth >= shed_low in
+                let task () =
+                  (* Queue wait: submission to start of execution.
+                     Stashed for the access log before the request runs
+                     on this domain. *)
+                  let wait_s = Obs.now () -. submitted in
+                  Obs.observe_h h_queue_wait wait_s;
+                  Access_log.stash_queue_wait_ms (1e3 *. wait_s);
+                  Fun.protect ~finally:decr_inflight (fun () ->
+                      let waited_ms = 1e3 *. wait_s in
+                      if
+                        pressure
+                        && Admission.expired_in_queue
+                             ~deadline_ms:req.Api.Request.deadline_ms
+                             ~waited_ms
+                      then
+                        shed Admission.Expired ~id:req.Api.Request.id
+                          ~waited_ms
+                      else respond (Api.run req))
+                in
+                if not (Parallel.try_submit task) then begin
+                  (* raced with other submitters between the depth read
+                     and the submit: the hard limit still holds *)
+                  decr_inflight ();
+                  shed Admission.Hard_limit ~id:req.Api.Request.id
+                    ~waited_ms:0.
+                end));
         loop ()
   in
   loop ()
 
-let serve_socket ?queue_limit ~path () : unit =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-    (fun () ->
-      (* one connection at a time: each client gets the full JSON-lines
-         session; the next accept begins when it disconnects *)
-      let rec accept_loop () =
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        (try serve_channels ?queue_limit ic oc
-         with End_of_file | Sys_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        accept_loop ()
+let run (cfg : Config.t) : unit =
+  Config.validate cfg;
+  ignore_sigpipe ();
+  if not (Obs.enabled ()) then Obs.enable ();
+  (match cfg.Config.access_log with
+  | Some path when cfg.Config.workers = 1 ->
+      (* fleet workers configure their own per-process sinks *)
+      Access_log.configure ~sample:cfg.Config.access_log_sample path
+  | Some _ | None -> ());
+  load_persistent cfg;
+  match cfg.Config.socket with
+  | None ->
+      if cfg.Config.workers > 1 then Fleet.serve cfg stdin stdout
+      else begin
+        serve_session cfg stdin stdout;
+        save_persistent cfg
+      end
+  | Some path ->
+      (* The fleet outlives connections: fork once, before the first
+         accept, and reuse the workers across sessions. *)
+      let fleet =
+        if cfg.Config.workers > 1 then Some (Fleet.create cfg) else None
       in
-      accept_loop ())
+      let session ic oc =
+        match fleet with
+        | Some t -> Fleet.session t ic oc
+        | None ->
+            serve_session cfg ic oc;
+            save_persistent cfg
+      in
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+          match fleet with Some t -> Fleet.shutdown t | None -> ())
+        (fun () ->
+          (* one connection at a time: each client gets the full
+             JSON-lines session; the next accept begins when it
+             disconnects *)
+          let rec accept_loop () =
+            let fd, _ = Unix.accept sock in
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            (try session ic oc with End_of_file | Sys_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            accept_loop ()
+          in
+          accept_loop ())
+
+(* ------------------------------------------------------------------ *)
+(* Legacy entry points: thin wrappers over the config record.  They    *)
+(* pin [workers = 1] (they predate the fleet and may be called after   *)
+(* domains were spawned, when forking is impossible) and leave the     *)
+(* persistent tier off unless TENET_SERVE_CACHE_DIR asks for it.       *)
+(* ------------------------------------------------------------------ *)
+
+let wrapper_config ?queue_limit () : Config.t =
+  let base = Config.load () in
+  let base =
+    match queue_limit with
+    | Some q -> { base with Config.queue_limit = q }
+    | None -> base
+  in
+  { base with Config.workers = 1; socket = None; cache_dir = None }
+
+let serve_channels ?queue_limit (ic : in_channel) (oc : out_channel) : unit =
+  let cfg = wrapper_config ?queue_limit () in
+  ignore_sigpipe ();
+  if not (Obs.enabled ()) then Obs.enable ();
+  serve_session cfg ic oc
+
+let serve_socket ?queue_limit ~path () : unit =
+  let cfg = wrapper_config ?queue_limit () in
+  run { cfg with Config.socket = Some path }
 
 let serve ?queue_limit ?socket () : unit =
-  match socket with
-  | Some path -> serve_socket ?queue_limit ~path ()
-  | None -> serve_channels ?queue_limit stdin stdout
+  let cfg = wrapper_config ?queue_limit () in
+  run { cfg with Config.socket = socket }

@@ -1,29 +1,63 @@
 (** The persistent analysis service ([tenet serve]) and the offline
-    batch runner ([tenet batch]).  See docs/serving.md for the protocol
-    and the deadline/overload semantics. *)
+    batch runner ([tenet batch]).  See docs/serving.md for the
+    protocol, the admission watermarks and the deadline/overload
+    semantics.
+
+    Both entry points take one {!Config.t} record; {!Config.load}
+    layers the TENET_SERVE_* environment over the defaults and the CLI
+    layers its flags on top.  The pre-config entry points at the bottom
+    survive as thin wrappers. *)
+
+module Config = Config
+
+val run : Config.t -> unit
+(** Run the service described by the config: over stdin/stdout, or
+    listening on [socket]; in-process on the domain pool
+    ([workers = 1]), or across a pre-forked {!Fleet} ([workers > 1] —
+    forking happens before any domain spawn, so call this before any
+    parallel work runs in this process).  Requests pass graduated
+    admission ({!Admission}): low-priority sheds first at the low
+    watermark, normal at the normal watermark, everything but [stats]
+    at the hard queue limit, and deadline-expired-in-queue work sheds
+    at dispatch under pressure.  [stats] is answered inline.  With
+    [cache_dir] set, the persistent result cache is loaded first
+    (pre-fork: workers inherit it warm) and merged back to disk when a
+    session ends.  Raises [Failure] on an invalid config
+    ({!Config.validate}). *)
+
+val run_batch : Config.t -> in_channel -> out_channel -> unit
+(** Evaluate every JSON-lines request (blank and ['#'] lines skipped)
+    and print responses in input order.  Deterministic: the output is
+    byte-identical at any job count, at any worker count (the fleet's
+    round-robin fan-out reassembles to input order), and to the same
+    requests run one-shot.  No admission control — batch is offline.
+    With [cache_dir] set, loads the persistent cache first and merges
+    it back after (each fleet worker merges its own slice). *)
+
+(** {2 Legacy entry points}
+
+    Thin wrappers over {!run} / {!run_batch} from before the config
+    record.  They pin [workers = 1] — they predate the fleet and may be
+    called after domains were spawned, when forking is impossible — and
+    never touch the persistent tier. *)
 
 val default_queue_limit : unit -> int
 (** The bound on waiting requests: [TENET_SERVE_QUEUE], default 64.
-    Raises [Failure] on a malformed value. *)
+    Raises [Failure] on a malformed value.  (Now just
+    [(Config.load ()).queue_limit].) *)
 
 val batch : in_channel -> out_channel -> unit
-(** Evaluate every JSON-lines request (blank and ['#'] lines skipped)
-    with the order-preserving parallel map and print responses in input
-    order.  Deterministic: the output is byte-identical at any job count
-    and to the same requests run one-shot. *)
+(** [run_batch Config.default]: in-process, no persistence. *)
 
 val serve_channels : ?queue_limit:int -> in_channel -> out_channel -> unit
-(** The service loop on explicit channels: schedule each request onto
-    the worker pool ([overloaded] response when the bounded queue is
-    full), answer [stats] inline, write responses in completion order
-    (correlate by [id]), and drain in-flight work at EOF.  SIGPIPE is
-    ignored on entry (as in {!batch}), so a client disconnecting
-    mid-response surfaces as a catchable I/O error rather than
-    terminating the process. *)
+(** One in-process serving session on explicit channels; queue limit
+    from the argument, else the environment.  SIGPIPE is ignored on
+    entry, so a client disconnecting mid-response surfaces as a
+    catchable I/O error rather than terminating the process. *)
 
 val serve_socket : ?queue_limit:int -> path:string -> unit -> unit
-(** Listen on a Unix socket, serving one JSON-lines connection at a
-    time.  Removes [path] on exit. *)
+(** Listen on a Unix socket, serving one in-process JSON-lines
+    connection at a time.  Removes [path] on exit. *)
 
 val serve : ?queue_limit:int -> ?socket:string -> unit -> unit
 (** [serve ()] runs over stdin/stdout; with [~socket] it listens there

@@ -241,6 +241,7 @@ let init ?chunk (n : int) (f : int -> 'b) : 'b array =
    new submissions are refused. *)
 let queue_limit = ref max_int
 let n_waiting = ref 0 (* guarded by pool_mutex *)
+let n_running = ref 0 (* guarded by pool_mutex; submitted tasks only *)
 
 let set_queue_limit n =
   if n < 1 then invalid_arg "Parallel.set_queue_limit: limit must be >= 1";
@@ -249,6 +250,12 @@ let set_queue_limit n =
 let waiting () =
   Mutex.lock pool_mutex;
   let n = !n_waiting in
+  Mutex.unlock pool_mutex;
+  n
+
+let running () =
+  Mutex.lock pool_mutex;
+  let n = !n_running in
   Mutex.unlock pool_mutex;
   n
 
@@ -275,8 +282,14 @@ let try_submit (f : unit -> unit) : bool =
       (fun () ->
         Mutex.lock pool_mutex;
         decr n_waiting;
+        incr n_running;
         Mutex.unlock pool_mutex;
-        f ())
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock pool_mutex;
+            decr n_running;
+            Mutex.unlock pool_mutex)
+          f)
       queue;
     Condition.signal pool_cv;
     Mutex.unlock pool_mutex;

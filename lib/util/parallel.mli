@@ -82,6 +82,10 @@ val try_submit : (unit -> unit) -> bool
 val waiting : unit -> int
 (** Submitted tasks not yet started (the queue-depth gauge). *)
 
+val running : unit -> int
+(** Submitted tasks currently executing on pool workers ([map] chunks
+    are not counted).  The serving tier's "running" gauge. *)
+
 val spawned_workers : unit -> int
 (** How many worker domains the pool has spawned so far (they live for
     the rest of the process).  Tests use this to block every worker

@@ -42,6 +42,15 @@ TENET_SERVE_CACHE_MB=64 dune exec -- tenet batch \
   | diff - test/golden/serve_responses.golden.jsonl \
   || { echo "serve golden mismatch"; exit 1; }
 
+echo "== serve golden across the worker fleet (tenet batch --workers 3) =="
+# The same transcript fanned out over pre-forked worker processes:
+# round-robin dispatch plus index-ordered reassembly must reproduce the
+# committed bytes exactly.
+TENET_SERVE_CACHE_MB=64 dune exec -- tenet batch \
+    test/golden/serve_requests.jsonl --workers 3 \
+  | diff - test/golden/serve_responses.golden.jsonl \
+  || { echo "fleet golden mismatch"; exit 1; }
+
 echo "== serve observability (live scrape, prometheus lint) =="
 # A live `tenet serve` session over the golden batch, with the access
 # log on: scrape stats before and after the batch, assert the request
@@ -156,6 +165,75 @@ grep -q '"queue_wait_ms"' "$obs_dir/access.jsonl" \
   || { echo "access log has no queue_wait_ms field"; exit 1; }
 echo "access log OK ($(wc -l <"$obs_dir/access.jsonl") lines)"
 
+echo "== persistent cache: cold restart replays the golden batch =="
+# First run populates the on-disk tier; a fresh process with cold memory
+# must replay the batch byte-identically from it, mostly as cache hits.
+cache_dir="$tmp_root/cache"
+TENET_SERVE_CACHE_MB=64 dune exec -- tenet batch \
+    test/golden/serve_requests.jsonl --jobs 4 --cache-dir "$cache_dir" \
+  | diff - test/golden/serve_responses.golden.jsonl \
+  || { echo "cache-dir warm-up run mismatched"; exit 1; }
+[ -s "$cache_dir/results-v1.jsonl" ] \
+  || { echo "no persistent cache written"; exit 1; }
+TENET_SERVE_CACHE_MB=64 dune exec -- tenet batch \
+    test/golden/serve_requests.jsonl --jobs 4 --cache-dir "$cache_dir" \
+    --stats "$tmp_root/warm_stats.json" \
+  | diff - test/golden/serve_responses.golden.jsonl \
+  || { echo "cold restart with warm disk cache mismatched"; exit 1; }
+hits=$(sed -n 's/.*"serve\.cache_hits": *\([0-9][0-9]*\).*/\1/p' \
+  "$tmp_root/warm_stats.json")
+[ -n "$hits" ] && [ "$hits" -ge 40 ] \
+  || { echo "warm restart served only '${hits:-0}' cache hits (want >= 40)"
+       exit 1; }
+echo "cold restart byte-identical ($hits cache hits from \
+$(($(wc -l <"$cache_dir/results-v1.jsonl") - 1)) persisted entries)"
+
+echo "== admission control smoke (graduated shedding under overload) =="
+# A burst far past the queue bound, mixed low/normal priority, against a
+# single-domain pool with a tiny queue: some requests must shed, and the
+# shed-tier counters must agree exactly with the overloaded responses
+# the client saw (every shed is a response, every overload is counted).
+shed_dir="$tmp_root/shed"
+mkdir -p "$shed_dir"
+mkfifo "$shed_dir/in"
+TENET_JOBS=1 dune exec -- tenet serve --queue 2 --shed-low 1 \
+  <"$shed_dir/in" >"$shed_dir/out" &
+shed_pid=$!
+exec 8>"$shed_dir/in"
+i=0
+while [ "$i" -lt 24 ]; do
+  if [ $((i % 2)) -eq 0 ]; then prio=low; else prio=normal; fi
+  printf '{"cmd":"analyze","id":"ov%d","sizes":[%d,24,24],"priority":"%s"}\n' \
+    "$i" $((24 + i)) "$prio"
+  i=$((i + 1))
+done >&8
+tries=0
+while [ "$(wc -l <"$shed_dir/out")" -lt 24 ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 600 ]; then
+    echo "overload burst stalled"
+    kill "$shed_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+printf '{"cmd":"stats","id":"shed-scrape"}\n' >&8
+exec 8>&-
+wait "$shed_pid"
+tiers=$(grep '"id":"shed-scrape"' "$shed_dir/out" | sed -n \
+  's/.*"shed":{"hard":\([0-9]*\),"normal":\([0-9]*\),"low":\([0-9]*\),"expired":\([0-9]*\)}.*/\1 \2 \3 \4/p')
+[ -n "$tiers" ] || { echo "stats has no shed section"; exit 1; }
+set -- $tiers
+shed_total=$(($1 + $2 + $3 + $4))
+overloaded=$(grep -v shed-scrape "$shed_dir/out" \
+  | grep -c '"kind":"overloaded"' || true)
+[ "$shed_total" -ge 1 ] || { echo "overload burst shed nothing"; exit 1; }
+[ "$overloaded" -eq "$shed_total" ] \
+  || { echo "shed counters ($shed_total) disagree with overloaded \
+responses ($overloaded)"; exit 1; }
+echo "graduated shedding consistent: $overloaded overloaded responses \
+(hard $1, normal $2, low $3, expired $4)"
+
 echo "== counting sanitizer shard (TENET_COUNT_VERIFY=1) =="
 # One oracle-test shard re-runs with every symbolic count cross-checked
 # against enumeration; any disagreement raises Count.Verify_mismatch.
@@ -170,11 +248,15 @@ TENET_CHECK_VERIFY=1 dune exec test/test_check_verify.exe >/dev/null
 echo "== release build =="
 dune build --profile release
 
-echo "== bench smoke (fig6+fig8+dse+serve+table3, release, vs BENCH_seed.json) =="
+echo "== bench smoke (serve_mp+fig6+fig8+dse+serve+table3, release, vs BENCH_seed.json) =="
 bench_dir="$tmp_root/bench"
 mkdir -p "$bench_dir"
+# serve_mp must come first on the command line: it forks server
+# processes, and the OCaml runtime cannot fork once any later section
+# has spawned pool domains.
 TENET_BENCH_TIMINGS="$bench_dir" \
-  dune exec --profile release bench/main.exe -- fig6 fig8 dse serve table3 \
+  dune exec --profile release bench/main.exe -- \
+    serve_mp fig6 fig8 dse serve table3 \
   >/dev/null
 # Points-only: the enumerated-point counters are deterministic, so this
 # cannot flake on a loaded runner the way wall-clock comparison would.
@@ -266,5 +348,33 @@ awk -F': *' '/"serve_speedup"/ { s = $2 + 0 }
   END { if (s >= 3) { printf "serve speedup %.1fx (>= 3x)\n", s; exit 0 }
         printf "serve speedup %.1fx is below the 3x floor\n", s; exit 1 }' \
   "$bench_dir/summary.json"
+
+echo "== scale-out serving throughput (serve_mp load generator) =="
+# The serve_mp section drove the real socket server with a synthetic
+# load generator, single-process then pre-forked fleet.  The extras
+# must be present and sane everywhere; the >= 2x multi-worker speedup
+# is gated only on machines with >= 4 cores (a fleet cannot beat one
+# process on a single-core container).
+awk -F': *' '
+  /"serve_mp_cores"/ { cores = $2 + 0; seen++ }
+  /"serve_mp_workers"/ { workers = $2 + 0; seen++ }
+  /"serve_mp_throughput_rps"/ { rps = $2 + 0; seen++ }
+  /"serve_mp_p99_ms"/ { p99 = $2 + 0; seen++ }
+  /"serve_mp_speedup"/ { sp = $2 + 0; seen++ }
+  END {
+    if (seen < 5) { print "serve_mp extras missing from summary"; exit 1 }
+    if (rps <= 0 || p99 <= 0) {
+      printf "serve_mp degenerate: %.0f req/s, p99 %.3f ms\n", rps, p99
+      exit 1
+    }
+    if (cores >= 4 && sp < 2) {
+      printf "serve_mp speedup %.2fx with %d workers on %d cores \
+(want >= 2x)\n", sp, workers, cores
+      exit 1
+    }
+    printf "serve_mp: %.0f req/s, p99 %.1f ms, %.2fx with %d workers \
+on %d cores%s\n", rps, p99, sp, workers, cores, \
+      (cores >= 4 ? "" : " (speedup gate skipped: < 4 cores)")
+  }' "$bench_dir/summary.json"
 
 echo "CI OK"

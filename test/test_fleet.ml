@@ -1,0 +1,158 @@
+(* Tests for the pre-fork worker fleet (Tenet.Serve.Fleet).
+
+   These live in their own executable because the fleet must fork its
+   workers before any domain is spawned — the OCaml 5 runtime refuses
+   Unix.fork once other domains exist.  Everything here is therefore
+   ordered: every fork (fleet creation, the crash-safety writer
+   children) happens first, and the in-parent baseline evaluation —
+   which may touch the domain pool — runs last, inside the same single
+   test case. *)
+
+module Api = Tenet.Serve.Api
+module Protocol = Tenet.Serve.Protocol
+module Config = Tenet.Serve.Config
+module Fleet = Tenet.Serve.Fleet
+module Disk_cache = Tenet.Serve.Disk_cache
+module Json = Tenet.Obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let found = ref false in
+  for i = 0 to nh - nn do
+    if String.sub hay i nn = needle then found := true
+  done;
+  !found
+
+let analyze_line ~id sizes =
+  Json.to_string
+    (Api.Request.to_json
+       { (Api.Request.default Api.Request.Analyze) with Api.Request.id; sizes })
+
+(* A mix of sizes so responses differ, with repeats so worker caches see
+   hits — neither may perturb the output bytes. *)
+let requests =
+  List.init 9 (fun i ->
+      analyze_line
+        ~id:(Printf.sprintf "r%d" i)
+        [ 8 + (i mod 3); 8; 8 ])
+
+let temp_dir () =
+  let path = Filename.temp_file "tenet-fleet" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run a channel-shaped entry point over temp files: loss-free plumbing
+   with no pipe-buffer deadlock risk. *)
+let via_files (f : in_channel -> out_channel -> unit) (input : string) :
+    string =
+  let in_path = Filename.temp_file "tenet-fleet" ".in" in
+  let out_path = Filename.temp_file "tenet-fleet" ".out" in
+  let oc0 = open_out_bin in_path in
+  output_string oc0 input;
+  close_out oc0;
+  let ic = open_in_bin in_path in
+  let oc = open_out_bin out_path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in_noerr ic;
+      close_out_noerr oc)
+    (fun () -> f ic oc);
+  let out = read_file out_path in
+  Sys.remove in_path;
+  Sys.remove out_path;
+  out
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+(* Kill a cache writer mid-write, repeatedly, and assert the reader
+   always sees a complete, consistent file: either alternating set in
+   full, never a torn hybrid (the atomic tmp+rename contract). *)
+let crash_safety_rounds () =
+  let dir = temp_dir () in
+  let entry body i =
+    { Disk_cache.key = Printf.sprintf "k%02d" i; body }
+  in
+  let set_a = List.init 20 (entry "A") in
+  let set_b = List.init 20 (entry "B") in
+  for _round = 1 to 8 do
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (try
+           while true do
+             Disk_cache.save ~dir set_a;
+             Disk_cache.save ~dir set_b
+           done
+         with _ -> ());
+        exit 0
+    | pid -> (
+        Unix.sleepf 0.02;
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        match Disk_cache.load ~dir with
+        | [] -> () (* killed before the first rename landed *)
+        | es ->
+            check_int "complete set" 20 (List.length es);
+            let bodies =
+              List.sort_uniq compare
+                (List.map (fun e -> e.Disk_cache.body) es)
+            in
+            check_bool "no torn hybrid" true
+              (bodies = [ "A" ] || bodies = [ "B" ]))
+  done
+
+let test_fleet () =
+  let input = String.concat "\n" requests ^ "\n" in
+  (* 1: batch across 3 workers (forks) *)
+  let cfg3 = { Config.default with Config.workers = 3 } in
+  let batch_out = via_files (Fleet.batch cfg3) input in
+  (* 2: a serve session across 2 workers, with an inline stats probe
+     (forks) *)
+  let serve_input =
+    String.concat "\n" (requests @ [ {|{"cmd":"stats","id":"s!"}|} ]) ^ "\n"
+  in
+  let cfg2 = { Config.default with Config.workers = 2 } in
+  let serve_out = via_files (Fleet.serve cfg2) serve_input in
+  (* 3: crash-safety writer kills (forks) *)
+  crash_safety_rounds ();
+  (* 4: the in-parent baseline, after every fork: the exact bytes the
+     single-process batch runner prints for the same lines *)
+  let baseline =
+    List.map
+      (fun l -> Protocol.response_line (Protocol.handle_line l))
+      requests
+  in
+  check_string "fleet batch byte-identical to one-shot"
+    (String.concat "\n" baseline ^ "\n")
+    batch_out;
+  (* the session answers in completion order: same response multiset,
+     plus the stats line *)
+  let serve_lines = lines serve_out in
+  check_int "every request answered" (List.length requests + 1)
+    (List.length serve_lines);
+  let stats_lines, response_lines =
+    List.partition (fun l -> contains l {|"id":"s!"|}) serve_lines
+  in
+  check_int "stats answered inline" 1 (List.length stats_lines);
+  check_bool "stats is a stats payload" true
+    (contains (List.hd stats_lines) {|"kind":"stats"|});
+  check_bool "session responses match one-shot bytes" true
+    (List.sort compare response_lines = List.sort compare baseline)
+
+let () =
+  Alcotest.run "fleet"
+    [ ( "fleet",
+        [ Alcotest.test_case "batch + session + crash safety" `Quick test_fleet ]
+      ) ]

@@ -12,6 +12,9 @@ module Api = Tenet.Serve.Api
 module Protocol = Tenet.Serve.Protocol
 module Cache = Tenet.Serve.Cache
 module Server = Tenet.Serve.Server
+module Config = Tenet.Serve.Config
+module Admission = Tenet.Serve.Admission
+module Disk_cache = Tenet.Serve.Disk_cache
 module Parallel = Tenet.Util.Parallel
 module Json = Tenet.Obs.Json
 module An = Tenet.Analysis
@@ -125,7 +128,155 @@ let test_fingerprint_ignores_inert_fields () =
     (Api.Request.fingerprint b);
   let c = small_analyze ~id:"a" ~sizes:[ 9; 8; 8 ] () in
   check_bool "sizes change it" true
-    (Api.Request.fingerprint a <> Api.Request.fingerprint c)
+    (Api.Request.fingerprint a <> Api.Request.fingerprint c);
+  (* priority steers admission, never the result: same cache key *)
+  let hi = { a with Api.Request.priority = `High } in
+  check_string "priority blanked" (Api.Request.fingerprint a)
+    (Api.Request.fingerprint hi)
+
+let test_request_priority_codec () =
+  (* encoded on the wire... *)
+  check_bool "encoded" true
+    (contains
+       (Json.to_string
+          (Api.Request.to_json
+             { (small_analyze ()) with Api.Request.priority = `Low }))
+       "\"priority\":\"low\"");
+  (* ...decoded from it... *)
+  (match
+     Api.Request.of_json
+       (Json.Obj
+          [ ("cmd", Json.String "analyze"); ("priority", Json.String "high") ])
+   with
+  | Ok r -> check_bool "decoded high" true (r.Api.Request.priority = `High)
+  | Error e -> Alcotest.fail (Api.Request.decode_error_message e));
+  (* ...absent means normal... *)
+  (match Api.Request.of_json (Json.Obj [ ("cmd", Json.String "analyze") ]) with
+  | Ok r -> check_bool "default normal" true (r.Api.Request.priority = `Normal)
+  | Error e -> Alcotest.fail (Api.Request.decode_error_message e));
+  (* ...and unknown tiers are refused, naming the candidates *)
+  match
+    Api.Request.of_json
+      (Json.Obj
+         [ ("cmd", Json.String "analyze"); ("priority", Json.String "urgent") ])
+  with
+  | Ok _ -> Alcotest.fail "unknown priority accepted"
+  | Error e ->
+      let msg = Api.Request.decode_error_message e in
+      check_bool "names the field" true (contains msg "priority")
+
+(* --- config --- *)
+
+let with_env (pairs : (string * string) list) (f : unit -> 'a) : 'a =
+  let olds = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv "" reads back as absent through the None | Some ""
+         cases in Config — the closest OCaml gets to unsetenv *)
+      List.iter
+        (fun (k, old) -> Unix.putenv k (Option.value old ~default:""))
+        olds)
+    f
+
+let test_config_load () =
+  check_int "default queue" 64 Config.default.Config.queue_limit;
+  check_int "default workers" 1 Config.default.Config.workers;
+  check_bool "no persistence by default" true
+    (Config.default.Config.cache_dir = None);
+  with_env
+    [
+      (Config.queue_env, "8");
+      (Config.workers_env, "3");
+      (Config.worker_jobs_env, "2");
+      (Config.cache_dir_env, "/tmp/tenet-cache-test");
+      (Config.shed_low_env, "2");
+      (Config.shed_normal_env, "5");
+    ]
+    (fun () ->
+      let c = Config.load () in
+      check_int "env queue" 8 c.Config.queue_limit;
+      check_int "env workers" 3 c.Config.workers;
+      check_int "env worker jobs" 2 c.Config.worker_jobs;
+      check_bool "env cache dir" true
+        (c.Config.cache_dir = Some "/tmp/tenet-cache-test");
+      check_bool "env shed low" true (c.Config.shed_low = Some 2);
+      check_bool "env shed normal" true (c.Config.shed_normal = Some 5));
+  with_env
+    [ (Config.queue_env, "zap") ]
+    (fun () ->
+      match Config.load () with
+      | _ -> Alcotest.fail "malformed queue env accepted"
+      | exception Failure msg ->
+          check_bool "names the variable" true
+            (contains msg Config.queue_env))
+
+let test_config_watermarks () =
+  let d = Config.default in
+  check_int "low defaults to queue/2" 32 (Config.shed_low_watermark d);
+  check_int "normal defaults to the hard limit" 64
+    (Config.shed_normal_watermark d);
+  (* clamped into [1, queue] and ordered low <= normal whatever the raw
+     configuration says *)
+  let wild =
+    { d with Config.queue_limit = 10; shed_low = Some 50; shed_normal = Some 3 }
+  in
+  check_int "low clamped to queue" 10 (Config.shed_low_watermark wild);
+  check_int "normal >= low" 10 (Config.shed_normal_watermark wild);
+  let tiny = { d with Config.queue_limit = 1 } in
+  check_int "low floor is 1" 1 (Config.shed_low_watermark tiny);
+  (match Config.validate { d with Config.queue_limit = 0 } with
+  | () -> Alcotest.fail "queue_limit 0 validated"
+  | exception Failure _ -> ());
+  match Config.validate { d with Config.workers = 0 } with
+  | () -> Alcotest.fail "workers 0 validated"
+  | exception Failure _ -> ()
+
+(* --- admission --- *)
+
+let test_admission_decide () =
+  let decide = Admission.decide ~queue_limit:10 ~shed_low:4 ~shed_normal:8 in
+  check_bool "calm queue admits low" true
+    (decide ~depth:0 ~priority:`Low = Admission.Admit);
+  check_bool "low sheds at its watermark" true
+    (decide ~depth:4 ~priority:`Low
+    = Admission.Shed Admission.Low_priority);
+  check_bool "normal rides past the low watermark" true
+    (decide ~depth:4 ~priority:`Normal = Admission.Admit);
+  check_bool "normal sheds at its watermark" true
+    (decide ~depth:8 ~priority:`Normal
+    = Admission.Shed Admission.Normal_priority);
+  check_bool "high rides past every watermark" true
+    (decide ~depth:9 ~priority:`High = Admission.Admit);
+  check_bool "hard limit sheds high too" true
+    (decide ~depth:10 ~priority:`High
+    = Admission.Shed Admission.Hard_limit);
+  check_bool "hard limit outranks the tiers" true
+    (decide ~depth:10 ~priority:`Low
+    = Admission.Shed Admission.Hard_limit);
+  (* the hard-limit message keeps the legacy bytes *)
+  check_string "legacy overload message"
+    "work queue is full (limit 10); retry later or raise TENET_SERVE_QUEUE"
+    (Admission.message ~queue_limit:10 ~shed_low:4 ~shed_normal:8
+       ~waited_ms:0. Admission.Hard_limit);
+  (* expiry-in-queue needs a positive deadline actually exceeded *)
+  check_bool "no deadline, no expiry" false
+    (Admission.expired_in_queue ~deadline_ms:None ~waited_ms:1e6);
+  check_bool "deadline 0 disables" false
+    (Admission.expired_in_queue ~deadline_ms:(Some 0) ~waited_ms:1e6);
+  check_bool "waited past it" true
+    (Admission.expired_in_queue ~deadline_ms:(Some 5) ~waited_ms:6.);
+  check_bool "still within it" false
+    (Admission.expired_in_queue ~deadline_ms:(Some 5) ~waited_ms:4.)
+
+let test_admission_counters () =
+  if not (Tenet.Obs.enabled ()) then Tenet.Obs.enable ();
+  let get k = List.assoc k (Admission.counts ()) in
+  let low0 = get "low" and expired0 = get "expired" in
+  Admission.note Admission.Low_priority;
+  Admission.note Admission.Expired;
+  check_int "low tier counted" (low0 + 1) (get "low");
+  check_int "expired tier counted" (expired0 + 1) (get "expired")
 
 (* --- metrics codec --- *)
 
@@ -252,6 +403,103 @@ let test_errors_not_cached () =
   let resp = Api.run r in
   check_bool "is error" true (Api.Response.is_error resp);
   check_int "nothing stored" 0 (Api.cache_stats ()).Cache.entries
+
+(* --- the persistent tier --- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "tenet-disk-cache" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let replace_all s ~sub ~by =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s and m = String.length sub in
+  let i = ref 0 in
+  while !i <= n - m do
+    if String.sub s !i m = sub then begin
+      Buffer.add_string b by;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_substring b s !i (n - !i);
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_disk_cache_roundtrip () =
+  let dir = temp_dir () in
+  check_bool "missing file loads empty" true (Disk_cache.load ~dir = []);
+  let e k b = { Disk_cache.key = k; body = b } in
+  Disk_cache.save ~dir [ e "b" "2"; e "a" "1" ];
+  check_bool "roundtrip, sorted by key" true
+    (Disk_cache.load ~dir = [ e "a" "1"; e "b" "2" ]);
+  (* merge: union with the on-disk state, newcomers winning *)
+  let n = Disk_cache.merge_save ~dir [ e "b" "2'"; e "c" "3" ] in
+  check_int "merged size" 3 n;
+  check_bool "newcomer wins, old keys survive" true
+    (Disk_cache.load ~dir = [ e "a" "1"; e "b" "2'"; e "c" "3" ]);
+  (* a torn tail (killed writer without the atomic rename) loads as the
+     undamaged prefix *)
+  let path = Filename.concat dir "results-v1.jsonl" in
+  write_file path (read_file path ^ "{\"key\":\"d\",\"bo");
+  check_bool "torn tail dropped" true
+    (Disk_cache.load ~dir = [ e "a" "1"; e "b" "2'"; e "c" "3" ]);
+  (* a foreign version header loads as empty, not an error *)
+  write_file path "{\"tenet_disk_cache\":99}\n{\"key\":\"a\",\"body\":\"1\"}\n";
+  check_bool "foreign version ignored" true (Disk_cache.load ~dir = [])
+
+(* Cold restart with a warm disk cache: save, wipe memory, load, and the
+   replayed response is byte-identical to the original run (the
+   acceptance gate behind `tenet serve --cache-dir`). *)
+let test_warm_restart_byte_identical () =
+  Api.clear_cache ();
+  let dir = temp_dir () in
+  let r = small_analyze ~id:"persist" ~sizes:[ 13; 13; 13 ] () in
+  let line1 = Protocol.response_line (Api.run r) in
+  let saved = Api.save_disk_cache ~dir in
+  check_bool "saved the entry" true (saved >= 1);
+  Api.clear_cache ();
+  check_int "memory is cold" 0 (Api.cache_stats ()).Cache.entries;
+  let loaded = Api.load_disk_cache ~dir in
+  check_int "loaded what was saved" saved loaded;
+  let tiers = Api.cache_tiers () in
+  check_int "stats report the load" loaded tiers.Api.disk_entries_loaded;
+  check_bool "stats report the dir" true
+    (tiers.Api.tiers_disk_dir = Some dir);
+  let hits0 = (Api.cache_stats ()).Cache.hits in
+  let line2 = Protocol.response_line (Api.run r) in
+  check_string "byte-identical across restart" line1 line2;
+  check_int "served from cache" (hits0 + 1) (Api.cache_stats ()).Cache.hits
+
+(* Tampered or damaged entries are rejected at load, never replayed. *)
+let test_disk_cache_tamper_rejected () =
+  Api.clear_cache ();
+  let dir = temp_dir () in
+  ignore (Api.run (small_analyze ~id:"t" ~sizes:[ 14; 14; 14 ] ()));
+  let saved = Api.save_disk_cache ~dir in
+  check_bool "saved" true (saved >= 1);
+  let path = Filename.concat dir "results-v1.jsonl" in
+  (* flip every ok status inside the stored bodies: still valid JSON
+     lines, no longer valid cache entries *)
+  write_file path
+    (replace_all (read_file path) ~sub:{|\"status\":\"ok\"|}
+       ~by:{|\"status\":\"er\"|});
+  Api.clear_cache ();
+  check_int "tampered entries rejected" 0 (Api.load_disk_cache ~dir)
 
 (* --- deadlines --- *)
 
@@ -559,9 +807,21 @@ let test_stats_request () =
   let resp = Api.run (Api.Request.default Api.Request.Stats) in
   match resp.Api.Response.body.Api.Response.payload with
   | Some (Api.Response.Stats j) ->
-      check_bool "cache gauge" true (Json.member "cache" j <> None);
-      check_bool "pool gauge" true (Json.member "pool" j <> None);
-      check_bool "queue section" true (Json.member "queue" j <> None)
+      (* one structured section for every cache tier *)
+      (match Json.member "caches" j with
+      | Some c ->
+          check_bool "result tier" true (Json.member "result" c <> None);
+          check_bool "template tier" true (Json.member "template" c <> None);
+          check_bool "disk tier" true (Json.member "disk" c <> None)
+      | None -> Alcotest.fail "caches section missing");
+      (match Json.member "pool" j with
+      | Some p ->
+          check_bool "running gauge" true (Json.member "running" p <> None)
+      | None -> Alcotest.fail "pool section missing");
+      (match Json.member "queue" j with
+      | Some q ->
+          check_bool "shed tiers" true (Json.member "shed" q <> None)
+      | None -> Alcotest.fail "queue section missing")
   | _ -> Alcotest.fail "expected a stats payload"
 
 (* --- observability: windows, prometheus, access log, tracing --- *)
@@ -762,6 +1022,18 @@ let () =
           Alcotest.test_case "type mismatch" `Quick test_request_type_mismatch;
           Alcotest.test_case "fingerprint" `Quick
             test_fingerprint_ignores_inert_fields;
+          Alcotest.test_case "priority codec" `Quick
+            test_request_priority_codec;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "defaults + env" `Quick test_config_load;
+          Alcotest.test_case "watermarks" `Quick test_config_watermarks;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "decide matrix" `Quick test_admission_decide;
+          Alcotest.test_case "shed counters" `Quick test_admission_counters;
         ] );
       ( "metrics codec",
         [ Alcotest.test_case "roundtrip" `Quick test_metrics_roundtrip ] );
@@ -775,6 +1047,15 @@ let () =
           Alcotest.test_case "errors not cached" `Quick test_errors_not_cached;
           Alcotest.test_case "template cache tier" `Quick
             test_template_cache_tier;
+        ] );
+      ( "disk cache",
+        [
+          Alcotest.test_case "roundtrip + damage tolerance" `Quick
+            test_disk_cache_roundtrip;
+          Alcotest.test_case "warm restart byte-identical" `Quick
+            test_warm_restart_byte_identical;
+          Alcotest.test_case "tamper rejected" `Quick
+            test_disk_cache_tamper_rejected;
         ] );
       ( "deadline",
         [
